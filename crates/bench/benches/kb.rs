@@ -1,0 +1,74 @@
+//! Criterion benches: knowledge-base construction, persistence, views and
+//! abstraction-layer evaluation — the framework's own overheads.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmove_core::abstraction::presets::builtin_layer;
+use pmove_core::kb::builder::build_kb;
+use pmove_core::kb::{store, views};
+use pmove_core::probe::ProbeReport;
+use pmove_hwsim::Machine;
+
+fn bench_kb_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kb");
+    group.sample_size(10);
+    let skx = Machine::preset("skx").unwrap();
+    let report = ProbeReport::collect(&skx);
+    group.bench_function("probe_skx", |b| {
+        b.iter(|| ProbeReport::collect(black_box(&skx)))
+    });
+    group.bench_function("build_kb_skx", |b| {
+        b.iter(|| build_kb(black_box(&report)).unwrap())
+    });
+    let kb = build_kb(&report).unwrap();
+    group.bench_function("insert_kb_docdb", |b| {
+        b.iter(|| {
+            let db = pmove_docdb::Database::new("bench");
+            store::insert_kb(&db, black_box(&kb)).unwrap()
+        })
+    });
+    group.bench_function("subtree_view_socket", |b| {
+        let socket = kb.by_name("socket0").unwrap().id.clone();
+        b.iter(|| views::subtree(black_box(&kb), &socket))
+    });
+    group.bench_function("level_view_threads", |b| {
+        b.iter(|| views::level(black_box(&kb), "thread"))
+    });
+    group.finish();
+}
+
+fn bench_abstraction(c: &mut Criterion) {
+    let layer = builtin_layer();
+    c.bench_function("abstraction_formula_eval", |b| {
+        b.iter(|| {
+            layer
+                .evaluate(black_box("skx"), "TOTAL_DP_FLOPS", |_| Some(1234.5))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_docdb(c: &mut Criterion) {
+    use serde_json::json;
+    let db = pmove_docdb::Database::new("bench");
+    let col = db.collection("docs");
+    col.create_index("@type");
+    for i in 0..5000 {
+        col.insert_one(json!({
+            "@type": if i % 3 == 0 { "Interface" } else { "Telemetry" },
+            "name": format!("c{i}"),
+            "value": i,
+        }))
+        .unwrap();
+    }
+    let mut group = c.benchmark_group("docdb");
+    group.bench_function("indexed_find", |b| {
+        b.iter(|| col.find(black_box(&json!({"@type": "Interface"}))).unwrap())
+    });
+    group.bench_function("scan_find_range", |b| {
+        b.iter(|| col.find(black_box(&json!({"value": {"$gt": 4900}}))).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kb_build, bench_abstraction, bench_docdb);
+criterion_main!(benches);

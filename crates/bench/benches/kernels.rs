@@ -1,0 +1,32 @@
+//! Criterion benches: the runnable likwid-style kernels and HPCG — real
+//! host-side numbers next to the simulated target figures.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pmove_kernels::hpcg;
+use pmove_kernels::StreamKernel;
+
+fn bench_stream_kernels(c: &mut Criterion) {
+    let n = 1 << 20;
+    let mut group = c.benchmark_group("stream_kernels");
+    group.sample_size(20);
+    for k in StreamKernel::fig4_set() {
+        group.throughput(Throughput::Bytes(k.op_counts(n as u64).total_bytes()));
+        group.bench_function(k.name(), |b| b.iter(|| black_box(k.run(n))));
+    }
+    group.finish();
+}
+
+fn bench_hpcg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpcg");
+    group.sample_size(10);
+    group.bench_function("solve_12cubed", |b| {
+        b.iter(|| black_box(hpcg::run_hpcg(12, 12, 12, 25, 1e-8)))
+    });
+    group.bench_function("build_operator_16cubed", |b| {
+        b.iter(|| black_box(hpcg::build_operator(16, 16, 16)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_kernels, bench_hpcg);
+criterion_main!(benches);

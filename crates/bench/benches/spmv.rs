@@ -1,0 +1,62 @@
+//! Criterion benches: real SpMV implementations across matrix classes and
+//! reorderings — the host-side performance companion to Figs. 7/8.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmove_spmv::merge::spmv_merge;
+use pmove_spmv::reorder::Reordering;
+use pmove_spmv::row::{spmv_row_parallel, spmv_seq};
+use pmove_spmv::suite::SuiteMatrix;
+use pmove_spmv::verify::test_vector;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv_algorithms");
+    group.sample_size(20);
+    for m in [SuiteMatrix::Hugetrace00020, SuiteMatrix::HumanGene1] {
+        let a = m.generate(0.5);
+        let x = test_vector(a.cols);
+        let mut y = vec![0.0; a.rows];
+        group.bench_with_input(BenchmarkId::new("seq", m.name()), &a, |b, a| {
+            b.iter(|| spmv_seq(black_box(a), &x, &mut y))
+        });
+        group.bench_with_input(BenchmarkId::new("row_parallel", m.name()), &a, |b, a| {
+            b.iter(|| spmv_row_parallel(black_box(a), &x, &mut y))
+        });
+        group.bench_with_input(BenchmarkId::new("merge", m.name()), &a, |b, a| {
+            b.iter(|| spmv_merge(black_box(a), &x, &mut y, 16))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reorderings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv_reorderings");
+    group.sample_size(20);
+    let base = SuiteMatrix::Hugetrace00020.generate(0.5);
+    for strat in [
+        Reordering::None,
+        Reordering::Rcm,
+        Reordering::Degree,
+        Reordering::Random(7),
+    ] {
+        let a = strat.apply(&base);
+        let x = test_vector(a.cols);
+        let mut y = vec![0.0; a.rows];
+        group.bench_function(BenchmarkId::new("row_parallel", strat.label()), |b| {
+            b.iter(|| spmv_row_parallel(black_box(&a), &x, &mut y))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rcm_itself(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder_cost");
+    group.sample_size(10);
+    let a = SuiteMatrix::Hugetrace00020.generate(0.5);
+    group.bench_function("rcm_permutation", |b| {
+        b.iter(|| pmove_spmv::reorder::rcm_permutation(black_box(&a)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_reorderings, bench_rcm_itself);
+criterion_main!(benches);

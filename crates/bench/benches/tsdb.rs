@@ -1,0 +1,65 @@
+//! Criterion benches: time-series database ingest and query paths — the
+//! DB-side capacity that Table III's loss model abstracts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmove_tsdb::{Database, Point};
+
+fn make_point(i: usize, fields: usize) -> Point {
+    let mut p = Point::new("perfevent_hwcounters_bench")
+        .tag("tag", format!("obs{}", i % 4))
+        .timestamp(i as i64);
+    for f in 0..fields {
+        p = p.field(format!("_cpu{f}"), (i * f) as f64);
+    }
+    p
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsdb_ingest");
+    for &fields in &[16usize, 88] {
+        group.bench_function(format!("write_point_{fields}_fields"), |b| {
+            let db = Database::new("bench");
+            let mut i = 0usize;
+            b.iter(|| {
+                db.write_point(black_box(make_point(i, fields))).unwrap();
+                i += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let db = Database::new("bench");
+    for i in 0..10_000 {
+        db.write_point(make_point(i, 16)).unwrap();
+    }
+    let mut group = c.benchmark_group("tsdb_query");
+    group.bench_function("tag_filtered_select", |b| {
+        b.iter(|| {
+            db.query(black_box(
+                "SELECT \"_cpu0\", \"_cpu1\" FROM \"perfevent_hwcounters_bench\" WHERE tag='obs1'",
+            ))
+            .unwrap()
+        })
+    });
+    group.bench_function("aggregated_group_by", |b| {
+        b.iter(|| {
+            db.query(black_box(
+                "SELECT mean(\"_cpu0\") FROM \"perfevent_hwcounters_bench\" WHERE tag='obs1' GROUP BY time(1000)",
+            ))
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_line_protocol(c: &mut Criterion) {
+    let line = pmove_tsdb::line_protocol::render(&make_point(7, 16));
+    c.bench_function("line_protocol_parse", |b| {
+        b.iter(|| pmove_tsdb::line_protocol::parse(black_box(&line)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_ingest, bench_query, bench_line_protocol);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Run the ablation studies (capacity, multiplexing, partition skew).
+
+fn main() {
+    print!("{}", pmove_bench::ablation::format_all());
+}

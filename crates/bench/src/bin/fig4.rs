@@ -1,0 +1,9 @@
+//! Reproduce Fig. 4: sampling accuracy vs ground truth.
+
+fn main() {
+    let rows = pmove_bench::fig4::run(
+        &["skx", "icl", "zen3"],
+        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+    );
+    print!("{}", pmove_bench::fig4::format(&rows));
+}

@@ -1,0 +1,6 @@
+//! Reproduce Fig. 5: profiling time overhead.
+
+fn main() {
+    let cells = pmove_bench::fig5::run("csl", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]);
+    print!("{}", pmove_bench::fig5::format(&cells));
+}

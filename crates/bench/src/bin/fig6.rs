@@ -1,0 +1,6 @@
+//! Reproduce Fig. 6: PCP agent resource usage.
+
+fn main() {
+    let rows = pmove_bench::fig6::run(&[1.0, 2.0, 4.0, 8.0, 16.0]);
+    print!("{}", pmove_bench::fig6::format(&rows));
+}

@@ -1,0 +1,11 @@
+//! Reproduce Fig. 7: live PMU events during SpMV on CSL.
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .filter(|s: &f64| *s > 0.0)
+        .unwrap_or(4.0);
+    let result = pmove_bench::fig7::run(scale);
+    print!("{}", pmove_bench::fig7::format(&result));
+}

@@ -1,0 +1,6 @@
+//! Reproduce Fig. 9: live-CARM during likwid benchmarks on CSL.
+
+fn main() {
+    let result = pmove_bench::fig9::run();
+    print!("{}", pmove_bench::fig9::format(&result));
+}

@@ -1,0 +1,6 @@
+//! Reproduce Table I: Intel vs AMD PMU event mapping.
+
+fn main() {
+    let rows = pmove_bench::table1::run();
+    print!("{}", pmove_bench::table1::format(&rows));
+}

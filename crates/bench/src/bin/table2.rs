@@ -1,0 +1,6 @@
+//! Reproduce Table II: probed platform specifications.
+
+fn main() {
+    let reports = pmove_bench::table2::run();
+    print!("{}", pmove_bench::table2::format(&reports));
+}

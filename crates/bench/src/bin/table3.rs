@@ -1,0 +1,6 @@
+//! Reproduce Table III: sampling throughput and losses.
+
+fn main() {
+    let rows = pmove_bench::table3::run();
+    print!("{}", pmove_bench::table3::format(&rows));
+}

@@ -1,0 +1,11 @@
+//! Reproduce Table IV: the sparse-matrix suite.
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .filter(|s: &f64| *s > 0.0)
+        .unwrap_or(1.0);
+    let rows = pmove_bench::table4::run(scale);
+    print!("{}", pmove_bench::table4::format(&rows));
+}

@@ -1,0 +1,9 @@
+//! Run the DVFS/AVX-throttling variability study (extension).
+
+fn main() {
+    for key in ["csl", "icl", "zen3"] {
+        let spec = pmove_hwsim::MachineSpec::preset(key).expect("preset");
+        let rows = pmove_bench::variability::isa_sweep(&spec);
+        println!("{}", pmove_bench::variability::format(key, &rows));
+    }
+}

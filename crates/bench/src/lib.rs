@@ -1,0 +1,32 @@
+//! # pmove-bench — experiment drivers and reproduction harness
+//!
+//! One module per table/figure of the paper's evaluation (§V). Each module
+//! exposes a structured `run*` API plus a `format_*` renderer; the `bin/`
+//! binaries print the rendered output, and `EXPERIMENTS.md` records the
+//! paper-vs-measured comparison.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`table1`] | Table I — Intel vs AMD PMU event mapping |
+//! | [`table2`] | Table II — platform specifications (probe output) |
+//! | [`table3`] | Table III — sampling throughput and losses |
+//! | [`table4`] | Table IV — the sparse-matrix suite |
+//! | [`fig4`]   | Fig. 4 — sampled-vs-ground-truth relative errors |
+//! | [`fig5`]   | Fig. 5 — profiling time overhead |
+//! | [`fig6`]   | Fig. 6 — PCP agent resource usage |
+//! | [`fig7`]   | Fig. 7 — live PMU events during SpMV (MKL vs Merge) |
+//! | [`fig8`]   | Fig. 8 — live-CARM during SpMV |
+//! | [`fig9`]   | Fig. 9 — live-CARM during likwid benchmarks |
+
+pub mod ablation;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod variability;
+pub mod table2;
+pub mod table3;
+pub mod table4;

@@ -1,0 +1,52 @@
+//! Table II: the four target platforms, as reported by the probing module.
+
+use pmove_core::probe::ProbeReport;
+use pmove_hwsim::Machine;
+
+/// Probe summaries for all four presets.
+pub fn run() -> Vec<ProbeReport> {
+    ["skx", "icl", "csl", "zen3"]
+        .iter()
+        .map(|k| ProbeReport::collect(&Machine::preset(k).expect("preset exists")))
+        .collect()
+}
+
+/// Render the table from the probe reports.
+pub fn format(reports: &[ProbeReport]) -> String {
+    let mut out = String::from("TABLE II: probed platform specifications\n");
+    for r in reports {
+        let j = &r.json;
+        out.push_str(&format!(
+            "[{}]\n  OS     {}\n  Kernel {}\n  CPU    {} ({}c/{}t)\n  Arch   {}\n  Mem    {} GB DDR4 @ {} MHz\n  Env    {}\n",
+            r.hostname(),
+            j["system"]["os"].as_str().unwrap_or("?"),
+            j["system"]["kernel"].as_str().unwrap_or("?"),
+            j["cpu"]["model"].as_str().unwrap_or("?"),
+            j["cpu"]["cores_per_socket"].as_u64().unwrap_or(0)
+                * j["cpu"]["sockets"].as_u64().unwrap_or(0),
+            r.total_threads(),
+            j["cpu"]["arch"].as_str().unwrap_or("?"),
+            j["memory"]["total_gb"].as_u64().unwrap_or(0),
+            j["memory"]["freq_mhz"].as_u64().unwrap_or(0),
+            j["system"]["env"].as_str().unwrap_or("?"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_platforms_probe() {
+        let reports = run();
+        assert_eq!(reports.len(), 4);
+        let text = format(&reports);
+        assert!(text.contains("Intel Xeon Gold 6152"));
+        assert!(text.contains("(44c/88t)"));
+        assert!(text.contains("AMD EPYC 7313"));
+        assert!(text.contains("Cascade Lake"));
+        assert!(text.contains("1024 GB DDR4 @ 2666 MHz"));
+    }
+}

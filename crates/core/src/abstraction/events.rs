@@ -1,0 +1,57 @@
+//! Generic event names.
+//!
+//! The paper establishes "a set of common events ... assumed to be
+//! supported by the commodity CPUs"; everything else is left to the
+//! user's discretion via config files.
+
+/// The common generic events every supported CPU must map
+/// (paper examples: `L1_CACHE_DATA_MISS`, `FP_DIV_RETIRED`,
+/// `RAPL_ENERGY_PKG`).
+pub const COMMON_EVENTS: &[&str] = &[
+    "CPU_CYCLES",
+    "RETIRED_INSTRUCTIONS",
+    "TOTAL_MEMORY_OPERATIONS",
+    "TOTAL_DP_FLOPS",
+    "L1_CACHE_DATA_MISS",
+    "FP_DIV_RETIRED",
+    "RAPL_ENERGY_PKG",
+];
+
+/// Extended generic events mapped where hardware allows (per-width FLOP
+/// counts for live-CARM, L3 hits on AMD, DRAM energy on AMD).
+pub const EXTENDED_EVENTS: &[&str] = &[
+    "SCALAR_DP_FLOPS",
+    "SSE_DP_FLOPS",
+    "AVX2_DP_FLOPS",
+    "AVX512_DP_FLOPS",
+    "SCALAR_DP_INSTRUCTIONS",
+    "AVX512_DP_INSTRUCTIONS",
+    "L3_HIT",
+    "RAPL_ENERGY_DRAM",
+];
+
+/// Is this one of the events all PMU configs must define?
+pub fn is_common(event: &str) -> bool {
+    COMMON_EVENTS.contains(&event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_are_common() {
+        assert!(is_common("L1_CACHE_DATA_MISS"));
+        assert!(is_common("FP_DIV_RETIRED"));
+        assert!(is_common("RAPL_ENERGY_PKG"));
+        assert!(!is_common("AVX512_DP_FLOPS"));
+        assert!(!is_common("MADE_UP"));
+    }
+
+    #[test]
+    fn no_overlap_between_sets() {
+        for e in EXTENDED_EVENTS {
+            assert!(!COMMON_EVENTS.contains(e));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! `pmu_utils` — the CPU-agnostic in-program event access of §IV-A:
+//!
+//! ```text
+//! > pmu_utils.get("skl", "TOTAL_MEMORY_OPERATIONS")
+//! > [ "MEM_INST_RETIRED:ALL_LOADS", "+", "MEM_INST_RETIRED:ALL_STORES" ]
+//! ```
+
+use crate::abstraction::config::AbstractionLayer;
+use crate::abstraction::expr::Token;
+use crate::error::PmoveError;
+
+/// Thin façade over the abstraction layer matching the paper's
+/// `pmu_utils.get(HW_PMU_NAME, COMMON_EVENT_NAME)` API.
+pub struct PmuUtils<'a> {
+    layer: &'a AbstractionLayer,
+}
+
+impl<'a> PmuUtils<'a> {
+    /// Wrap a layer.
+    pub fn new(layer: &'a AbstractionLayer) -> Self {
+        PmuUtils { layer }
+    }
+
+    /// The formula for `(pmu, generic_event)` as a token-string list —
+    /// exactly the return shape shown in the paper.
+    pub fn get(&self, pmu: &str, generic: &str) -> Result<Vec<String>, PmoveError> {
+        Ok(self
+            .layer
+            .formula(pmu, generic)?
+            .tokens
+            .iter()
+            .map(|t| match t {
+                Token::Event(e) => e.clone(),
+                Token::Const(c) => c.to_string(),
+                Token::Op(o) => o.to_string(),
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::presets::builtin_layer;
+
+    #[test]
+    fn matches_paper_output_shape() {
+        let layer = builtin_layer();
+        let utils = PmuUtils::new(&layer);
+        let got = utils.get("skx", "TOTAL_MEMORY_OPERATIONS").unwrap();
+        assert_eq!(
+            got,
+            vec![
+                "MEM_INST_RETIRED:ALL_LOADS".to_string(),
+                "+".to_string(),
+                "MEM_INST_RETIRED:ALL_STORES".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn constants_render_as_strings() {
+        let layer = builtin_layer();
+        let utils = PmuUtils::new(&layer);
+        let got = utils.get("csl", "AVX512_DP_FLOPS").unwrap();
+        assert_eq!(got, vec!["FP_ARITH:512B_PACKED_DOUBLE", "*", "8"]);
+    }
+
+    #[test]
+    fn unknown_pmu_errors() {
+        let layer = builtin_layer();
+        assert!(PmuUtils::new(&layer).get("vax780", "CPU_CYCLES").is_err());
+    }
+}

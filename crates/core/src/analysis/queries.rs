@@ -1,0 +1,92 @@
+//! Automatic query generation (Listing 3): the parameters already encoded
+//! in the KB turn every observation into a set of recall queries.
+
+use crate::kb::observation::ObservationInterface;
+use crate::kb::KnowledgeBase;
+
+/// The Listing-3 query set for one observation.
+pub fn queries_for_observation(obs: &ObservationInterface) -> Vec<String> {
+    obs.queries()
+}
+
+/// Query sets for every observation in a KB, newest last.
+pub fn all_queries(kb: &KnowledgeBase) -> Vec<(String, Vec<String>)> {
+    kb.observations
+        .iter()
+        .map(|o| (o.id.clone(), o.queries()))
+        .collect()
+}
+
+/// A time-bounded variant: restrict the recall to `[start_ns, end_ns)`.
+pub fn bounded_queries(obs: &ObservationInterface) -> Vec<String> {
+    let start = (obs.start_s * 1e9) as i64;
+    let end = (obs.end_s * 1e9) as i64 + 1;
+    obs.metrics
+        .iter()
+        .map(|m| {
+            let fields = m
+                .fields
+                .iter()
+                .map(|f| format!("\"{f}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "SELECT {fields} FROM \"{}\" WHERE tag='{}' AND time >= {start} AND time < {end}",
+                m.db_name, obs.id
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::observation::MetricRef;
+    use serde_json::json;
+
+    fn obs() -> ObservationInterface {
+        ObservationInterface {
+            id: "abc".into(),
+            machine: "csl".into(),
+            command: "x".into(),
+            pinning: "compact".into(),
+            affinity: vec![0],
+            start_s: 1.0,
+            end_s: 2.0,
+            freq_hz: 8.0,
+            metrics: vec![MetricRef {
+                db_name: "m".into(),
+                fields: vec!["_cpu0".into()],
+            }],
+            report: json!({}),
+        }
+    }
+
+    #[test]
+    fn bounded_queries_carry_time_range() {
+        let q = bounded_queries(&obs());
+        assert_eq!(q.len(), 1);
+        assert!(q[0].contains("time >= 1000000000"));
+        assert!(q[0].contains("time < 2000000001"));
+        assert!(q[0].contains("tag='abc'"));
+    }
+
+    #[test]
+    fn bounded_queries_parse_in_the_tsdb() {
+        for q in bounded_queries(&obs()) {
+            pmove_tsdb::Query::parse(&q).expect("generated query must parse");
+        }
+        for q in queries_for_observation(&obs()) {
+            pmove_tsdb::Query::parse(&q).expect("generated query must parse");
+        }
+    }
+
+    #[test]
+    fn all_queries_covers_kb() {
+        let mut kb = KnowledgeBase::new("csl", "csl");
+        kb.append_observation(obs());
+        let all = all_queries(&kb);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, "abc");
+    }
+}

@@ -1,0 +1,177 @@
+//! Automatic dashboard generation from the KB (§III-B).
+//!
+//! The tree-structured KB makes dashboards fully automatic: the *focus*,
+//! *subtree*, and *level* views each select a set of interfaces, collect
+//! their telemetry measurements, and emit one panel per measurement with
+//! one target per field.
+
+use crate::dashboard::model::{Dashboard, Datasource, Target};
+use crate::kb::views;
+use crate::kb::KnowledgeBase;
+use pmove_jsonld::{Dtmi, Interface};
+
+fn targets_for(kb: &KnowledgeBase, interfaces: &[&Interface]) -> Vec<(String, Vec<Target>)> {
+    views::telemetry_measurements(interfaces)
+        .into_iter()
+        .map(|(measurement, fields)| {
+            let targets = if fields.is_empty() {
+                vec![Target {
+                    datasource: Datasource::influx(&kb.db.influx_uid),
+                    measurement: measurement.clone(),
+                    params: "value".into(),
+                }]
+            } else {
+                fields
+                    .into_iter()
+                    .map(|f| Target {
+                        datasource: Datasource::influx(&kb.db.influx_uid),
+                        measurement: measurement.clone(),
+                        params: f,
+                    })
+                    .collect()
+            };
+            (measurement, targets)
+        })
+        .collect()
+}
+
+fn build(kb: &KnowledgeBase, id: u32, title: String, interfaces: &[&Interface]) -> Dashboard {
+    let mut d = Dashboard::new(id, title);
+    for (measurement, targets) in targets_for(kb, interfaces) {
+        d = d.panel(measurement, targets);
+    }
+    d
+}
+
+/// Focus view: metrics of a single component; with `extend_to_root`, one
+/// panel group per component on the path to the system twin (root-cause
+/// navigation).
+pub fn focus_dashboard(kb: &KnowledgeBase, id: &Dtmi, extend_to_root: bool) -> Option<Dashboard> {
+    if extend_to_root {
+        let path = views::focus_path(kb, id);
+        if path.is_empty() {
+            return None;
+        }
+        let title = format!("focus-path: {}", path[0].display_name);
+        Some(build(kb, 1, title, &path))
+    } else {
+        let iface = views::focus(kb, id)?;
+        Some(build(
+            kb,
+            1,
+            format!("focus: {}", iface.display_name),
+            &[iface],
+        ))
+    }
+}
+
+/// Subtree view: a component and all its descendants.
+pub fn subtree_dashboard(kb: &KnowledgeBase, id: &Dtmi) -> Option<Dashboard> {
+    let sub = views::subtree(kb, id);
+    if sub.is_empty() {
+        return None;
+    }
+    let title = format!("subtree: {}", sub[0].display_name);
+    Some(build(kb, 2, title, &sub))
+}
+
+/// Level view: all components of one type (optionally restricted to a
+/// name list — e.g. the processes of one SpMV run).
+pub fn level_dashboard(kb: &KnowledgeBase, component_type: &str) -> Option<Dashboard> {
+    let level = views::level(kb, component_type);
+    if level.is_empty() {
+        return None;
+    }
+    Some(build(
+        kb,
+        3,
+        format!("level: {component_type}"),
+        &level,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::builder::build_kb;
+    use crate::probe::ProbeReport;
+    use pmove_hwsim::Machine;
+
+    fn kb() -> KnowledgeBase {
+        build_kb(&ProbeReport::collect(&Machine::preset("icl").unwrap())).unwrap()
+    }
+
+    #[test]
+    fn focus_dashboard_for_a_cache() {
+        // Fig. 2(a) is a focus-view dashboard for a cache.
+        let kb = kb();
+        let l1 = kb.by_name("l1cache0").unwrap();
+        let d = focus_dashboard(&kb, &l1.id.clone(), false).unwrap();
+        assert!(d.title.contains("l1cache0"));
+        // Caches carry no telemetry by default → no panels, but the
+        // extended path picks up the core/socket/system metrics.
+        let dp = focus_dashboard(&kb, &l1.id.clone(), true).unwrap();
+        assert!(dp.target_count() > 0);
+        assert!(dp.title.starts_with("focus-path"));
+    }
+
+    #[test]
+    fn focus_dashboard_for_thread_has_its_fields_only() {
+        let kb = kb();
+        let cpu3 = kb.by_name("cpu3").unwrap();
+        let d = focus_dashboard(&kb, &cpu3.id.clone(), false).unwrap();
+        assert!(d.target_count() > 0);
+        for p in &d.panels {
+            for t in &p.targets {
+                assert_eq!(t.params, "_cpu3", "panel {}", p.title);
+                assert_eq!(t.datasource.uid, "UUkm1881");
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_dashboard_for_socket_covers_all_threads() {
+        // Fig. 2(b): subtree view for a whole server/socket.
+        let kb = kb();
+        let socket = kb.by_name("socket0").unwrap();
+        let d = subtree_dashboard(&kb, &socket.id.clone()).unwrap();
+        let idle = d
+            .panels
+            .iter()
+            .find(|p| p.title == "kernel_percpu_cpu_idle")
+            .expect("per-cpu idle panel");
+        assert_eq!(idle.targets.len(), 16);
+    }
+
+    #[test]
+    fn level_dashboard_isolates_type() {
+        // Fig. 2(c/d): level views across same-type components.
+        let kb = kb();
+        let d = level_dashboard(&kb, "numanode").unwrap();
+        assert!(d.panels.iter().any(|p| p.title == "mem_numa_alloc_hit"));
+        // All targets are node fields.
+        for p in &d.panels {
+            for t in &p.targets {
+                assert!(t.params.starts_with("_node"), "{}", t.params);
+            }
+        }
+        assert!(level_dashboard(&kb, "gpu").is_none());
+    }
+
+    #[test]
+    fn dashboards_serialize_to_shareable_json() {
+        let kb = kb();
+        let d = level_dashboard(&kb, "thread").unwrap();
+        let j = d.to_json();
+        let back = Dashboard::from_json(&j).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn unknown_component_yields_none() {
+        let kb = kb();
+        let ghost = pmove_jsonld::Dtmi::parse("dtmi:dt:ghost;1").unwrap();
+        assert!(focus_dashboard(&kb, &ghost, false).is_none());
+        assert!(subtree_dashboard(&kb, &ghost).is_none());
+    }
+}

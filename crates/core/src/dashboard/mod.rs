@@ -1,0 +1,8 @@
+//! Dashboards — "each dashboard is only a simple JSON file" (Listing 1).
+
+pub mod gen;
+pub mod model;
+pub mod render;
+
+pub use gen::{focus_dashboard, level_dashboard, subtree_dashboard};
+pub use model::{Dashboard, Panel, Target, TimeRange};

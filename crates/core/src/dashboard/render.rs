@@ -1,0 +1,145 @@
+//! Text rendering of dashboards: the Grafana stand-in's display path.
+//!
+//! Each panel queries the time-series database for its targets and renders
+//! an ASCII sparkline per series — enough for the examples to *show* live
+//! dashboards in a terminal.
+
+use crate::dashboard::model::{Dashboard, Panel};
+use pmove_tsdb::Database;
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render a numeric series as a sparkline of `width` characters
+/// (downsampled by bucket means).
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let buckets: Vec<f64> = (0..width.min(values.len()))
+        .map(|b| {
+            let lo = b * values.len() / width.min(values.len());
+            let hi = ((b + 1) * values.len() / width.min(values.len())).max(lo + 1);
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    let min = buckets.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = buckets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    buckets
+        .iter()
+        .map(|v| {
+            let norm = if max > min { (v - min) / (max - min) } else { 0.5 };
+            SPARK[((norm * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+/// Render one panel against the database. `tag` optionally filters by an
+/// observation id.
+pub fn render_panel(db: &Database, panel: &Panel, tag: Option<&str>, width: usize) -> String {
+    let mut out = format!("── {} ──\n", panel.title);
+    for t in &panel.targets {
+        let where_clause = tag
+            .map(|v| format!(" WHERE tag='{v}'"))
+            .unwrap_or_default();
+        let q = format!(
+            "SELECT \"{}\" FROM \"{}\"{}",
+            t.params, t.measurement, where_clause
+        );
+        match db.query(&q) {
+            Ok(r) => {
+                let series: Vec<f64> = r
+                    .column_series(&t.params)
+                    .into_iter()
+                    .map(|(_, v)| v)
+                    .collect();
+                if series.is_empty() {
+                    out.push_str(&format!("  {:<10} (no data)\n", t.params));
+                } else {
+                    let last = series.last().copied().unwrap_or(0.0);
+                    out.push_str(&format!(
+                        "  {:<10} {} last={:.3e} n={}\n",
+                        t.params,
+                        sparkline(&series, width),
+                        last,
+                        series.len()
+                    ));
+                }
+            }
+            Err(_) => out.push_str(&format!("  {:<10} (no measurement)\n", t.params)),
+        }
+    }
+    out
+}
+
+/// Render a whole dashboard.
+pub fn render_dashboard(db: &Database, dashboard: &Dashboard, tag: Option<&str>) -> String {
+    let mut out = format!("══ {} ══\n", dashboard.title);
+    for p in &dashboard.panels {
+        out.push_str(&render_panel(db, p, tag, 40));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dashboard::model::{Dashboard, Datasource, Target};
+    use pmove_tsdb::Point;
+
+    fn db_with_series() -> Database {
+        let db = Database::new("test");
+        for t in 0..20 {
+            db.write_point(
+                Point::new("m")
+                    .tag("tag", "o1")
+                    .field("_cpu0", (t as f64 * 0.7).sin() + 1.0)
+                    .timestamp(t),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn dashboard() -> Dashboard {
+        Dashboard::new(1, "test").panel(
+            "m",
+            vec![Target {
+                datasource: Datasource::influx("u"),
+                measurement: "m".into(),
+                params: "_cpu0".into(),
+            }],
+        )
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0], 10).chars().count(), 1);
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0], 4);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        // Flat series renders mid-height.
+        let flat = sparkline(&[5.0; 8], 8);
+        assert!(flat.chars().all(|c| c == SPARK[4]));
+    }
+
+    #[test]
+    fn render_shows_data_and_stats() {
+        let db = db_with_series();
+        let out = render_dashboard(&db, &dashboard(), Some("o1"));
+        assert!(out.contains("══ test ══"));
+        assert!(out.contains("_cpu0"));
+        assert!(out.contains("n=20"));
+    }
+
+    #[test]
+    fn render_handles_missing_data() {
+        let db = Database::new("empty");
+        let out = render_dashboard(&db, &dashboard(), None);
+        assert!(out.contains("no measurement"));
+        let db = db_with_series();
+        let out = render_dashboard(&db, &dashboard(), Some("other-tag"));
+        assert!(out.contains("no data"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Cluster-level P-MoVE (the paper's §VI forward-looking design:
+//! "a straightforward extension of the framework from single-node servers
+//! to clusters").
+//!
+//! A [`Cluster`] owns one daemon per node, drives Scenario A across all of
+//! them in lockstep, uploads to SUPERDB, and answers fleet-level
+//! questions: cross-machine level views, slowest-node detection, and
+//! cluster-wide retention enforcement.
+
+use crate::error::PmoveError;
+use crate::kb::superdb::SuperDb;
+use crate::telemetry::daemon::PMoveDaemon;
+use pmove_pcp::SamplingReport;
+use pmove_tsdb::RetentionPolicy;
+
+/// A monitored cluster: one P-MoVE daemon per node plus the global DB.
+pub struct Cluster {
+    /// Per-node daemons (host side).
+    pub nodes: Vec<PMoveDaemon>,
+    /// The global performance database.
+    pub superdb: SuperDb,
+    /// Whether the cluster retention policy has been installed.
+    retention_installed: bool,
+}
+
+impl Cluster {
+    /// Bring up a cluster from preset machine keys; every node's KB is
+    /// uploaded to SUPERDB immediately.
+    pub fn from_presets(keys: &[&str]) -> Result<Cluster, PmoveError> {
+        let superdb = SuperDb::new();
+        let mut nodes = Vec::with_capacity(keys.len());
+        for key in keys {
+            let daemon = PMoveDaemon::for_preset(key)?;
+            superdb.upload_kb(&daemon.kb)?;
+            nodes.push(daemon);
+        }
+        Ok(Cluster {
+            nodes,
+            superdb,
+            retention_installed: false,
+        })
+    }
+
+    /// Node daemon by machine key.
+    pub fn node(&self, key: &str) -> Option<&PMoveDaemon> {
+        self.nodes.iter().find(|d| d.kb.machine_key == key)
+    }
+
+    /// Mutable node daemon by machine key.
+    pub fn node_mut(&mut self, key: &str) -> Option<&mut PMoveDaemon> {
+        self.nodes.iter_mut().find(|d| d.kb.machine_key == key)
+    }
+
+    /// Run Scenario A on every node for the same window; returns
+    /// per-node reports in node order.
+    pub fn monitor_all(&mut self, duration_s: f64, freq_hz: f64) -> Vec<(String, SamplingReport)> {
+        self.nodes
+            .iter_mut()
+            .map(|d| (d.kb.machine_key.clone(), d.monitor(duration_s, freq_hz)))
+            .collect()
+    }
+
+    /// Cluster-wide load summary at the current virtual time: per node,
+    /// the mean 1-minute load recorded in its tsdb.
+    pub fn load_summary(&self) -> Vec<(String, f64)> {
+        self.nodes
+            .iter()
+            .map(|d| {
+                let mean = d
+                    .ts
+                    .query("SELECT mean(\"value\") FROM \"kernel_all_load\"")
+                    .ok()
+                    .and_then(|r| {
+                        r.rows
+                            .first()
+                            .and_then(|row| row.values.values().next().copied().flatten())
+                    })
+                    .unwrap_or(0.0);
+                (d.kb.machine_key.clone(), mean)
+            })
+            .collect()
+    }
+
+    /// The node with the highest normalized load (load per hardware
+    /// thread) — the fleet-level hot-spot detector.
+    pub fn hottest_node(&self) -> Option<(String, f64)> {
+        self.load_summary()
+            .into_iter()
+            .map(|(key, load)| {
+                let threads = self
+                    .node(&key)
+                    .map(|d| d.machine.spec.total_threads() as f64)
+                    .unwrap_or(1.0);
+                (key, load / threads)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("loads are finite"))
+    }
+
+    /// Install a retention policy on every node and enforce it now;
+    /// returns rows removed per node. (§V-B: "we rely on the retention
+    /// policy of InfluxDB" when high-frequency sampling would overwhelm
+    /// storage.) The policy is installed once; later calls only enforce.
+    pub fn enforce_retention(&mut self, keep_ns: i64) -> Vec<(String, usize)> {
+        let first_call = !self.retention_installed;
+        self.retention_installed = true;
+        self.nodes
+            .iter()
+            .map(|d| {
+                if first_call {
+                    d.ts.add_retention_policy(RetentionPolicy::keep("cluster", keep_ns));
+                }
+                let now_ns = (d.now_s * 1e9) as i64;
+                (d.kb.machine_key.clone(), d.ts.enforce_retention(now_ns))
+            })
+            .collect()
+    }
+
+    /// Total component twins across the fleet (from SUPERDB).
+    pub fn fleet_twin_count(&self) -> usize {
+        self.superdb
+            .machines()
+            .iter()
+            .map(|m| {
+                crate::kb::store::load_interfaces(&self.superdb.doc, m)
+                    .map(|v| v.len())
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::from_presets(&["icl", "zen3"]).expect("presets exist")
+    }
+
+    #[test]
+    fn construction_uploads_all_kbs() {
+        let c = cluster();
+        assert_eq!(c.nodes.len(), 2);
+        assert_eq!(
+            c.superdb.machines(),
+            vec!["icl".to_string(), "zen3".to_string()]
+        );
+        assert_eq!(
+            c.fleet_twin_count(),
+            c.nodes.iter().map(|d| d.kb.len()).sum::<usize>()
+        );
+        assert!(c.node("icl").is_some());
+        assert!(c.node("ghost").is_none());
+    }
+
+    #[test]
+    fn lockstep_monitoring_fills_every_node() {
+        let mut c = cluster();
+        let reports = c.monitor_all(10.0, 1.0);
+        assert_eq!(reports.len(), 2);
+        for (key, r) in &reports {
+            assert_eq!(r.ticks, 10, "{key}");
+        }
+        for d in &c.nodes {
+            assert!(d.ts.total_rows() > 0);
+        }
+        let loads = c.load_summary();
+        assert!(loads.iter().all(|(_, l)| *l >= 0.0));
+    }
+
+    #[test]
+    fn hottest_node_is_stable_and_normalized() {
+        let mut c = cluster();
+        c.monitor_all(10.0, 1.0);
+        let (key, norm_load) = c.hottest_node().expect("two nodes monitored");
+        assert!(["icl", "zen3"].contains(&key.as_str()));
+        assert!((0.0..1.0).contains(&norm_load));
+    }
+
+    #[test]
+    fn retention_prunes_old_rows_cluster_wide() {
+        let mut c = cluster();
+        c.monitor_all(30.0, 2.0);
+        let before: usize = c.nodes.iter().map(|d| d.ts.total_rows()).sum();
+        // Keep only the last 10 virtual seconds.
+        let removed = c.enforce_retention(10_000_000_000);
+        let removed_total: usize = removed.iter().map(|(_, n)| n).sum();
+        assert!(removed_total > 0);
+        let after: usize = c.nodes.iter().map(|d| d.ts.total_rows()).sum();
+        assert_eq!(after + removed_total, before);
+        // Fresh data is retained.
+        assert!(after > 0);
+    }
+
+    #[test]
+    fn per_node_scenario_b_still_works_inside_a_cluster() {
+        use crate::profiles::stream_kernel_profile;
+        use crate::telemetry::pinning::PinningStrategy;
+        use crate::telemetry::scenario_b::ProfileRequest;
+        use pmove_hwsim::vendor::IsaExt;
+        use pmove_kernels::StreamKernel;
+
+        let mut c = cluster();
+        let d = c.node_mut("zen3").unwrap();
+        let request = ProfileRequest {
+            profile: stream_kernel_profile(StreamKernel::Sum, 1 << 30, 8, IsaExt::Scalar),
+            command: "sum".into(),
+            generic_events: vec!["TOTAL_DP_FLOPS".into()],
+            freq_hz: 4.0,
+            pinning: PinningStrategy::Compact,
+        };
+        let outcome = d.profile(&request).expect("profiling works per node");
+        assert_eq!(d.kb.observations.len(), 1);
+        assert!(outcome.execution.duration_s > 0.0);
+    }
+}

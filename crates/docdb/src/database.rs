@@ -1,0 +1,130 @@
+//! Named databases holding collections, plus JSON snapshot import/export
+//! (the stand-in for mongodump/mongorestore used by SUPERDB uploads).
+
+use crate::collection::Collection;
+use parking_lot::RwLock;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A database: a set of named collections.
+pub struct Database {
+    name: String,
+    collections: RwLock<BTreeMap<String, Arc<Collection>>>,
+}
+
+impl Database {
+    /// New empty database.
+    pub fn new(name: impl Into<String>) -> Self {
+        Database {
+            name: name.into(),
+            collections: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Get or create a collection.
+    pub fn collection(&self, name: &str) -> Arc<Collection> {
+        let mut cols = self.collections.write();
+        cols.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Collection::new(name)))
+            .clone()
+    }
+
+    /// Existing collection, if any.
+    pub fn get_collection(&self, name: &str) -> Option<Arc<Collection>> {
+        self.collections.read().get(name).cloned()
+    }
+
+    /// Sorted collection names.
+    pub fn collection_names(&self) -> Vec<String> {
+        self.collections.read().keys().cloned().collect()
+    }
+
+    /// Drop a collection; returns whether it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.collections.write().remove(name).is_some()
+    }
+
+    /// Export everything as one JSON value: `{collection: [docs...]}`.
+    pub fn export_snapshot(&self) -> Value {
+        let cols = self.collections.read();
+        let mut out = serde_json::Map::new();
+        for (name, col) in cols.iter() {
+            out.insert(name.clone(), json!(col.all()));
+        }
+        Value::Object(out)
+    }
+
+    /// Import a snapshot produced by [`Database::export_snapshot`],
+    /// appending to existing collections. Returns documents imported.
+    pub fn import_snapshot(&self, snapshot: &Value) -> usize {
+        let mut imported = 0;
+        if let Some(map) = snapshot.as_object() {
+            for (name, docs) in map {
+                if let Some(arr) = docs.as_array() {
+                    let col = self.collection(name);
+                    for doc in arr {
+                        if col.insert_one(doc.clone()).is_ok() {
+                            imported += 1;
+                        }
+                    }
+                }
+            }
+        }
+        imported
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("name", &self.name)
+            .field("collections", &self.collection_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collections_are_created_on_demand_and_shared() {
+        let db = Database::new("st");
+        let a = db.collection("kb");
+        let b = db.collection("kb");
+        a.insert_one(json!({"x": 1})).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(db.collection_names(), vec!["kb".to_string()]);
+        assert!(db.get_collection("nosuch").is_none());
+    }
+
+    #[test]
+    fn drop_collection_removes() {
+        let db = Database::new("st");
+        db.collection("tmp");
+        assert!(db.drop_collection("tmp"));
+        assert!(!db.drop_collection("tmp"));
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let src = Database::new("src");
+        src.collection("kb").insert_one(json!({"a": 1})).unwrap();
+        src.collection("obs").insert_one(json!({"b": 2})).unwrap();
+        let snap = src.export_snapshot();
+
+        let dst = Database::new("dst");
+        let n = dst.import_snapshot(&snap);
+        assert_eq!(n, 2);
+        assert_eq!(dst.collection("kb").len(), 1);
+        assert_eq!(dst.collection("obs").len(), 1);
+        // Re-import collides on _id and imports nothing.
+        assert_eq!(dst.import_snapshot(&snap), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for document-database operations.
+
+use std::fmt;
+
+/// Errors produced by the document database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocDbError {
+    /// Documents must be JSON objects.
+    NotAnObject,
+    /// A filter expression was malformed.
+    BadFilter(String),
+    /// An update expression was malformed.
+    BadUpdate(String),
+    /// `_id` collision on insert.
+    DuplicateId(String),
+}
+
+impl fmt::Display for DocDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DocDbError::NotAnObject => write!(f, "document is not a JSON object"),
+            DocDbError::BadFilter(m) => write!(f, "bad filter: {m}"),
+            DocDbError::BadUpdate(m) => write!(f, "bad update: {m}"),
+            DocDbError::DuplicateId(id) => write!(f, "duplicate _id: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DocDbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(DocDbError::DuplicateId("x".into()).to_string().contains('x'));
+        assert!(DocDbError::BadFilter("f".into()).to_string().contains("filter"));
+    }
+}

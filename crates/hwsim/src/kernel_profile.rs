@@ -1,0 +1,344 @@
+//! Kernel operation profiles.
+//!
+//! A [`KernelProfile`] is the contract between the software substrates
+//! (SpMV, likwid-style kernels, CARM microbenchmarks) and the machine
+//! simulator: it states *what* a kernel does — FLOPs by ISA class and
+//! precision, memory element traffic, working set, locality — and the
+//! execution model decides *how fast* a given machine does it and what the
+//! PMU counters read.
+
+use crate::vendor::IsaExt;
+use serde::{Deserialize, Serialize};
+
+/// Re-export: ISA class of a group of FLOPs.
+pub type IsaClass = IsaExt;
+
+/// Floating-point precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit floats.
+    F32,
+    /// 64-bit floats.
+    F64,
+}
+
+impl Precision {
+    /// Bytes per element.
+    pub fn bytes(&self) -> u32 {
+        match self {
+            Precision::F32 => 4,
+            Precision::F64 => 8,
+        }
+    }
+}
+
+/// A group of floating-point operations executed with one ISA class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlopGroup {
+    /// Vector ISA used.
+    pub isa: IsaClass,
+    /// Element precision.
+    pub precision: Precision,
+    /// Number of FP *operations* (not instructions).
+    pub ops: u64,
+}
+
+impl FlopGroup {
+    /// FP instructions retired for this group (ops / lanes).
+    pub fn instructions(&self) -> u64 {
+        let lanes = match self.precision {
+            Precision::F64 => self.isa.f64_lanes() as u64,
+            Precision::F32 => (self.isa.f64_lanes() * 2) as u64,
+        };
+        self.ops.div_ceil(lanes)
+    }
+}
+
+/// Fractions of memory traffic served by each level of the hierarchy.
+/// Fractions must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalityProfile {
+    /// Fraction of bytes served from L1.
+    pub l1: f64,
+    /// Fraction served from L2.
+    pub l2: f64,
+    /// Fraction served from L3.
+    pub l3: f64,
+    /// Fraction served from DRAM.
+    pub dram: f64,
+}
+
+impl LocalityProfile {
+    /// Build and validate (fractions non-negative, summing to ~1).
+    pub fn new(l1: f64, l2: f64, l3: f64, dram: f64) -> Self {
+        let p = LocalityProfile { l1, l2, l3, dram };
+        assert!(
+            p.is_valid(),
+            "locality fractions must be non-negative and sum to 1: {p:?}"
+        );
+        p
+    }
+
+    /// Everything from L1 (fully cache-resident).
+    pub fn l1_resident() -> Self {
+        Self::new(1.0, 0.0, 0.0, 0.0)
+    }
+
+    /// Everything streamed from DRAM.
+    pub fn streaming() -> Self {
+        Self::new(0.0, 0.0, 0.0, 1.0)
+    }
+
+    /// Validity check.
+    pub fn is_valid(&self) -> bool {
+        let s = self.l1 + self.l2 + self.l3 + self.dram;
+        self.l1 >= 0.0
+            && self.l2 >= 0.0
+            && self.l3 >= 0.0
+            && self.dram >= 0.0
+            && (s - 1.0).abs() < 1e-9
+    }
+
+    /// Per-level fractions indexed 1..=4 (4 = DRAM).
+    pub fn fraction(&self, level: u8) -> f64 {
+        match level {
+            1 => self.l1,
+            2 => self.l2,
+            3 => self.l3,
+            4 => self.dram,
+            _ => panic!("level must be 1..=4"),
+        }
+    }
+}
+
+/// Full operation profile of one kernel execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Kernel name (`triad`, `spmv_mkl`, ...).
+    pub name: String,
+    /// Threads the kernel runs with.
+    pub threads: u32,
+    /// FLOP groups (a kernel may mix scalar and vector work).
+    pub flops: Vec<FlopGroup>,
+    /// Elements loaded (scalar-equivalent element count).
+    pub load_elems: u64,
+    /// Elements stored.
+    pub store_elems: u64,
+    /// Bytes per element (8 for f64 kernels).
+    pub elem_bytes: u32,
+    /// ISA width of the memory instructions (vector loads move
+    /// `isa.width_bytes()` per instruction).
+    pub mem_isa: IsaClass,
+    /// Total bytes touched repeatedly (determines cache residency).
+    pub working_set_bytes: u64,
+    /// Explicit locality; when `None` the cache model derives it from the
+    /// working set and machine cache sizes.
+    pub locality: Option<LocalityProfile>,
+    /// FP divide operations (most kernels: 0).
+    pub div_ops: u64,
+}
+
+impl KernelProfile {
+    /// Minimal profile with no operations (builder start).
+    pub fn named(name: impl Into<String>) -> Self {
+        KernelProfile {
+            name: name.into(),
+            threads: 1,
+            flops: Vec::new(),
+            load_elems: 0,
+            store_elems: 0,
+            elem_bytes: 8,
+            mem_isa: IsaExt::Scalar,
+            working_set_bytes: 0,
+            locality: None,
+            div_ops: 0,
+        }
+    }
+
+    /// Set thread count.
+    pub fn with_threads(mut self, t: u32) -> Self {
+        assert!(t > 0, "thread count must be positive");
+        self.threads = t;
+        self
+    }
+
+    /// Add a FLOP group.
+    pub fn with_flops(mut self, isa: IsaClass, precision: Precision, ops: u64) -> Self {
+        self.flops.push(FlopGroup {
+            isa,
+            precision,
+            ops,
+        });
+        self
+    }
+
+    /// Set element loads/stores.
+    pub fn with_mem(mut self, loads: u64, stores: u64, mem_isa: IsaClass) -> Self {
+        self.load_elems = loads;
+        self.store_elems = stores;
+        self.mem_isa = mem_isa;
+        self
+    }
+
+    /// Set the working set.
+    pub fn with_working_set(mut self, bytes: u64) -> Self {
+        self.working_set_bytes = bytes;
+        self
+    }
+
+    /// Set explicit locality.
+    pub fn with_locality(mut self, l: LocalityProfile) -> Self {
+        self.locality = Some(l);
+        self
+    }
+
+    /// Total FP operations.
+    pub fn total_flops(&self) -> u64 {
+        self.flops.iter().map(|g| g.ops).sum()
+    }
+
+    /// FLOPs executed with a given ISA class (any precision).
+    pub fn flops_with_isa(&self, isa: IsaClass) -> u64 {
+        self.flops
+            .iter()
+            .filter(|g| g.isa == isa)
+            .map(|g| g.ops)
+            .sum()
+    }
+
+    /// FP instructions retired with a given ISA class.
+    pub fn flop_instructions_with_isa(&self, isa: IsaClass) -> u64 {
+        self.flops
+            .iter()
+            .filter(|g| g.isa == isa)
+            .map(FlopGroup::instructions)
+            .sum()
+    }
+
+    /// FP instructions retired with a given ISA class *and* precision —
+    /// what Intel's `FP_ARITH` sub-events count.
+    pub fn flop_instructions_with(&self, isa: IsaClass, precision: Precision) -> u64 {
+        self.flops
+            .iter()
+            .filter(|g| g.isa == isa && g.precision == precision)
+            .map(FlopGroup::instructions)
+            .sum()
+    }
+
+    /// Elements moved per memory instruction at `mem_isa` width.
+    fn elems_per_mem_instr(&self) -> u64 {
+        (self.mem_isa.width_bytes() / self.elem_bytes.max(1)).max(1) as u64
+    }
+
+    /// Load instructions retired.
+    pub fn load_instructions(&self) -> u64 {
+        self.load_elems.div_ceil(self.elems_per_mem_instr())
+    }
+
+    /// Store instructions retired.
+    pub fn store_instructions(&self) -> u64 {
+        self.store_elems.div_ceil(self.elems_per_mem_instr())
+    }
+
+    /// Total bytes moved to/from the cores.
+    pub fn total_bytes(&self) -> u64 {
+        (self.load_elems + self.store_elems) * self.elem_bytes as u64
+    }
+
+    /// Cache-aware arithmetic intensity: FLOPs per byte of total memory
+    /// traffic from the core's perspective (CARM's definition — all memory
+    /// accesses count, regardless of the level that serves them).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.total_bytes();
+        if bytes == 0 {
+            return f64::INFINITY;
+        }
+        self.total_flops() as f64 / bytes as f64
+    }
+
+    /// Rough total instruction count (FP + memory + ~20 % overhead ops).
+    pub fn total_instructions(&self) -> u64 {
+        let fp: u64 = self.flops.iter().map(FlopGroup::instructions).sum();
+        let mem = self.load_instructions() + self.store_instructions();
+        fp + mem + (fp + mem) / 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// STREAM triad: a[i] = b[i] + s*c[i]; 2 flops, 2 loads, 1 store per i.
+    fn triad(n: u64, isa: IsaExt) -> KernelProfile {
+        KernelProfile::named("triad")
+            .with_threads(4)
+            .with_flops(isa, Precision::F64, 2 * n)
+            .with_mem(2 * n, n, isa)
+            .with_working_set(3 * n * 8)
+    }
+
+    #[test]
+    fn triad_ai_is_one_twelfth() {
+        // 2 flops / 24 bytes = 0.0833... (triad counted with write-allocate
+        // excluded); the paper's 0.625 uses a different byte convention,
+        // checked in the kernels crate.
+        let p = triad(1000, IsaExt::Avx2);
+        assert!((p.arithmetic_intensity() - 2.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instruction_counts_follow_isa_width() {
+        let scalar = triad(1024, IsaExt::Scalar);
+        let avx512 = triad(1024, IsaExt::Avx512);
+        assert_eq!(scalar.load_instructions(), 2048);
+        assert_eq!(avx512.load_instructions(), 256); // 8 elems/instr
+        assert_eq!(
+            scalar.flop_instructions_with_isa(IsaExt::Scalar),
+            2048
+        );
+        assert_eq!(avx512.flop_instructions_with_isa(IsaExt::Avx512), 256);
+        assert_eq!(avx512.flop_instructions_with_isa(IsaExt::Scalar), 0);
+    }
+
+    #[test]
+    fn totals() {
+        let p = triad(100, IsaExt::Sse);
+        assert_eq!(p.total_flops(), 200);
+        assert_eq!(p.total_bytes(), 300 * 8);
+        assert_eq!(p.flops_with_isa(IsaExt::Sse), 200);
+        assert!(p.total_instructions() > p.load_instructions());
+    }
+
+    #[test]
+    fn locality_validation() {
+        assert!(LocalityProfile::new(0.5, 0.3, 0.1, 0.1).is_valid());
+        assert_eq!(LocalityProfile::l1_resident().fraction(1), 1.0);
+        assert_eq!(LocalityProfile::streaming().fraction(4), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_locality_panics() {
+        LocalityProfile::new(0.9, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn zero_mem_kernel_has_infinite_ai() {
+        let p = KernelProfile::named("peakflops").with_flops(
+            IsaExt::Avx2,
+            Precision::F64,
+            1_000_000,
+        );
+        assert!(p.arithmetic_intensity().is_infinite());
+    }
+
+    #[test]
+    fn f32_packs_twice_as_many_lanes() {
+        let g = FlopGroup {
+            isa: IsaExt::Avx2,
+            precision: Precision::F32,
+            ops: 800,
+        };
+        assert_eq!(g.instructions(), 100); // 8 f32 lanes
+    }
+}

@@ -1,0 +1,204 @@
+//! Deterministic software/system-state metrics.
+//!
+//! The `pmdalinux`/`pmdaproc` agents sample OS-level metrics — load
+//! average, process counts, memory usage, per-CPU idle, NUMA allocation
+//! counters. This module evolves those values over virtual time with
+//! smooth, seeded fluctuations so Scenario A (always-on SW telemetry)
+//! produces realistic, reproducible series.
+
+use crate::machine::MachineSpec;
+use crate::noise::stable_hash;
+
+/// Snapshot of system-state metrics at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSnapshot {
+    /// 1-minute load average.
+    pub load_avg: f64,
+    /// Number of processes.
+    pub n_procs: u64,
+    /// Used memory in bytes.
+    pub mem_used_bytes: f64,
+    /// Per-hardware-thread idle fraction in [0, 1].
+    pub cpu_idle: Vec<f64>,
+    /// Per-NUMA-node local allocation hits in the last second.
+    pub numa_alloc_hit: Vec<f64>,
+    /// Per-disk write rates, bytes/s.
+    pub disk_write_bps: Vec<f64>,
+    /// Per-disk read rates, bytes/s.
+    pub disk_read_bps: Vec<f64>,
+    /// NIC transmit rate, bytes/s.
+    pub nic_out_bps: f64,
+    /// NIC receive rate, bytes/s.
+    pub nic_in_bps: f64,
+    /// Interrupts per second.
+    pub intr_rate: f64,
+    /// Context switches per second.
+    pub pswitch_rate: f64,
+}
+
+/// Deterministic generator of system state over time.
+#[derive(Debug, Clone)]
+pub struct SystemState {
+    spec: MachineSpec,
+    seed: u64,
+    /// Extra per-thread busy fraction imposed by a running kernel
+    /// (thread index → busy fraction).
+    kernel_busy: Vec<f64>,
+}
+
+impl SystemState {
+    /// State generator for a machine.
+    pub fn new(spec: MachineSpec) -> Self {
+        let seed = stable_hash(&[&spec.key, "system_state"]);
+        let threads = spec.total_threads() as usize;
+        SystemState {
+            spec,
+            seed,
+            kernel_busy: vec![0.0; threads],
+        }
+    }
+
+    /// Mark threads busy (1.0) or idle (0.0) while a kernel runs; used by
+    /// Scenario B so SW telemetry reflects pinned executions.
+    pub fn set_kernel_busy(&mut self, busy: &[(u32, f64)]) {
+        for b in &mut self.kernel_busy {
+            *b = 0.0;
+        }
+        for &(thread, frac) in busy {
+            if let Some(slot) = self.kernel_busy.get_mut(thread as usize) {
+                *slot = frac.clamp(0.0, 1.0);
+            }
+        }
+    }
+
+    /// Smooth pseudo-random wave in [0,1] — sum of two incommensurate
+    /// sinusoids with seeded phases; deterministic and continuous in `t`.
+    fn wave(&self, t: f64, channel: u64) -> f64 {
+        let p1 = ((self.seed ^ channel.wrapping_mul(0x9E37_79B9)) % 1000) as f64 / 1000.0;
+        let p2 = ((self.seed ^ channel.wrapping_mul(0xDEAD_BEEF)) % 1000) as f64 / 1000.0;
+        let v = 0.5
+            + 0.3 * (0.11 * t + p1 * std::f64::consts::TAU).sin()
+            + 0.2 * (0.031 * t + p2 * std::f64::consts::TAU).sin();
+        v.clamp(0.0, 1.0)
+    }
+
+    /// Snapshot at virtual time `t` (seconds).
+    pub fn snapshot(&self, t: f64) -> StateSnapshot {
+        let threads = self.spec.total_threads() as usize;
+        let base_load = 0.05 * threads as f64 * self.wave(t, 1);
+        let kernel_load: f64 = self.kernel_busy.iter().sum();
+        let cpu_idle: Vec<f64> = (0..threads)
+            .map(|i| {
+                let ambient = 0.02 + 0.06 * self.wave(t, 100 + i as u64);
+                (1.0 - ambient - self.kernel_busy[i]).clamp(0.0, 1.0)
+            })
+            .collect();
+        let numa_nodes = self.spec.sockets as usize;
+        let numa_alloc_hit: Vec<f64> = (0..numa_nodes)
+            .map(|n| {
+                let busy_on_node: f64 = self
+                    .kernel_busy
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i * numa_nodes / threads.max(1) == n)
+                    .map(|(_, b)| *b)
+                    .sum();
+                1000.0 * self.wave(t, 200 + n as u64) + 50_000.0 * busy_on_node
+            })
+            .collect();
+        let disks = self.spec.disks.len();
+        let disk_write_bps: Vec<f64> = (0..disks)
+            .map(|d| 40_000.0 * self.wave(t, 300 + d as u64))
+            .collect();
+        let disk_read_bps: Vec<f64> = (0..disks)
+            .map(|d| 120_000.0 * self.wave(t, 400 + d as u64))
+            .collect();
+        StateSnapshot {
+            load_avg: base_load + kernel_load,
+            n_procs: 180 + (40.0 * self.wave(t, 2)) as u64,
+            mem_used_bytes: self.spec.mem_gb as f64
+                * 1e9
+                * (0.08 + 0.05 * self.wave(t, 3) + 0.2 * (kernel_load / threads.max(1) as f64)),
+            cpu_idle,
+            numa_alloc_hit,
+            disk_write_bps,
+            disk_read_bps,
+            nic_out_bps: 25_000.0 * self.wave(t, 500),
+            nic_in_bps: 15_000.0 * self.wave(t, 501),
+            intr_rate: 800.0 + 2_000.0 * self.wave(t, 600) + 500.0 * kernel_load,
+            pswitch_rate: 3_000.0 + 8_000.0 * self.wave(t, 700) + 1_000.0 * kernel_load,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_are_deterministic() {
+        let s1 = SystemState::new(MachineSpec::icl());
+        let s2 = SystemState::new(MachineSpec::icl());
+        assert_eq!(s1.snapshot(12.5), s2.snapshot(12.5));
+    }
+
+    #[test]
+    fn different_machines_differ() {
+        let a = SystemState::new(MachineSpec::icl());
+        let b = SystemState::new(MachineSpec::csl());
+        assert_ne!(a.snapshot(1.0).load_avg, b.snapshot(1.0).load_avg);
+    }
+
+    #[test]
+    fn idle_drops_when_kernel_runs() {
+        let mut s = SystemState::new(MachineSpec::icl());
+        let idle_before = s.snapshot(5.0).cpu_idle[0];
+        s.set_kernel_busy(&[(0, 1.0), (1, 1.0)]);
+        let snap = s.snapshot(5.0);
+        assert!(snap.cpu_idle[0] < 0.05);
+        assert!(snap.cpu_idle[0] < idle_before);
+        // Unpinned threads stay mostly idle.
+        assert!(snap.cpu_idle[5] > 0.8);
+        // Load reflects the two busy threads.
+        assert!(snap.load_avg >= 2.0);
+    }
+
+    #[test]
+    fn values_in_valid_ranges() {
+        let s = SystemState::new(MachineSpec::skx());
+        for i in 0..50 {
+            let snap = s.snapshot(i as f64 * 3.3);
+            assert!(snap.load_avg >= 0.0);
+            assert!(snap.mem_used_bytes > 0.0);
+            assert!(snap.mem_used_bytes < 1024e9);
+            assert_eq!(snap.cpu_idle.len(), 88);
+            assert!(snap.cpu_idle.iter().all(|v| (0.0..=1.0).contains(v)));
+            assert_eq!(snap.numa_alloc_hit.len(), 2);
+        }
+    }
+
+    #[test]
+    fn io_and_kernel_rates_present_and_sane() {
+        let mut s = SystemState::new(MachineSpec::skx());
+        let snap = s.snapshot(7.0);
+        assert_eq!(snap.disk_write_bps.len(), 4);
+        assert_eq!(snap.disk_read_bps.len(), 4);
+        assert!(snap.disk_write_bps.iter().all(|v| *v >= 0.0));
+        assert!(snap.nic_out_bps >= 0.0 && snap.nic_in_bps >= 0.0);
+        assert!(snap.intr_rate > 0.0 && snap.pswitch_rate > 0.0);
+        // Kernel load raises interrupt/context-switch rates.
+        let quiet = s.snapshot(7.0);
+        s.set_kernel_busy(&[(0, 1.0), (1, 1.0)]);
+        let busy = s.snapshot(7.0);
+        assert!(busy.intr_rate > quiet.intr_rate);
+        assert!(busy.pswitch_rate > quiet.pswitch_rate);
+    }
+
+    #[test]
+    fn state_varies_over_time() {
+        let s = SystemState::new(MachineSpec::zen3());
+        let a = s.snapshot(0.0).load_avg;
+        let b = s.snapshot(30.0).load_avg;
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,172 @@
+//! JSON-LD `@context` handling: term → IRI mapping with prefix support.
+//!
+//! DTDL documents carry `"@context": "dtmi:dtdl:context;2"`; P-MoVE's KB
+//! additionally defines short terms for its own vocabulary. This module
+//! implements the subset of context processing those documents need:
+//! string term definitions, prefix expansion (`ex:thing`), and keyword
+//! passthrough (`@id`, `@type`, ...).
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// An active JSON-LD context.
+#[derive(Debug, Clone, Default)]
+pub struct Context {
+    terms: BTreeMap<String, String>,
+}
+
+/// The built-in DTDL v2 context IRI.
+pub const DTDL_CONTEXT: &str = "dtmi:dtdl:context;2";
+
+impl Context {
+    /// Empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The base vocabulary P-MoVE uses for its KB documents: DTDL metamodel
+    /// class names plus the P-MoVE telemetry extensions.
+    pub fn pmove() -> Self {
+        let mut c = Context::new();
+        for (term, iri) in [
+            ("Interface", "dtmi:dtdl:class:Interface;2"),
+            ("Telemetry", "dtmi:dtdl:class:Telemetry;2"),
+            ("Property", "dtmi:dtdl:class:Property;2"),
+            ("Command", "dtmi:dtdl:class:Command;2"),
+            ("Relationship", "dtmi:dtdl:class:Relationship;2"),
+            ("Component", "dtmi:dtdl:class:Component;2"),
+            ("SWTelemetry", "dtmi:pmove:class:SWTelemetry;1"),
+            ("HWTelemetry", "dtmi:pmove:class:HWTelemetry;1"),
+            ("name", "dtmi:dtdl:property:name;2"),
+            ("description", "dtmi:dtdl:property:description;2"),
+            ("contents", "dtmi:dtdl:property:contents;2"),
+            ("target", "dtmi:dtdl:property:target;2"),
+            ("schema", "dtmi:dtdl:property:schema;2"),
+            ("pmove", "dtmi:pmove:"),
+        ] {
+            c.define(term, iri);
+        }
+        c
+    }
+
+    /// Define one term.
+    pub fn define(&mut self, term: impl Into<String>, iri: impl Into<String>) {
+        self.terms.insert(term.into(), iri.into());
+    }
+
+    /// Merge term definitions from a JSON `@context` value. Accepts a string
+    /// (context IRI — recorded as the `@vocab` pseudo-term), an object of
+    /// term definitions, or an array of both.
+    pub fn merge_json(&mut self, ctx: &Value) {
+        match ctx {
+            Value::String(s) => {
+                self.terms.insert("@vocab".into(), s.clone());
+            }
+            Value::Object(map) => {
+                for (term, def) in map {
+                    match def {
+                        Value::String(iri) => self.define(term.clone(), iri.clone()),
+                        Value::Object(o) => {
+                            if let Some(Value::String(iri)) = o.get("@id") {
+                                self.define(term.clone(), iri.clone());
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Value::Array(items) => {
+                for item in items {
+                    self.merge_json(item);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Expand a term to its IRI:
+    /// keywords (`@...`) and absolute IRIs pass through; defined terms map;
+    /// `prefix:suffix` expands when `prefix` is defined; anything else is
+    /// returned unchanged (vocab-relative).
+    pub fn expand_term(&self, term: &str) -> String {
+        if term.starts_with('@') {
+            return term.to_string();
+        }
+        if let Some(iri) = self.terms.get(term) {
+            return iri.clone();
+        }
+        if let Some((prefix, suffix)) = term.split_once(':') {
+            if let Some(base) = self.terms.get(prefix) {
+                return format!("{base}{suffix}");
+            }
+            // Looks like an absolute IRI / DTMI already.
+            return term.to_string();
+        }
+        term.to_string()
+    }
+
+    /// Reverse lookup: compact an IRI back to a defined term when possible.
+    pub fn compact_iri(&self, iri: &str) -> String {
+        for (term, def) in &self.terms {
+            if term != "@vocab" && def == iri {
+                return term.clone();
+            }
+        }
+        iri.to_string()
+    }
+
+    /// Number of defined terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no term is defined.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn pmove_context_expands_classes() {
+        let c = Context::pmove();
+        assert_eq!(c.expand_term("Interface"), "dtmi:dtdl:class:Interface;2");
+        assert_eq!(c.expand_term("HWTelemetry"), "dtmi:pmove:class:HWTelemetry;1");
+        assert_eq!(c.expand_term("@id"), "@id");
+    }
+
+    #[test]
+    fn prefix_expansion() {
+        let mut c = Context::new();
+        c.define("ex", "http://example.org/");
+        assert_eq!(c.expand_term("ex:thing"), "http://example.org/thing");
+        // Unknown prefix: treated as absolute.
+        assert_eq!(c.expand_term("dtmi:dt:x;1"), "dtmi:dt:x;1");
+        // Undefined bare term: vocab-relative passthrough.
+        assert_eq!(c.expand_term("bare"), "bare");
+    }
+
+    #[test]
+    fn merge_json_forms() {
+        let mut c = Context::new();
+        c.merge_json(&json!("dtmi:dtdl:context;2"));
+        c.merge_json(&json!({"a": "iri:a", "b": {"@id": "iri:b"}, "skip": 4}));
+        c.merge_json(&json!([{"c": "iri:c"}]));
+        assert_eq!(c.expand_term("a"), "iri:a");
+        assert_eq!(c.expand_term("b"), "iri:b");
+        assert_eq!(c.expand_term("c"), "iri:c");
+        assert_eq!(c.expand_term("skip"), "skip");
+    }
+
+    #[test]
+    fn compaction_roundtrip() {
+        let c = Context::pmove();
+        let iri = c.expand_term("Telemetry");
+        assert_eq!(c.compact_iri(&iri), "Telemetry");
+        assert_eq!(c.compact_iri("unknown:iri"), "unknown:iri");
+    }
+}

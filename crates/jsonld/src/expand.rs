@@ -1,0 +1,160 @@
+//! JSON-LD expansion (subset): rewrite a compacted document into a form
+//! where every key and every `@type` value is a full IRI, using the
+//! document's `@context` merged over a base context.
+
+use crate::context::Context;
+use crate::error::JsonLdError;
+use serde_json::{Map, Value};
+
+/// Expand a JSON-LD document against `base` (typically [`Context::pmove`]).
+///
+/// * merges the document's own `@context` (which is removed from the output);
+/// * expands every object key through the context;
+/// * expands string values of `@type`;
+/// * recurses into arrays and nested objects.
+pub fn expand(doc: &Value, base: &Context) -> Result<Value, JsonLdError> {
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| JsonLdError::BadDocument("top-level must be an object".into()))?;
+    let mut ctx = base.clone();
+    if let Some(local) = obj.get("@context") {
+        ctx.merge_json(local);
+    }
+    Ok(expand_value(&Value::Object(obj.clone()), &ctx, true))
+}
+
+fn expand_value(v: &Value, ctx: &Context, top: bool) -> Value {
+    match v {
+        Value::Object(map) => {
+            let mut out = Map::new();
+            for (k, val) in map {
+                if top && k == "@context" {
+                    continue; // consumed
+                }
+                let key = ctx.expand_term(k);
+                let expanded = if key == "@type" {
+                    expand_type(val, ctx)
+                } else {
+                    expand_value(val, ctx, false)
+                };
+                out.insert(key, expanded);
+            }
+            Value::Object(out)
+        }
+        Value::Array(items) => Value::Array(
+            items
+                .iter()
+                .map(|item| expand_value(item, ctx, false))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn expand_type(v: &Value, ctx: &Context) -> Value {
+    match v {
+        Value::String(s) => Value::String(ctx.expand_term(s)),
+        Value::Array(items) => Value::Array(items.iter().map(|i| expand_type(i, ctx)).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Compact an expanded document's keys and `@type` values back to terms.
+pub fn compact(doc: &Value, ctx: &Context) -> Value {
+    match doc {
+        Value::Object(map) => {
+            let mut out = Map::new();
+            for (k, v) in map {
+                let key = ctx.compact_iri(k);
+                let val = if k == "@type" {
+                    compact_type(v, ctx)
+                } else {
+                    compact(v, ctx)
+                };
+                out.insert(key, val);
+            }
+            Value::Object(out)
+        }
+        Value::Array(items) => Value::Array(items.iter().map(|i| compact(i, ctx)).collect()),
+        other => other.clone(),
+    }
+}
+
+fn compact_type(v: &Value, ctx: &Context) -> Value {
+    match v {
+        Value::String(s) => Value::String(ctx.compact_iri(s)),
+        Value::Array(items) => {
+            Value::Array(items.iter().map(|i| compact_type(i, ctx)).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn expands_dtdl_document() {
+        let doc = json!({
+            "@context": "dtmi:dtdl:context;2",
+            "@id": "dtmi:dt:cn1:gpu0;1",
+            "@type": "Interface",
+            "contents": [
+                {"@type": "Property", "name": "model"}
+            ]
+        });
+        let e = expand(&doc, &Context::pmove()).unwrap();
+        assert_eq!(e["@type"], json!("dtmi:dtdl:class:Interface;2"));
+        assert!(e.get("@context").is_none());
+        let contents = &e["dtmi:dtdl:property:contents;2"];
+        assert_eq!(
+            contents[0]["@type"],
+            json!("dtmi:dtdl:class:Property;2")
+        );
+        assert_eq!(
+            contents[0]["dtmi:dtdl:property:name;2"],
+            json!("model")
+        );
+    }
+
+    #[test]
+    fn type_arrays_expand() {
+        let doc = json!({"@type": ["Telemetry", "SWTelemetry"]});
+        let e = expand(&doc, &Context::pmove()).unwrap();
+        assert_eq!(
+            e["@type"],
+            json!(["dtmi:dtdl:class:Telemetry;2", "dtmi:pmove:class:SWTelemetry;1"])
+        );
+    }
+
+    #[test]
+    fn local_context_wins() {
+        let doc = json!({
+            "@context": {"name": "custom:name"},
+            "name": "x"
+        });
+        let e = expand(&doc, &Context::pmove()).unwrap();
+        assert_eq!(e["custom:name"], json!("x"));
+    }
+
+    #[test]
+    fn non_object_rejected() {
+        assert!(expand(&json!([1]), &Context::pmove()).is_err());
+    }
+
+    #[test]
+    fn expand_compact_roundtrip() {
+        let ctx = Context::pmove();
+        let doc = json!({
+            "@id": "dtmi:dt:x;1",
+            "@type": "Interface",
+            "name": "thing",
+            "contents": [{"@type": "SWTelemetry", "name": "m"}]
+        });
+        let e = expand(&doc, &ctx).unwrap();
+        let c = compact(&e, &ctx);
+        assert_eq!(c, doc);
+    }
+}

@@ -1,0 +1,244 @@
+//! An indexed triple store.
+//!
+//! Keeps SPO/POS/OSP permutation indexes so every `(s?, p?, o?)` pattern
+//! resolves without a full scan — the KB's focus/subtree/level views all
+//! reduce to such patterns.
+
+use crate::triple::{Node, Triple};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Triple pattern: `None` matches anything.
+#[derive(Debug, Clone, Default)]
+pub struct Pattern {
+    /// Subject constraint.
+    pub subject: Option<String>,
+    /// Predicate constraint.
+    pub predicate: Option<String>,
+    /// Object constraint.
+    pub object: Option<Node>,
+}
+
+impl Pattern {
+    /// Match any triple.
+    pub fn any() -> Self {
+        Pattern::default()
+    }
+
+    /// Constrain the subject.
+    pub fn s(mut self, subject: impl Into<String>) -> Self {
+        self.subject = Some(subject.into());
+        self
+    }
+
+    /// Constrain the predicate.
+    pub fn p(mut self, predicate: impl Into<String>) -> Self {
+        self.predicate = Some(predicate.into());
+        self
+    }
+
+    /// Constrain the object.
+    pub fn o(mut self, object: Node) -> Self {
+        self.object = Some(object);
+        self
+    }
+}
+
+/// The triple store.
+#[derive(Debug, Default)]
+pub struct Graph {
+    triples: Vec<Triple>,
+    dead: BTreeSet<usize>,
+    spo: BTreeMap<String, BTreeSet<usize>>,
+    pos: BTreeMap<String, BTreeSet<usize>>,
+    osp: BTreeMap<String, BTreeSet<usize>>,
+}
+
+impl Graph {
+    /// New empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live triples.
+    pub fn len(&self) -> usize {
+        self.triples.len() - self.dead.len()
+    }
+
+    /// True when the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn object_key(o: &Node) -> String {
+        format!("{o}")
+    }
+
+    /// Insert a triple (duplicates are allowed, as in RDF multisets here).
+    pub fn insert(&mut self, t: Triple) {
+        let id = self.triples.len();
+        self.spo.entry(t.subject.clone()).or_default().insert(id);
+        self.pos.entry(t.predicate.clone()).or_default().insert(id);
+        self.osp
+            .entry(Self::object_key(&t.object))
+            .or_default()
+            .insert(id);
+        self.triples.push(t);
+    }
+
+    /// Convenience insert.
+    pub fn add(
+        &mut self,
+        subject: impl Into<String>,
+        predicate: impl Into<String>,
+        object: Node,
+    ) {
+        self.insert(Triple::new(subject, predicate, object));
+    }
+
+    /// Delete every triple matching the pattern; returns the count removed.
+    pub fn delete(&mut self, pattern: &Pattern) -> usize {
+        let ids: Vec<usize> = self.candidates(pattern).collect();
+        let mut removed = 0;
+        for id in ids {
+            if self.dead.contains(&id) {
+                continue;
+            }
+            let t = &self.triples[id];
+            if Self::matches(t, pattern) {
+                self.spo.get_mut(&t.subject).map(|s| s.remove(&id));
+                self.pos.get_mut(&t.predicate).map(|s| s.remove(&id));
+                self.osp
+                    .get_mut(&Self::object_key(&t.object))
+                    .map(|s| s.remove(&id));
+                self.dead.insert(id);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    fn matches(t: &Triple, p: &Pattern) -> bool {
+        p.subject.as_ref().is_none_or(|s| *s == t.subject)
+            && p.predicate.as_ref().is_none_or(|pr| *pr == t.predicate)
+            && p.object.as_ref().is_none_or(|o| *o == t.object)
+    }
+
+    /// Candidate triple ids for a pattern using the most selective index.
+    fn candidates<'a>(&'a self, p: &Pattern) -> Box<dyn Iterator<Item = usize> + 'a> {
+        let by_s = p.subject.as_ref().and_then(|s| self.spo.get(s));
+        let by_p = p.predicate.as_ref().and_then(|pr| self.pos.get(pr));
+        let by_o = p
+            .object
+            .as_ref()
+            .and_then(|o| self.osp.get(&Self::object_key(o)));
+        let sets: Vec<&BTreeSet<usize>> =
+            [by_s, by_p, by_o].into_iter().flatten().collect();
+        match sets.into_iter().min_by_key(|s| s.len()) {
+            Some(best) => Box::new(best.iter().copied()),
+            None => Box::new(0..self.triples.len()),
+        }
+    }
+
+    /// All live triples matching a pattern, in insertion order.
+    pub fn query(&self, pattern: &Pattern) -> Vec<&Triple> {
+        let mut ids: Vec<usize> = self
+            .candidates(pattern)
+            .filter(|id| !self.dead.contains(id))
+            .filter(|&id| Self::matches(&self.triples[id], pattern))
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter().map(|id| &self.triples[id]).collect()
+    }
+
+    /// Objects of `(subject, predicate, ?)`.
+    pub fn objects(&self, subject: &str, predicate: &str) -> Vec<&Node> {
+        self.query(&Pattern::any().s(subject).p(predicate))
+            .into_iter()
+            .map(|t| &t.object)
+            .collect()
+    }
+
+    /// Subjects of `(?, predicate, object)`.
+    pub fn subjects(&self, predicate: &str, object: &Node) -> Vec<&str> {
+        self.query(&Pattern::any().p(predicate).o(object.clone()))
+            .into_iter()
+            .map(|t| t.subject.as_str())
+            .collect()
+    }
+
+    /// Iterate all live triples.
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+        self.triples
+            .iter()
+            .enumerate()
+            .filter(move |(id, _)| !self.dead.contains(id))
+            .map(|(_, t)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled() -> Graph {
+        let mut g = Graph::new();
+        g.add("gpu0", "rdf:type", Node::lit("Interface"));
+        g.add("gpu0", "name", Node::lit("NVIDIA GV100"));
+        g.add("gpu0", "partOf", Node::iri("cn1"));
+        g.add("cpu0", "rdf:type", Node::lit("Interface"));
+        g.add("cpu0", "partOf", Node::iri("socket0"));
+        g
+    }
+
+    #[test]
+    fn pattern_queries() {
+        let g = filled();
+        assert_eq!(g.query(&Pattern::any()).len(), 5);
+        assert_eq!(g.query(&Pattern::any().s("gpu0")).len(), 3);
+        assert_eq!(g.query(&Pattern::any().p("rdf:type")).len(), 2);
+        assert_eq!(
+            g.query(&Pattern::any().o(Node::lit("Interface"))).len(),
+            2
+        );
+        assert_eq!(
+            g.query(&Pattern::any().s("gpu0").p("rdf:type")).len(),
+            1
+        );
+        assert!(g.query(&Pattern::any().s("nosuch")).is_empty());
+    }
+
+    #[test]
+    fn objects_and_subjects_helpers() {
+        let g = filled();
+        assert_eq!(g.objects("gpu0", "name"), vec![&Node::lit("NVIDIA GV100")]);
+        let subs = g.subjects("rdf:type", &Node::lit("Interface"));
+        assert_eq!(subs, vec!["gpu0", "cpu0"]);
+    }
+
+    #[test]
+    fn delete_by_pattern() {
+        let mut g = filled();
+        let removed = g.delete(&Pattern::any().s("gpu0"));
+        assert_eq!(removed, 3);
+        assert_eq!(g.len(), 2);
+        assert!(g.query(&Pattern::any().s("gpu0")).is_empty());
+        // Deleting again removes nothing.
+        assert_eq!(g.delete(&Pattern::any().s("gpu0")), 0);
+    }
+
+    #[test]
+    fn duplicates_allowed_and_counted() {
+        let mut g = Graph::new();
+        g.add("s", "p", Node::lit("o"));
+        g.add("s", "p", Node::lit("o"));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.query(&Pattern::any().s("s")).len(), 2);
+    }
+
+    #[test]
+    fn iter_skips_deleted() {
+        let mut g = filled();
+        g.delete(&Pattern::any().p("partOf"));
+        assert_eq!(g.iter().count(), 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Kernel registry: Scenario B requests "an executable and its
+//! command-line parameters" — the registry resolves such requests to
+//! runnable kernels with known operation profiles.
+
+use crate::ground_truth::OpCounts;
+use crate::streams::StreamKernel;
+
+/// A launchable kernel specification (the simulated "executable +
+/// parameters" pair of step B2 in the paper's Fig. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpec {
+    /// Executable name.
+    pub name: String,
+    /// Parsed problem size.
+    pub n: u64,
+    /// Requested thread count.
+    pub threads: u32,
+}
+
+impl KernelSpec {
+    /// Parse a command line like `"triad -n 1048576 -t 8"`.
+    pub fn parse(cmdline: &str) -> Option<KernelSpec> {
+        let mut parts = cmdline.split_whitespace();
+        let name = parts.next()?.to_string();
+        let mut n = 1 << 20;
+        let mut threads = 1;
+        while let Some(tok) = parts.next() {
+            match tok {
+                "-n" => n = parts.next()?.parse().ok()?,
+                "-t" => threads = parts.next()?.parse().ok()?,
+                _ => return None,
+            }
+        }
+        Some(KernelSpec { name, n, threads })
+    }
+
+    /// Render back to a command line.
+    pub fn cmdline(&self) -> String {
+        format!("{} -n {} -t {}", self.name, self.n, self.threads)
+    }
+}
+
+/// The registry of launchable kernels.
+#[derive(Debug, Default)]
+pub struct Registry;
+
+impl Registry {
+    /// Known kernel names.
+    pub fn names() -> Vec<&'static str> {
+        vec![
+            "sum", "copy", "scale", "stream", "triad", "ddot", "daxpy", "peakflops",
+        ]
+    }
+
+    /// Whether a spec refers to a known kernel.
+    pub fn resolve(spec: &KernelSpec) -> Option<StreamKernel> {
+        StreamKernel::by_name(&spec.name)
+    }
+
+    /// Analytic op counts for a spec.
+    pub fn op_counts(spec: &KernelSpec) -> Option<OpCounts> {
+        Some(Registry::resolve(spec)?.op_counts(spec.n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let s = KernelSpec::parse("triad -n 4096 -t 8").unwrap();
+        assert_eq!(s.name, "triad");
+        assert_eq!(s.n, 4096);
+        assert_eq!(s.threads, 8);
+        assert_eq!(s.cmdline(), "triad -n 4096 -t 8");
+    }
+
+    #[test]
+    fn parse_defaults_and_failures() {
+        let s = KernelSpec::parse("ddot").unwrap();
+        assert_eq!(s.n, 1 << 20);
+        assert_eq!(s.threads, 1);
+        assert!(KernelSpec::parse("").is_none());
+        assert!(KernelSpec::parse("triad -n").is_none());
+        assert!(KernelSpec::parse("triad --bogus 3").is_none());
+        assert!(KernelSpec::parse("triad -n abc").is_none());
+    }
+
+    #[test]
+    fn resolve_and_counts() {
+        let s = KernelSpec::parse("peakflops -n 100 -t 2").unwrap();
+        assert_eq!(Registry::resolve(&s), Some(StreamKernel::Peakflops));
+        assert_eq!(Registry::op_counts(&s).unwrap().flops, 1600);
+        let unknown = KernelSpec::parse("mystery -n 5").unwrap();
+        assert!(Registry::resolve(&unknown).is_none());
+        assert!(Registry::op_counts(&unknown).is_none());
+        assert_eq!(Registry::names().len(), 8);
+    }
+}

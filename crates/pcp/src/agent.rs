@@ -1,0 +1,71 @@
+//! The agent abstraction: every PMDA reads some metrics from the target.
+
+use crate::metric::MetricDesc;
+
+/// One sampled value: instance/field name + value.
+pub type Sample = (String, f64);
+
+/// A PCP metric agent (PMDA).
+pub trait Agent {
+    /// Agent name (`pmdalinux`, `pmdaperfevent`, `pmdaproc`).
+    fn name(&self) -> &str;
+
+    /// Metrics this agent can serve.
+    fn metrics(&self) -> Vec<MetricDesc>;
+
+    /// Sample one metric over the window `[t_prev, t_now)` of virtual
+    /// seconds; returns one value per instance.
+    ///
+    /// PCP semantics: counters report the count observed in the window
+    /// (the delta the DB stores per sample); gauges report the value at
+    /// `t_now`.
+    fn sample(&mut self, metric: &str, t_prev: f64, t_now: f64) -> Vec<Sample>;
+}
+
+/// A trivial agent serving constant values — used by tests and as a
+/// template for custom PMDAs.
+pub struct ConstantAgent {
+    /// Agent name.
+    pub agent_name: String,
+    /// Served metrics with their constant values.
+    pub values: Vec<(MetricDesc, f64)>,
+}
+
+impl Agent for ConstantAgent {
+    fn name(&self) -> &str {
+        &self.agent_name
+    }
+
+    fn metrics(&self) -> Vec<MetricDesc> {
+        self.values.iter().map(|(m, _)| m.clone()).collect()
+    }
+
+    fn sample(&mut self, metric: &str, _t_prev: f64, _t_now: f64) -> Vec<Sample> {
+        self.values
+            .iter()
+            .filter(|(m, _)| m.name == metric)
+            .map(|(_, v)| ("value".to_string(), *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::InstanceDomain;
+
+    #[test]
+    fn constant_agent_serves_its_metrics() {
+        let mut a = ConstantAgent {
+            agent_name: "const".into(),
+            values: vec![(
+                MetricDesc::new("x.y", InstanceDomain::Singular, "test"),
+                42.0,
+            )],
+        };
+        assert_eq!(a.name(), "const");
+        assert_eq!(a.metrics().len(), 1);
+        assert_eq!(a.sample("x.y", 0.0, 1.0), vec![("value".to_string(), 42.0)]);
+        assert!(a.sample("nosuch", 0.0, 1.0).is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! `pmcd`: the metric coordinator daemon.
+//!
+//! Owns the agents, resolves metric names to the serving agent, assembles
+//! sampled values into time-series points (one measurement per metric, one
+//! field per instance), and hands them to the transport.
+
+use crate::agent::Agent;
+use crate::metric::MetricDesc;
+use pmove_tsdb::Point;
+use std::collections::BTreeMap;
+
+/// The coordinator.
+pub struct Pmcd {
+    agents: Vec<Box<dyn Agent>>,
+    /// Optional tag set stamped on every shipped point (Scenario B stamps
+    /// the observation UUID here so KB queries can recall the data).
+    pub tags: BTreeMap<String, String>,
+}
+
+impl Pmcd {
+    /// Coordinator with no agents.
+    pub fn new() -> Self {
+        Pmcd {
+            agents: Vec::new(),
+            tags: BTreeMap::new(),
+        }
+    }
+
+    /// Register an agent.
+    pub fn register(&mut self, agent: Box<dyn Agent>) {
+        self.agents.push(agent);
+    }
+
+    /// Set a tag stamped on all subsequent points.
+    pub fn set_tag(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.tags.insert(key.into(), value.into());
+    }
+
+    /// Remove all stamped tags.
+    pub fn clear_tags(&mut self) {
+        self.tags.clear();
+    }
+
+    /// All metrics across agents.
+    pub fn namespace(&self) -> Vec<MetricDesc> {
+        self.agents.iter().flat_map(|a| a.metrics()).collect()
+    }
+
+    /// Registered agent names.
+    pub fn agent_names(&self) -> Vec<String> {
+        self.agents.iter().map(|a| a.name().to_string()).collect()
+    }
+
+    /// Mutable access to an agent by name (to attach executions, etc.).
+    pub fn agent_mut(&mut self, name: &str) -> Option<&mut Box<dyn Agent>> {
+        self.agents.iter_mut().find(|a| a.name() == name)
+    }
+
+    /// Fetch one metric over a window and assemble the report point.
+    /// Returns `None` when no agent serves the metric or no instance
+    /// reported.
+    pub fn fetch(&mut self, metric: &str, t_prev: f64, t_now: f64) -> Option<Point> {
+        let desc = self.namespace().into_iter().find(|d| d.name == metric)?;
+        for agent in &mut self.agents {
+            if !agent.metrics().iter().any(|m| m.name == metric) {
+                continue;
+            }
+            let samples = agent.sample(metric, t_prev, t_now);
+            if samples.is_empty() {
+                return None;
+            }
+            let mut point = Point::new(desc.db_name()).timestamp((t_now * 1e9) as i64);
+            for (k, v) in &self.tags {
+                point.tags.insert(k.clone(), v.clone());
+            }
+            for (instance, value) in samples {
+                point.fields.insert(instance, value.into());
+            }
+            return Some(point);
+        }
+        None
+    }
+
+    /// Fetch several metrics at once (one point each).
+    pub fn fetch_all(&mut self, metrics: &[String], t_prev: f64, t_now: f64) -> Vec<Point> {
+        metrics
+            .iter()
+            .filter_map(|m| self.fetch(m, t_prev, t_now))
+            .collect()
+    }
+}
+
+impl Default for Pmcd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::ConstantAgent;
+    use crate::metric::InstanceDomain;
+    use crate::pmda_linux::LinuxAgent;
+    use pmove_hwsim::MachineSpec;
+
+    fn coordinator() -> Pmcd {
+        let mut p = Pmcd::new();
+        p.register(Box::new(LinuxAgent::new(MachineSpec::icl())));
+        p.register(Box::new(ConstantAgent {
+            agent_name: "const".into(),
+            values: vec![(
+                MetricDesc::new("test.answer", InstanceDomain::Singular, "42"),
+                42.0,
+            )],
+        }));
+        p
+    }
+
+    #[test]
+    fn namespace_merges_agents() {
+        let p = coordinator();
+        let ns = p.namespace();
+        assert!(ns.iter().any(|m| m.name == "kernel.percpu.cpu.idle"));
+        assert!(ns.iter().any(|m| m.name == "test.answer"));
+        assert_eq!(p.agent_names(), vec!["pmdalinux", "const"]);
+    }
+
+    #[test]
+    fn fetch_builds_tagged_point() {
+        let mut p = coordinator();
+        p.set_tag("tag", "obs-123");
+        let point = p.fetch("kernel.percpu.cpu.idle", 0.0, 1.0).unwrap();
+        assert_eq!(point.measurement, "kernel_percpu_cpu_idle");
+        assert_eq!(point.field_count(), 16);
+        assert_eq!(point.tags["tag"], "obs-123");
+        assert_eq!(point.timestamp, 1_000_000_000);
+        p.clear_tags();
+        let point = p.fetch("test.answer", 0.0, 1.0).unwrap();
+        assert!(point.tags.is_empty());
+    }
+
+    #[test]
+    fn fetch_unknown_metric_none() {
+        let mut p = coordinator();
+        assert!(p.fetch("nosuch.metric", 0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn fetch_all_returns_one_point_per_metric() {
+        let mut p = coordinator();
+        let metrics = vec![
+            "kernel.all.load".to_string(),
+            "test.answer".to_string(),
+            "nosuch".to_string(),
+        ];
+        let points = p.fetch_all(&metrics, 0.0, 0.5);
+        assert_eq!(points.len(), 2);
+    }
+
+    #[test]
+    fn agent_mut_lookup() {
+        let mut p = coordinator();
+        assert!(p.agent_mut("pmdalinux").is_some());
+        assert!(p.agent_mut("ghost").is_none());
+    }
+}

@@ -1,0 +1,277 @@
+//! Shipping sampled reports from the target to the host database.
+//!
+//! PCP performs *sampling*: there is no buffer or queue holding data points
+//! until insertion (paper §V-A). Each sampling tick produces one report per
+//! metric; the report must traverse the network and be inserted into the
+//! time-series DB before the flow moves on. The shipping path has a finite
+//! per-window service capacity in *field values*; offers beyond it are
+//! lost, and offers that land close to the edge are delivered late and read
+//! as batched zeros. Calibrated so Table III's shapes reproduce: losses
+//! grow with sampling frequency × instance-domain size, zeros appear only
+//! at high frequency.
+
+use pmove_hwsim::network::LinkSpec;
+use pmove_hwsim::noise::NoiseSource;
+use pmove_tsdb::{Database, Point};
+
+/// Outcome of shipping one report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipOutcome {
+    /// Stored with true values.
+    Inserted,
+    /// Stored, but as batched zeros (stale read at high frequency).
+    InsertedZero,
+    /// Lost in transmission.
+    Lost,
+}
+
+/// Cumulative shipping statistics — the raw material of Table III.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShipperStats {
+    /// Reports offered.
+    pub reports_offered: u64,
+    /// Field values offered.
+    pub values_offered: u64,
+    /// Field values inserted with true readings.
+    pub values_inserted: u64,
+    /// Field values inserted as zeros.
+    pub values_zeroed: u64,
+    /// Field values lost.
+    pub values_lost: u64,
+    /// Payload bytes that crossed the network.
+    pub bytes_shipped: u64,
+}
+
+impl ShipperStats {
+    /// Loss ratio (%L of Table III).
+    pub fn loss_pct(&self) -> f64 {
+        if self.values_offered == 0 {
+            return 0.0;
+        }
+        100.0 * self.values_lost as f64 / self.values_offered as f64
+    }
+
+    /// Combined loss+zero ratio (L+Z% of Table III).
+    pub fn loss_plus_zero_pct(&self) -> f64 {
+        if self.values_offered == 0 {
+            return 0.0;
+        }
+        100.0 * (self.values_lost + self.values_zeroed) as f64 / self.values_offered as f64
+    }
+}
+
+/// The unbuffered shipping path: target sampler → network → host DB.
+pub struct Shipper<'a> {
+    db: &'a Database,
+    link: LinkSpec,
+    /// Mean end-to-end service capacity, in field values per second.
+    pub capacity_values_per_s: f64,
+    /// Relative jitter of the per-window capacity.
+    pub capacity_jitter: f64,
+    window_s: f64,
+    current_window: i64,
+    values_in_window: f64,
+    window_capacity: f64,
+    noise: NoiseSource,
+    stats: ShipperStats,
+}
+
+impl<'a> Shipper<'a> {
+    /// Default end-to-end service capacity (values/s) of the paper's host
+    /// stack (PCP PDU handling + InfluxDB insert over the 100 Mbit link).
+    /// Table III's skx rows saturate around 7–12 k inserted values/s.
+    pub const DEFAULT_CAPACITY: f64 = 11_000.0;
+
+    /// New shipper writing into `db` over `link`, with windowed capacity.
+    pub fn new(db: &'a Database, link: LinkSpec, window_s: f64, seed_labels: &[&str]) -> Self {
+        assert!(window_s > 0.0, "window must be positive");
+        Shipper {
+            db,
+            link,
+            capacity_values_per_s: Self::DEFAULT_CAPACITY,
+            capacity_jitter: 0.25,
+            window_s,
+            current_window: i64::MIN,
+            values_in_window: 0.0,
+            window_capacity: 0.0,
+            noise: NoiseSource::from_labels(seed_labels),
+            stats: ShipperStats::default(),
+        }
+    }
+
+    /// Probability that an on-time report still reads as batched zeros at
+    /// this sampling frequency: 0 at ≤6 Hz, rising toward ~0.4 at 32 Hz
+    /// (the stale-read artefact of §V-A).
+    pub fn zero_probability(freq_hz: f64) -> f64 {
+        if freq_hz <= 6.0 {
+            0.0
+        } else {
+            0.42 * (1.0 - (-(freq_hz - 6.0) / 20.0).exp())
+        }
+    }
+
+    /// Ship one report (a [`Point`] carrying one field per instance) sampled
+    /// at `t` with sampling frequency `freq_hz`.
+    pub fn ship(&mut self, t: f64, point: Point, freq_hz: f64) -> ShipOutcome {
+        let values = point.field_count() as u64;
+        self.stats.reports_offered += 1;
+        self.stats.values_offered += values;
+
+        // Roll the capacity window.
+        let w = (t / self.window_s).floor() as i64;
+        if w != self.current_window {
+            self.current_window = w;
+            self.values_in_window = 0.0;
+            self.window_capacity = self.capacity_values_per_s
+                * self.window_s
+                * (1.0 + self.noise.normal(0.0, self.capacity_jitter)).max(0.1);
+        }
+        self.values_in_window += values as f64;
+
+        if self.values_in_window > self.window_capacity {
+            self.stats.values_lost += values;
+            return ShipOutcome::Lost;
+        }
+
+        self.stats.bytes_shipped += point.wire_size() as u64 + self.link.overhead_bytes as u64;
+
+        // Stale-read zeros at high frequency.
+        if self.noise.happens(Self::zero_probability(freq_hz)) {
+            let mut zeroed = point.clone();
+            for v in zeroed.fields.values_mut() {
+                *v = pmove_tsdb::FieldValue::Float(0.0);
+            }
+            if self.db.write_point(zeroed).is_ok() {
+                self.stats.values_zeroed += values;
+                return ShipOutcome::InsertedZero;
+            }
+            self.stats.values_lost += values;
+            return ShipOutcome::Lost;
+        }
+
+        match self.db.write_point(point) {
+            Ok(()) => {
+                self.stats.values_inserted += values;
+                ShipOutcome::Inserted
+            }
+            Err(_) => {
+                self.stats.values_lost += values;
+                ShipOutcome::Lost
+            }
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ShipperStats {
+        self.stats
+    }
+
+    /// The link used.
+    pub fn link(&self) -> LinkSpec {
+        self.link
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    fn report(ts: i64, fields: usize) -> Point {
+        let mut p = Point::new("perfevent_hwcounters_test").tag("tag", "o1").timestamp(ts);
+        for i in 0..fields {
+            p = p.field(format!("_cpu{i}"), 5.0 + i as f64);
+        }
+        p
+    }
+
+    #[test]
+    fn low_rate_everything_inserted() {
+        let db = Database::new("host");
+        let mut s = Shipper::new(&db, LinkSpec::mbit_100(), 0.5, &["t1"]);
+        for i in 0..20 {
+            let out = s.ship(i as f64 * 0.5, report(i, 16), 2.0);
+            assert_eq!(out, ShipOutcome::Inserted);
+        }
+        assert_eq!(s.stats().values_inserted, 320);
+        assert_eq!(s.stats().loss_pct(), 0.0);
+        assert_eq!(db.stats().points_inserted, 20);
+    }
+
+    #[test]
+    fn overload_loses_values() {
+        let db = Database::new("host");
+        let mut s = Shipper::new(&db, LinkSpec::mbit_100(), 1.0 / 32.0, &["t2"]);
+        // 88-field reports at 32 Hz × 6 metrics: offered ≈ 16.9k values/s,
+        // well over the ~11k capacity.
+        let mut t = 0.0;
+        for _ in 0..(32 * 10) {
+            for m in 0..6 {
+                s.ship(t, report((t * 1e9) as i64 + m, 88), 32.0);
+            }
+            t += 1.0 / 32.0;
+        }
+        let st = s.stats();
+        assert!(st.loss_pct() > 15.0, "loss {}", st.loss_pct());
+        assert!(st.loss_plus_zero_pct() > st.loss_pct());
+        assert!(st.values_zeroed > 0);
+    }
+
+    #[test]
+    fn small_domain_low_loss_but_zeros_at_high_freq() {
+        let db = Database::new("host");
+        let mut s = Shipper::new(&db, LinkSpec::mbit_100(), 1.0 / 32.0, &["t3"]);
+        // icl-like: 16-field reports at 32 Hz × 6 metrics ≈ 3k values/s.
+        let mut t = 0.0;
+        for _ in 0..(32 * 10) {
+            for m in 0..6 {
+                s.ship(t, report((t * 1e9) as i64 + m, 16), 32.0);
+            }
+            t += 1.0 / 32.0;
+        }
+        let st = s.stats();
+        assert!(st.loss_pct() < 8.0, "loss {}", st.loss_pct());
+        let zero_frac = 100.0 * st.values_zeroed as f64 / st.values_offered as f64;
+        assert!(zero_frac > 20.0, "zeros {zero_frac}");
+    }
+
+    #[test]
+    fn no_zeros_at_low_frequency() {
+        assert_eq!(Shipper::zero_probability(2.0), 0.0);
+        assert_eq!(Shipper::zero_probability(6.0), 0.0);
+        assert!(Shipper::zero_probability(8.0) > 0.0);
+        assert!(Shipper::zero_probability(32.0) > Shipper::zero_probability(8.0));
+    }
+
+    #[test]
+    fn zeroed_points_store_zero_fields() {
+        let db = Database::new("host");
+        let mut s = Shipper::new(&db, LinkSpec::mbit_100(), 1.0 / 64.0, &["t4"]);
+        // Force many ships at very high frequency; some will be zeroed.
+        for i in 0..200 {
+            s.ship(i as f64 / 64.0, report(i, 4), 64.0);
+        }
+        assert!(s.stats().values_zeroed > 0);
+        let zeros = db.stats().zero_values_inserted;
+        assert_eq!(zeros, s.stats().values_zeroed);
+        let r = db
+            .query("SELECT \"_cpu0\" FROM \"perfevent_hwcounters_test\"")
+            .unwrap();
+        assert!(r.rows.iter().any(|row| row.values["_cpu0"] == Some(0.0)));
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let st = ShipperStats {
+            reports_offered: 10,
+            values_offered: 100,
+            values_inserted: 60,
+            values_zeroed: 15,
+            values_lost: 25,
+            bytes_shipped: 1000,
+        };
+        assert_eq!(st.loss_pct(), 25.0);
+        assert_eq!(st.loss_plus_zero_pct(), 40.0);
+        assert_eq!(ShipperStats::default().loss_pct(), 0.0);
+    }
+}

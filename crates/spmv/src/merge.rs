@@ -1,0 +1,217 @@
+//! Merge-path SpMV (Merrill & Garland, "Merge-based SpMV using the CSR
+//! storage format").
+//!
+//! The computation is framed as merging two lists: the row-end offsets
+//! (`row_ptr[1..]`) and the natural numbers `0..nnz` (one per non-zero).
+//! The merge path has length `rows + nnz` and is split into equal segments,
+//! one per worker; a 2-D binary search along each segment's starting
+//! diagonal finds its `(row, nnz)` coordinate. Every worker therefore gets
+//! the *same amount of work* regardless of row-length skew — the property
+//! that makes Merge beat row-parallel SpMV on matrices like `human_gene1`.
+//!
+//! Workers that end mid-row produce a carry `(row, partial)` fixed up
+//! serially afterwards, as in the original algorithm.
+
+use crate::csr::Csr;
+use rayon::prelude::*;
+
+/// Coordinate on the merge path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeCoord {
+    /// Row index (position in the row-ends list).
+    pub row: usize,
+    /// Non-zero index (position in the nnz list).
+    pub nz: usize,
+}
+
+/// 2-D binary search: find the merge-path coordinate on diagonal `d`
+/// (i.e. `row + nz == d`) where the path crosses.
+pub fn merge_path_search(d: usize, row_ends: &[u32], nnz: usize) -> MergeCoord {
+    let mut lo = d.saturating_sub(nnz);
+    let mut hi = d.min(row_ends.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        // Would the merge consume row-end `mid` before nnz `d - mid - 1`?
+        if (row_ends[mid] as usize) < d - mid {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    MergeCoord {
+        row: lo,
+        nz: d - lo,
+    }
+}
+
+/// Merge-path parallel `y = A x` with `partitions` equal-work segments.
+pub fn spmv_merge(a: &Csr, x: &[f64], y: &mut [f64], partitions: usize) {
+    assert!(a.compatible_x(x), "x length mismatch");
+    assert_eq!(y.len(), a.rows, "y length mismatch");
+    assert!(partitions > 0, "need at least one partition");
+    let nnz = a.nnz();
+    let row_ends = &a.row_ptr[1..];
+    let path_len = a.rows + nnz;
+    let per = path_len.div_ceil(partitions.max(1));
+
+    // Segment starting coordinates.
+    let coords: Vec<MergeCoord> = (0..=partitions)
+        .map(|p| merge_path_search((p * per).min(path_len), row_ends, nnz))
+        .collect();
+
+    for v in y.iter_mut() {
+        *v = 0.0;
+    }
+
+    // Each segment consumes its path span: complete rows accumulate into a
+    // per-segment buffer, the trailing partial row becomes a carry. Buffers
+    // are merged serially afterwards (rows completed by different segments
+    // are disjoint; carries add into rows completed elsewhere).
+    let col_idx = &a.col_idx;
+    let values = &a.values;
+    // (completed rows in the segment, trailing-partial-row carry)
+    type SegmentResult = (Vec<(usize, f64)>, (usize, f64));
+    let results: Vec<SegmentResult> = coords
+        .par_windows(2)
+        .map(|w| {
+            let (start, end) = (w[0], w[1]);
+            let mut complete: Vec<(usize, f64)> = Vec::new();
+            let mut row = start.row;
+            let mut nz = start.nz;
+            let mut acc = 0.0;
+            while row < end.row || (row == end.row && nz < end.nz) {
+                if row < a.rows && nz < row_ends[row] as usize {
+                    acc += values[nz] * x[col_idx[nz] as usize];
+                    nz += 1;
+                } else {
+                    complete.push((row, acc));
+                    acc = 0.0;
+                    row += 1;
+                }
+            }
+            (complete, (row, acc))
+        })
+        .collect();
+
+    for (complete, (carry_row, carry)) in results {
+        for (r, v) in complete {
+            y[r] += v;
+        }
+        if carry_row < a.rows && carry != 0.0 {
+            y[carry_row] += carry;
+        }
+    }
+}
+
+/// Work per partition in consumed path elements — by construction nearly
+/// equal; exposed for the load-balance ablation bench.
+pub fn merge_partition_work(a: &Csr, partitions: usize) -> Vec<u64> {
+    let nnz = a.nnz();
+    let path_len = a.rows + nnz;
+    let per = path_len.div_ceil(partitions.max(1));
+    let row_ends = &a.row_ptr[1..];
+    let coords: Vec<MergeCoord> = (0..=partitions)
+        .map(|p| merge_path_search((p * per).min(path_len), row_ends, nnz))
+        .collect();
+    coords
+        .windows(2)
+        .map(|w| ((w[1].row + w[1].nz) - (w[0].row + w[0].nz)) as u64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gene_blocks, mesh2d, uniform_random};
+    use crate::row::spmv_seq;
+
+    #[test]
+    fn search_walks_the_merge_path() {
+        // rows with ends [2, 3, 5] and nnz = 5 → path length 8.
+        let row_ends = [2u32, 3, 5];
+        assert_eq!(
+            merge_path_search(0, &row_ends, 5),
+            MergeCoord { row: 0, nz: 0 }
+        );
+        let end = merge_path_search(8, &row_ends, 5);
+        assert_eq!(end, MergeCoord { row: 3, nz: 5 });
+        // Monotone along diagonals.
+        let mut prev = merge_path_search(0, &row_ends, 5);
+        for d in 1..=8 {
+            let cur = merge_path_search(d, &row_ends, 5);
+            assert!(cur.row >= prev.row && cur.nz >= prev.nz);
+            assert_eq!(cur.row + cur.nz, d);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        for a in [
+            mesh2d(20, 20, 3, true),
+            uniform_random(250, 12, 4),
+            gene_blocks(120, 50, 5),
+        ] {
+            let x: Vec<f64> = (0..a.cols).map(|i| ((i * 13) % 11) as f64 - 5.0).collect();
+            let mut y_ref = vec![0.0; a.rows];
+            spmv_seq(&a, &x, &mut y_ref);
+            for parts in [1, 2, 7, 16, 64] {
+                let mut y = vec![0.0; a.rows];
+                spmv_merge(&a, &x, &mut y, parts);
+                for (i, (v1, v2)) in y_ref.iter().zip(&y).enumerate() {
+                    assert!(
+                        (v1 - v2).abs() < 1e-9,
+                        "parts={parts} row {i}: {v1} vs {v2}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handles_empty_rows() {
+        // Matrix with several empty rows.
+        let mut coo = crate::coo::Coo::new(6, 6);
+        coo.push(1, 1, 2.0);
+        coo.push(4, 0, 3.0);
+        coo.push(4, 5, 4.0);
+        let a = Csr::from_coo(&coo);
+        let x = vec![1.0; 6];
+        let mut y = vec![0.0; 6];
+        spmv_merge(&a, &x, &mut y, 4);
+        assert_eq!(y, vec![0.0, 2.0, 0.0, 0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn partition_work_is_balanced_even_on_skewed_matrices() {
+        let a = gene_blocks(300, 80, 7);
+        let work = merge_partition_work(&a, 16);
+        let max = *work.iter().max().unwrap() as f64;
+        let min = *work.iter().min().unwrap() as f64;
+        // Path elements per partition differ by at most the rounding slack.
+        assert!(max - min <= (a.rows + a.nnz()).div_ceil(16) as f64 * 0.1 + 1.0);
+        // Contrast: row-chunk work on the same matrix is strictly more
+        // skewed than merge-path work.
+        let row_work = crate::row::row_chunk_work(&a, 16);
+        let rmax = *row_work.iter().max().unwrap() as f64;
+        let rmean = row_work.iter().sum::<u64>() as f64 / 16.0;
+        let mmax = max;
+        let mmean = work.iter().sum::<u64>() as f64 / 16.0;
+        assert!(
+            rmax / rmean > 1.05 && rmax / rmean > mmax / mmean,
+            "row skew {} vs merge skew {}",
+            rmax / rmean,
+            mmax / mmean
+        );
+    }
+
+    #[test]
+    fn more_partitions_than_path_elements() {
+        let mut coo = crate::coo::Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        let a = Csr::from_coo(&coo);
+        let mut y = vec![0.0; 2];
+        spmv_merge(&a, &[2.0, 2.0], &mut y, 64);
+        assert_eq!(y, vec![2.0, 0.0]);
+    }
+}

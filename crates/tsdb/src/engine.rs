@@ -1,0 +1,363 @@
+//! The database engine: writes, queries, retention enforcement, live
+//! subscriptions, and the ingest limiter that models database-side
+//! backpressure.
+
+use crate::error::TsdbError;
+use crate::point::Point;
+use crate::query::{self, Query, QueryResult};
+use crate::retention::RetentionPolicy;
+use crate::storage::Storage;
+use crate::subscribe::{Subscription, SubscriptionHub};
+use crossbeam::channel::Receiver;
+use parking_lot::{Mutex, RwLock};
+
+/// Models the maximum sustained point-insertion rate of the database.
+///
+/// InfluxDB 1.8 on the paper's host sustains a finite number of inserted
+/// field values per second; once PCP's unbuffered samplers exceed that,
+/// points are lost in transmission (Table III). The limiter is windowed:
+/// at most `max_per_window` field values are accepted per `window` of
+/// (virtual) time; further writes in the same window fail with
+/// [`TsdbError::IngestOverloaded`].
+#[derive(Debug, Clone)]
+pub struct IngestLimiter {
+    /// Window width in timestamp units.
+    pub window: i64,
+    /// Field values accepted per window.
+    pub max_per_window: u64,
+    current_window: i64,
+    accepted_in_window: u64,
+}
+
+impl IngestLimiter {
+    /// Unlimited ingest (no backpressure).
+    pub fn unlimited() -> Self {
+        IngestLimiter {
+            window: i64::MAX,
+            max_per_window: u64::MAX,
+            current_window: 0,
+            accepted_in_window: 0,
+        }
+    }
+
+    /// Limit to `max_per_window` field values per `window` time units.
+    pub fn per_window(window: i64, max_per_window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        IngestLimiter {
+            window,
+            max_per_window,
+            current_window: i64::MIN,
+            accepted_in_window: 0,
+        }
+    }
+
+    /// Try to admit `n` field values at time `ts`.
+    fn admit(&mut self, ts: i64, n: u64) -> Result<(), TsdbError> {
+        if self.max_per_window == u64::MAX {
+            return Ok(());
+        }
+        let w = ts.div_euclid(self.window);
+        if w != self.current_window {
+            self.current_window = w;
+            self.accepted_in_window = 0;
+        }
+        if self.accepted_in_window + n > self.max_per_window {
+            return Err(TsdbError::IngestOverloaded {
+                accepted_in_window: self.accepted_in_window,
+            });
+        }
+        self.accepted_in_window += n;
+        Ok(())
+    }
+}
+
+/// Counters describing the life of the database, used directly by the
+/// Table III reproduction (`Inserted`, `Zeros`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Points offered to the engine.
+    pub points_offered: u64,
+    /// Points accepted and stored.
+    pub points_inserted: u64,
+    /// Field values accepted and stored (a point can carry several).
+    pub values_inserted: u64,
+    /// Field values that were numerically zero (the "batched zeros" the
+    /// paper counts separately at high frequency).
+    pub zero_values_inserted: u64,
+    /// Points rejected by the ingest limiter.
+    pub points_rejected: u64,
+}
+
+/// The embedded time-series database.
+pub struct Database {
+    name: String,
+    storage: RwLock<Storage>,
+    limiter: Mutex<IngestLimiter>,
+    stats: Mutex<IngestStats>,
+    retention: Mutex<Vec<RetentionPolicy>>,
+    hub: SubscriptionHub,
+}
+
+impl Database {
+    /// Create a database with unlimited ingest and the default infinite
+    /// `autogen` retention policy.
+    pub fn new(name: impl Into<String>) -> Self {
+        Database {
+            name: name.into(),
+            storage: RwLock::new(Storage::new()),
+            limiter: Mutex::new(IngestLimiter::unlimited()),
+            stats: Mutex::new(IngestStats::default()),
+            retention: Mutex::new(vec![RetentionPolicy::infinite("autogen")]),
+            hub: SubscriptionHub::new(),
+        }
+    }
+
+    /// Database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Install an ingest limiter (replacing the current one).
+    pub fn set_ingest_limiter(&self, limiter: IngestLimiter) {
+        *self.limiter.lock() = limiter;
+    }
+
+    /// Write one point. Fails on empty fields or limiter rejection; on
+    /// success the point is stored, counted, and published to subscribers.
+    pub fn write_point(&self, point: Point) -> Result<(), TsdbError> {
+        {
+            let mut stats = self.stats.lock();
+            stats.points_offered += 1;
+        }
+        if point.fields.is_empty() {
+            return Err(TsdbError::EmptyFields);
+        }
+        let n = point.field_count() as u64;
+        if let Err(e) = self.limiter.lock().admit(point.timestamp, n) {
+            self.stats.lock().points_rejected += 1;
+            return Err(e);
+        }
+        {
+            let mut stats = self.stats.lock();
+            stats.points_inserted += 1;
+            stats.values_inserted += n;
+            stats.zero_values_inserted += point
+                .fields
+                .values()
+                .filter(|v| v.is_zero())
+                .count() as u64;
+        }
+        self.hub.publish(&point);
+        self.storage.write().insert(point);
+        Ok(())
+    }
+
+    /// Write a batch; returns how many points were accepted. Rejected points
+    /// are dropped, matching the lossy fire-and-forget transport of PCP.
+    pub fn write_points(&self, points: Vec<Point>) -> usize {
+        points
+            .into_iter()
+            .map(|p| self.write_point(p))
+            .filter(Result::is_ok)
+            .count()
+    }
+
+    /// Write a batch given as line protocol text.
+    pub fn write_line_protocol(&self, text: &str) -> Result<usize, TsdbError> {
+        let points = crate::line_protocol::parse_batch(text)?;
+        Ok(self.write_points(points))
+    }
+
+    /// Run a textual query.
+    pub fn query(&self, text: &str) -> Result<QueryResult, TsdbError> {
+        let q = Query::parse(text)?;
+        self.query_parsed(&q)
+    }
+
+    /// Run a pre-parsed query.
+    pub fn query_parsed(&self, q: &Query) -> Result<QueryResult, TsdbError> {
+        query::execute(&self.storage.read(), q)
+    }
+
+    /// Current ingest statistics snapshot.
+    pub fn stats(&self) -> IngestStats {
+        *self.stats.lock()
+    }
+
+    /// Reset the ingest statistics (between experiment runs).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = IngestStats::default();
+    }
+
+    /// Register a retention policy.
+    pub fn add_retention_policy(&self, policy: RetentionPolicy) {
+        self.retention.lock().push(policy);
+    }
+
+    /// Enforce the tightest retention policy at virtual time `now`;
+    /// returns rows removed.
+    pub fn enforce_retention(&self, now: i64) -> usize {
+        let cutoff = self
+            .retention
+            .lock()
+            .iter()
+            .filter_map(|p| p.cutoff(now))
+            .max();
+        match cutoff {
+            Some(c) => self.storage.write().drop_before(c),
+            None => 0,
+        }
+    }
+
+    /// Subscribe to live points.
+    pub fn subscribe(&self, sub: Subscription) -> Receiver<Point> {
+        self.hub.subscribe(sub)
+    }
+
+    /// Sorted list of measurement names.
+    pub fn measurements(&self) -> Vec<String> {
+        self.storage.read().measurement_names()
+    }
+
+    /// Field keys of one measurement.
+    pub fn field_keys(&self, measurement: &str) -> Vec<String> {
+        self.storage
+            .read()
+            .measurement(measurement)
+            .map(|m| m.field_keys())
+            .unwrap_or_default()
+    }
+
+    /// Distinct values of one tag key within a measurement.
+    pub fn tag_values(&self, measurement: &str, tag_key: &str) -> Vec<String> {
+        self.storage
+            .read()
+            .measurement(measurement)
+            .map(|m| m.tag_values(tag_key))
+            .unwrap_or_default()
+    }
+
+    /// Total number of stored rows (all measurements).
+    pub fn total_rows(&self) -> usize {
+        self.storage.read().total_rows()
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("name", &self.name)
+            .field("rows", &self.total_rows())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::FieldValue;
+
+    fn pt(ts: i64, v: f64) -> Point {
+        Point::new("m").tag("tag", "o1").field("v", v).timestamp(ts)
+    }
+
+    #[test]
+    fn write_and_query_roundtrip() {
+        let db = Database::new("test");
+        for t in 0..5 {
+            db.write_point(pt(t, t as f64)).unwrap();
+        }
+        let r = db.query("SELECT \"v\" FROM \"m\" WHERE tag='o1'").unwrap();
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(db.stats().points_inserted, 5);
+    }
+
+    #[test]
+    fn empty_fields_rejected() {
+        let db = Database::new("test");
+        assert_eq!(
+            db.write_point(Point::new("m")),
+            Err(TsdbError::EmptyFields)
+        );
+        assert_eq!(db.stats().points_offered, 1);
+        assert_eq!(db.stats().points_inserted, 0);
+    }
+
+    #[test]
+    fn limiter_drops_excess_within_window() {
+        let db = Database::new("test");
+        db.set_ingest_limiter(IngestLimiter::per_window(10, 3));
+        // 5 single-field points in window [0, 10): only 3 admitted.
+        let pts: Vec<Point> = (0..5).map(|i| pt(i, 1.0)).collect();
+        let accepted = db.write_points(pts);
+        assert_eq!(accepted, 3);
+        assert_eq!(db.stats().points_rejected, 2);
+        // next window admits again
+        assert!(db.write_point(pt(10, 1.0)).is_ok());
+    }
+
+    #[test]
+    fn zero_values_counted() {
+        let db = Database::new("test");
+        db.write_point(
+            Point::new("m")
+                .field("a", 0.0)
+                .field("b", 1.0)
+                .timestamp(1),
+        )
+        .unwrap();
+        assert_eq!(db.stats().zero_values_inserted, 1);
+        assert_eq!(db.stats().values_inserted, 2);
+    }
+
+    #[test]
+    fn retention_enforcement() {
+        let db = Database::new("test");
+        db.add_retention_policy(RetentionPolicy::keep("short", 10));
+        for t in 0..20 {
+            db.write_point(pt(t, 1.0)).unwrap();
+        }
+        let removed = db.enforce_retention(20);
+        assert_eq!(removed, 10);
+        assert_eq!(db.total_rows(), 10);
+    }
+
+    #[test]
+    fn line_protocol_ingest() {
+        let db = Database::new("test");
+        let n = db
+            .write_line_protocol("m,tag=o1 v=1 1\nm,tag=o1 v=2 2\n")
+            .unwrap();
+        assert_eq!(n, 2);
+        let r = db.query("SELECT \"v\" FROM \"m\"").unwrap();
+        assert_eq!(r.rows[1].values["v"], Some(2.0));
+    }
+
+    #[test]
+    fn subscription_sees_writes() {
+        let db = Database::new("test");
+        let rx = db.subscribe(Subscription::measurement("m"));
+        db.write_point(pt(1, 5.0)).unwrap();
+        let got = crate::subscribe::drain(&rx);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].fields["v"], FieldValue::Float(5.0));
+    }
+
+    #[test]
+    fn reset_stats_zeroes() {
+        let db = Database::new("test");
+        db.write_point(pt(1, 1.0)).unwrap();
+        db.reset_stats();
+        assert_eq!(db.stats(), IngestStats::default());
+    }
+
+    #[test]
+    fn metadata_introspection() {
+        let db = Database::new("test");
+        db.write_point(pt(1, 1.0)).unwrap();
+        assert_eq!(db.measurements(), vec!["m".to_string()]);
+        assert_eq!(db.field_keys("m"), vec!["v".to_string()]);
+        assert_eq!(db.tag_values("m", "tag"), vec!["o1".to_string()]);
+        assert!(db.field_keys("nosuch").is_empty());
+    }
+}

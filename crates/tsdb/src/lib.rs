@@ -1,0 +1,55 @@
+//! # pmove-tsdb — embedded time-series database
+//!
+//! A deterministic, in-process stand-in for the InfluxDB 1.x instance that the
+//! P-MoVE paper uses as its telemetry store. It implements the subset of the
+//! InfluxDB data model that P-MoVE relies on:
+//!
+//! * **measurements** holding **series** keyed by tag sets, each series a
+//!   time-ordered sequence of field values ([`Point`]);
+//! * **line protocol** parsing and rendering ([`line_protocol`]);
+//! * an **inverted tag index** for `WHERE tag = value` filtering;
+//! * an InfluxQL-like query layer: `SELECT f1, f2 FROM m WHERE tag='v' AND
+//!   time >= a AND time < b` with aggregations (`MIN`/`MAX`/`MEAN`/...) and
+//!   `GROUP BY time(interval)` downsampling ([`query`]);
+//! * **retention policies** that age out old points ([`retention`]);
+//! * **live subscriptions** feeding dashboards ([`subscribe`]);
+//! * an **ingest throughput limit** modelling the database-side backpressure
+//!   which, combined with PCP's unbuffered samplers, produces the data-point
+//!   losses quantified in Table III of the paper.
+//!
+//! ```
+//! use pmove_tsdb::{Database, Point, FieldValue};
+//!
+//! let db = Database::new("pmove");
+//! let p = Point::new("perfevent_hwcounters_fp_arith_scalar_double")
+//!     .tag("tag", "obs-1")
+//!     .field("_cpu0", FieldValue::Float(12.0))
+//!     .timestamp(1_000);
+//! db.write_point(p).unwrap();
+//! let rs = db
+//!     .query("SELECT \"_cpu0\" FROM \"perfevent_hwcounters_fp_arith_scalar_double\" WHERE tag='obs-1'")
+//!     .unwrap();
+//! assert_eq!(rs.rows.len(), 1);
+//! ```
+
+pub mod aggregate;
+pub mod engine;
+pub mod error;
+pub mod index;
+pub mod line_protocol;
+pub mod point;
+pub mod query;
+pub mod retention;
+pub mod series;
+pub mod snapshot;
+pub mod storage;
+pub mod subscribe;
+pub mod value;
+
+pub use engine::{Database, IngestLimiter, IngestStats};
+pub use error::TsdbError;
+pub use point::Point;
+pub use query::{Query, QueryResult, ResultRow};
+pub use retention::RetentionPolicy;
+pub use series::{SeriesId, SeriesKey};
+pub use value::FieldValue;

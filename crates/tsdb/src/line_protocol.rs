@@ -1,0 +1,249 @@
+//! InfluxDB line-protocol parsing and rendering.
+//!
+//! Grammar (one point per line):
+//!
+//! ```text
+//! measurement[,tag=value...] field=value[,field=value...] [timestamp]
+//! ```
+//!
+//! Escapes supported: `\,` `\ ` `\=` in identifiers, `\"` inside string
+//! field values. Integer fields carry an `i` suffix, booleans are
+//! `true`/`false`, everything else numeric is a float.
+
+use crate::error::TsdbError;
+use crate::point::Point;
+use crate::value::FieldValue;
+
+/// Render a point as one line of line protocol.
+pub fn render(point: &Point) -> String {
+    let mut out = escape_ident(&point.measurement);
+    for (k, v) in &point.tags {
+        out.push(',');
+        out.push_str(&escape_ident(k));
+        out.push('=');
+        out.push_str(&escape_ident(v));
+    }
+    out.push(' ');
+    let fields: Vec<String> = point
+        .fields
+        .iter()
+        .map(|(k, v)| format!("{}={}", escape_ident(k), v.to_line_protocol()))
+        .collect();
+    out.push_str(&fields.join(","));
+    out.push(' ');
+    out.push_str(&point.timestamp.to_string());
+    out
+}
+
+/// Parse a single line of line protocol into a [`Point`].
+pub fn parse(line: &str) -> Result<Point, TsdbError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Err(TsdbError::LineProtocol("empty line".into()));
+    }
+    let (head, rest) = split_unescaped(line, ' ')
+        .ok_or_else(|| TsdbError::LineProtocol(format!("no field section: {line}")))?;
+
+    // head = measurement[,tag=value...]
+    let mut head_parts = split_all_unescaped(head, ',');
+    let measurement = unescape_ident(
+        head_parts
+            .next()
+            .ok_or_else(|| TsdbError::LineProtocol("missing measurement".into()))?,
+    );
+    let mut point = Point::new(measurement);
+    for tag in head_parts {
+        let (k, v) = split_unescaped(tag, '=')
+            .ok_or_else(|| TsdbError::LineProtocol(format!("bad tag: {tag}")))?;
+        point
+            .tags
+            .insert(unescape_ident(k), unescape_ident(v));
+    }
+
+    // rest = fields [timestamp] — timestamp is the final whitespace-separated
+    // integer if present.
+    let rest = rest.trim();
+    let (field_sec, ts) = match rest.rfind(' ') {
+        Some(idx) if rest[idx + 1..].chars().all(|c| c.is_ascii_digit() || c == '-') => {
+            let ts: i64 = rest[idx + 1..]
+                .parse()
+                .map_err(|_| TsdbError::LineProtocol(format!("bad timestamp: {rest}")))?;
+            (&rest[..idx], ts)
+        }
+        _ => (rest, 0),
+    };
+    point.timestamp = ts;
+
+    for field in split_all_unescaped_respecting_quotes(field_sec, ',') {
+        let (k, v) = split_unescaped(&field, '=')
+            .ok_or_else(|| TsdbError::LineProtocol(format!("bad field: {field}")))?;
+        point
+            .fields
+            .insert(unescape_ident(k), parse_field_value(v)?);
+    }
+    if point.fields.is_empty() {
+        return Err(TsdbError::EmptyFields);
+    }
+    Ok(point)
+}
+
+/// Parse a multi-line batch, skipping blank and `#` comment lines.
+pub fn parse_batch(text: &str) -> Result<Vec<Point>, TsdbError> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(parse)
+        .collect()
+}
+
+fn parse_field_value(raw: &str) -> Result<FieldValue, TsdbError> {
+    let raw = raw.trim();
+    if raw.starts_with('"') && raw.ends_with('"') && raw.len() >= 2 {
+        return Ok(FieldValue::Str(
+            raw[1..raw.len() - 1].replace("\\\"", "\""),
+        ));
+    }
+    if raw == "true" || raw == "t" || raw == "T" {
+        return Ok(FieldValue::Bool(true));
+    }
+    if raw == "false" || raw == "f" || raw == "F" {
+        return Ok(FieldValue::Bool(false));
+    }
+    if let Some(int_part) = raw.strip_suffix('i') {
+        return int_part
+            .parse::<i64>()
+            .map(FieldValue::Int)
+            .map_err(|_| TsdbError::LineProtocol(format!("bad int: {raw}")));
+    }
+    raw.parse::<f64>()
+        .map(FieldValue::Float)
+        .map_err(|_| TsdbError::LineProtocol(format!("bad float: {raw}")))
+}
+
+fn escape_ident(s: &str) -> String {
+    s.replace(',', "\\,").replace(' ', "\\ ").replace('=', "\\=")
+}
+
+fn unescape_ident(s: &str) -> String {
+    s.replace("\\,", ",").replace("\\ ", " ").replace("\\=", "=")
+}
+
+/// Split on the first occurrence of `sep` that is not preceded by `\`.
+fn split_unescaped(s: &str, sep: char) -> Option<(&str, &str)> {
+    let bytes = s.as_bytes();
+    let mut prev_escape = false;
+    for (i, c) in s.char_indices() {
+        if c == sep && !prev_escape {
+            return Some((&s[..i], &s[i + c.len_utf8()..]));
+        }
+        prev_escape = c == '\\' && !prev_escape;
+        let _ = bytes;
+    }
+    None
+}
+
+/// Iterate over all unescaped-`sep`-separated segments.
+fn split_all_unescaped(s: &str, sep: char) -> impl Iterator<Item = &str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut prev_escape = false;
+    for (i, c) in s.char_indices() {
+        if c == sep && !prev_escape {
+            parts.push(&s[start..i]);
+            start = i + c.len_utf8();
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    parts.push(&s[start..]);
+    parts.into_iter()
+}
+
+/// Like [`split_all_unescaped`] but does not split inside `"..."` string
+/// values (needed for string fields containing commas).
+fn split_all_unescaped_respecting_quotes(s: &str, sep: char) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut prev_escape = false;
+    for c in s.chars() {
+        if c == '"' && !prev_escape {
+            in_quotes = !in_quotes;
+        }
+        if c == sep && !in_quotes && !prev_escape {
+            parts.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let p = Point::new("cpu")
+            .tag("host", "skx")
+            .field("_cpu0", 1.5)
+            .field("n", 3i64)
+            .timestamp(42);
+        let line = render(&p);
+        let back = parse(&line).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn parse_without_timestamp_defaults_zero() {
+        let p = parse("m,f=g value=1").unwrap();
+        assert_eq!(p.timestamp, 0);
+        assert_eq!(p.tags["f"], "g");
+    }
+
+    #[test]
+    fn parse_types() {
+        let p = parse("m a=1.5,b=7i,c=true,d=\"x,y\" 9").unwrap();
+        assert_eq!(p.fields["a"], FieldValue::Float(1.5));
+        assert_eq!(p.fields["b"], FieldValue::Int(7));
+        assert_eq!(p.fields["c"], FieldValue::Bool(true));
+        assert_eq!(p.fields["d"], FieldValue::Str("x,y".into()));
+        assert_eq!(p.timestamp, 9);
+    }
+
+    #[test]
+    fn escaped_identifiers_roundtrip() {
+        let p = Point::new("my measure")
+            .tag("a,b", "c=d")
+            .field("f g", 1.0)
+            .timestamp(1);
+        let back = parse(&render(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("onlymeasurement").is_err());
+        assert!(parse("m novalue").is_err());
+        assert!(parse("m a=zz").is_err());
+    }
+
+    #[test]
+    fn batch_skips_comments_and_blanks() {
+        let text = "# comment\nm a=1 1\n\nm a=2 2\n";
+        let pts = parse_batch(text).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].timestamp, 2);
+    }
+
+    #[test]
+    fn negative_timestamp_parses() {
+        let p = parse("m a=1 -5").unwrap();
+        assert_eq!(p.timestamp, -5);
+    }
+}

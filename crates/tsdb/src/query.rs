@@ -1,0 +1,588 @@
+//! InfluxQL-like query language: parser and executor.
+//!
+//! Supported shape (exactly what the paper's auto-generated queries in
+//! Listing 3 use, plus aggregation/downsampling for AGG observations):
+//!
+//! ```text
+//! SELECT "_cpu0", "_cpu1" FROM "kernel_percpu_cpu_idle"
+//!        WHERE tag='278e26c2' AND time >= 10 AND time < 20
+//!        [GROUP BY time(5)]
+//! SELECT mean("value") FROM "m" WHERE host='skx'
+//! SELECT * FROM "m"
+//! ```
+
+use crate::aggregate::{Accumulator, AggregateFn};
+use crate::error::TsdbError;
+use crate::storage::Storage;
+use std::collections::BTreeMap;
+
+/// One projected column: a raw field or an aggregate over a field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// All fields of the measurement.
+    Wildcard,
+    /// A single raw field.
+    Field(String),
+    /// `func(field)`.
+    Aggregate(AggregateFn, String),
+}
+
+/// Parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projected columns.
+    pub projections: Vec<Projection>,
+    /// Target measurement.
+    pub measurement: String,
+    /// `tag = value` constraints.
+    pub tag_filters: Vec<(String, String)>,
+    /// Inclusive lower time bound.
+    pub time_start: Option<i64>,
+    /// Exclusive upper time bound.
+    pub time_end: Option<i64>,
+    /// `GROUP BY time(interval)` bucket width.
+    pub group_by_time: Option<i64>,
+}
+
+impl Query {
+    /// Parse the textual query.
+    pub fn parse(text: &str) -> Result<Self, TsdbError> {
+        Parser::new(text).parse()
+    }
+}
+
+/// One output row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    /// Row timestamp (bucket start for aggregated queries).
+    pub timestamp: i64,
+    /// Column name -> value (`None` renders as null).
+    pub values: BTreeMap<String, Option<f64>>,
+}
+
+/// Query result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Column names in projection order.
+    pub columns: Vec<String>,
+    /// Output rows in time order.
+    pub rows: Vec<ResultRow>,
+}
+
+impl QueryResult {
+    /// Extract one column as a (timestamp, value) series, skipping nulls.
+    pub fn column_series(&self, column: &str) -> Vec<(i64, f64)> {
+        self.rows
+            .iter()
+            .filter_map(|r| r.values.get(column).and_then(|v| v.map(|x| (r.timestamp, x))))
+            .collect()
+    }
+
+    /// Sum every numeric cell (used for total data-point accounting).
+    pub fn total(&self) -> f64 {
+        self.rows
+            .iter()
+            .flat_map(|r| r.values.values())
+            .filter_map(|v| *v)
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    tokens: Vec<Token<'a>>,
+    pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token<'a> {
+    Word(&'a str),
+    Quoted(String),
+    Symbol(char),
+    Number(i64),
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token<'_>>, TsdbError> {
+    let mut out = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '"' | '\'' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                for (_, c2) in chars.by_ref() {
+                    if c2 == c {
+                        closed = true;
+                        break;
+                    }
+                    s.push(c2);
+                }
+                if !closed {
+                    return Err(TsdbError::QueryParse(format!("unclosed quote at {i}")));
+                }
+                out.push(Token::Quoted(s));
+            }
+            ',' | '(' | ')' | '=' | '*' => {
+                chars.next();
+                out.push(Token::Symbol(c));
+            }
+            '<' | '>' => {
+                chars.next();
+                if let Some(&(_, '=')) = chars.peek() {
+                    chars.next();
+                    out.push(Token::Word(if c == '<' { "<=" } else { ">=" }));
+                } else {
+                    out.push(Token::Symbol(c));
+                }
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                chars.next();
+                while let Some(&(_, c2)) = chars.peek() {
+                    if c2.is_ascii_digit() {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let end = chars.peek().map(|&(j, _)| j).unwrap_or(text.len());
+                let n: i64 = text[start..end]
+                    .parse()
+                    .map_err(|_| TsdbError::QueryParse(format!("bad number at {start}")))?;
+                out.push(Token::Number(n));
+            }
+            _ => {
+                let start = i;
+                chars.next();
+                while let Some(&(_, c2)) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' || c2 == '.' || c2 == '-' {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let end = chars.peek().map(|&(j, _)| j).unwrap_or(text.len());
+                out.push(Token::Word(&text[start..end]));
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            tokens: tokenize(text).unwrap_or_default(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&Token<'a>> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token<'a>> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), TsdbError> {
+        match self.next() {
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(TsdbError::QueryParse(format!(
+                "expected {kw}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn name(&mut self) -> Result<String, TsdbError> {
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w.to_string()),
+            Some(Token::Quoted(s)) => Ok(s),
+            other => Err(TsdbError::QueryParse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse(&mut self) -> Result<Query, TsdbError> {
+        self.expect_keyword("SELECT")?;
+        let mut projections = Vec::new();
+        loop {
+            if matches!(self.peek(), Some(Token::Symbol('*'))) {
+                self.next();
+                projections.push(Projection::Wildcard);
+            } else {
+                let name = self.name()?;
+                if matches!(self.peek(), Some(Token::Symbol('('))) {
+                    let func = AggregateFn::parse(&name).ok_or_else(|| {
+                        TsdbError::QueryParse(format!("unknown aggregate: {name}"))
+                    })?;
+                    self.next(); // (
+                    let field = self.name()?;
+                    match self.next() {
+                        Some(Token::Symbol(')')) => {}
+                        other => {
+                            return Err(TsdbError::QueryParse(format!(
+                                "expected ')', found {other:?}"
+                            )))
+                        }
+                    }
+                    projections.push(Projection::Aggregate(func, field));
+                } else {
+                    projections.push(Projection::Field(name));
+                }
+            }
+            if matches!(self.peek(), Some(Token::Symbol(','))) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let measurement = self.name()?;
+
+        let mut q = Query {
+            projections,
+            measurement,
+            tag_filters: Vec::new(),
+            time_start: None,
+            time_end: None,
+            group_by_time: None,
+        };
+
+        if self.at_keyword("WHERE") {
+            self.next();
+            loop {
+                let lhs = self.name()?;
+                if lhs.eq_ignore_ascii_case("time") {
+                    let op = match self.next() {
+                        Some(Token::Word(w)) => w.to_string(),
+                        Some(Token::Symbol(c)) => c.to_string(),
+                        other => {
+                            return Err(TsdbError::QueryParse(format!(
+                                "expected comparison op, found {other:?}"
+                            )))
+                        }
+                    };
+                    let n = match self.next() {
+                        Some(Token::Number(n)) => n,
+                        other => {
+                            return Err(TsdbError::QueryParse(format!(
+                                "expected number, found {other:?}"
+                            )))
+                        }
+                    };
+                    match op.as_str() {
+                        ">=" => q.time_start = Some(n),
+                        ">" => q.time_start = Some(n + 1),
+                        "<" => q.time_end = Some(n),
+                        "<=" => q.time_end = Some(n + 1),
+                        "=" => {
+                            q.time_start = Some(n);
+                            q.time_end = Some(n + 1);
+                        }
+                        _ => {
+                            return Err(TsdbError::QueryParse(format!(
+                                "unsupported time op: {op}"
+                            )))
+                        }
+                    }
+                } else {
+                    match self.next() {
+                        Some(Token::Symbol('=')) => {}
+                        other => {
+                            return Err(TsdbError::QueryParse(format!(
+                                "expected '=', found {other:?}"
+                            )))
+                        }
+                    }
+                    let value = self.name()?;
+                    q.tag_filters.push((lhs, value));
+                }
+                if self.at_keyword("AND") {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        if self.at_keyword("GROUP") {
+            self.next();
+            self.expect_keyword("BY")?;
+            self.expect_keyword("time")?;
+            match (self.next(), self.next(), self.next()) {
+                (Some(Token::Symbol('(')), Some(Token::Number(n)), Some(Token::Symbol(')'))) => {
+                    if n <= 0 {
+                        return Err(TsdbError::QueryParse("non-positive interval".into()));
+                    }
+                    q.group_by_time = Some(n);
+                }
+                other => {
+                    return Err(TsdbError::QueryParse(format!(
+                        "expected time(interval), found {other:?}"
+                    )))
+                }
+            }
+        }
+
+        if self.peek().is_some() {
+            return Err(TsdbError::QueryParse(format!(
+                "trailing tokens at {}",
+                self.pos
+            )));
+        }
+        Ok(q)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// Execute a parsed query against storage.
+pub fn execute(storage: &Storage, q: &Query) -> Result<QueryResult, TsdbError> {
+    let m = storage
+        .measurement(&q.measurement)
+        .ok_or_else(|| TsdbError::UnknownMeasurement(q.measurement.clone()))?;
+
+    // Resolve wildcard projections against the measurement's field keys.
+    let mut projections = Vec::new();
+    for p in &q.projections {
+        match p {
+            Projection::Wildcard => {
+                for f in m.field_keys() {
+                    projections.push(Projection::Field(f));
+                }
+            }
+            other => projections.push(other.clone()),
+        }
+    }
+    let columns: Vec<String> = projections
+        .iter()
+        .map(|p| match p {
+            Projection::Field(f) => f.clone(),
+            Projection::Aggregate(func, f) => format!("{}({f})", func.name()),
+            Projection::Wildcard => unreachable!("expanded above"),
+        })
+        .collect();
+
+    let start = q.time_start.unwrap_or(i64::MIN);
+    let end = q.time_end.unwrap_or(i64::MAX);
+    let ids = m.matching_series(&q.tag_filters);
+
+    // Merge rows from matching series into time order.
+    let mut merged: Vec<(i64, &std::collections::BTreeMap<String, crate::value::FieldValue>)> =
+        Vec::new();
+    for id in ids {
+        let s = m.series(id).expect("id from matching_series");
+        for row in s.range(start, end) {
+            merged.push((row.timestamp, &row.fields));
+        }
+    }
+    merged.sort_by_key(|(ts, _)| *ts);
+
+    let aggregated = projections
+        .iter()
+        .any(|p| matches!(p, Projection::Aggregate(..)));
+
+    let mut rows = Vec::new();
+    if aggregated {
+        // Bucketed or whole-range aggregation.
+        let bucket = q.group_by_time;
+        let mut groups: BTreeMap<i64, Vec<Accumulator>> = BTreeMap::new();
+        for (ts, fields) in &merged {
+            let key = match bucket {
+                Some(b) => ts.div_euclid(b) * b,
+                None => 0,
+            };
+            let accs = groups.entry(key).or_insert_with(|| {
+                projections
+                    .iter()
+                    .map(|p| match p {
+                        Projection::Aggregate(f, _) => Accumulator::new(*f),
+                        _ => Accumulator::new(AggregateFn::Last),
+                    })
+                    .collect()
+            });
+            for (acc, p) in accs.iter_mut().zip(&projections) {
+                let field = match p {
+                    Projection::Aggregate(_, f) | Projection::Field(f) => f,
+                    Projection::Wildcard => unreachable!(),
+                };
+                if let Some(v) = fields.get(field).and_then(|v| v.as_f64()) {
+                    acc.push(v);
+                }
+            }
+        }
+        for (ts, accs) in groups {
+            let mut values = BTreeMap::new();
+            for (col, acc) in columns.iter().zip(&accs) {
+                values.insert(col.clone(), acc.finish());
+            }
+            rows.push(ResultRow {
+                timestamp: ts,
+                values,
+            });
+        }
+    } else {
+        for (ts, fields) in merged {
+            let mut values = BTreeMap::new();
+            for (col, p) in columns.iter().zip(&projections) {
+                let field = match p {
+                    Projection::Field(f) => f,
+                    _ => unreachable!("non-aggregated path"),
+                };
+                values.insert(col.clone(), fields.get(field).and_then(|v| v.as_f64()));
+            }
+            rows.push(ResultRow {
+                timestamp: ts,
+                values,
+            });
+        }
+    }
+
+    Ok(QueryResult { columns, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn filled() -> Storage {
+        let mut s = Storage::new();
+        for t in 0..10 {
+            s.insert(
+                Point::new("m")
+                    .tag("tag", "obs1")
+                    .field("_cpu0", t as f64)
+                    .field("_cpu1", (t * 2) as f64)
+                    .timestamp(t),
+            );
+        }
+        s.insert(
+            Point::new("m")
+                .tag("tag", "obs2")
+                .field("_cpu0", 100.0)
+                .timestamp(5),
+        );
+        s
+    }
+
+    #[test]
+    fn parse_listing3_style() {
+        let q = Query::parse(
+            "SELECT \"_cpu0\", \"_cpu1\" FROM \"kernel_percpu_cpu_idle\" WHERE tag='278e26c2-3fd3'",
+        )
+        .unwrap();
+        assert_eq!(q.projections.len(), 2);
+        assert_eq!(q.measurement, "kernel_percpu_cpu_idle");
+        assert_eq!(q.tag_filters[0], ("tag".into(), "278e26c2-3fd3".into()));
+    }
+
+    #[test]
+    fn select_with_tag_filter() {
+        let s = filled();
+        let q = Query::parse("SELECT \"_cpu0\" FROM \"m\" WHERE tag='obs1'").unwrap();
+        let r = execute(&s, &q).unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.column_series("_cpu0").len(), 10);
+    }
+
+    #[test]
+    fn time_range_filters() {
+        let s = filled();
+        let q =
+            Query::parse("SELECT \"_cpu0\" FROM \"m\" WHERE tag='obs1' AND time >= 2 AND time < 5")
+                .unwrap();
+        let r = execute(&s, &q).unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0].timestamp, 2);
+    }
+
+    #[test]
+    fn aggregation_whole_range() {
+        let s = filled();
+        let q = Query::parse("SELECT mean(\"_cpu0\") FROM \"m\" WHERE tag='obs1'").unwrap();
+        let r = execute(&s, &q).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].values["mean(_cpu0)"], Some(4.5));
+    }
+
+    #[test]
+    fn group_by_time_buckets() {
+        let s = filled();
+        let q = Query::parse(
+            "SELECT sum(\"_cpu0\") FROM \"m\" WHERE tag='obs1' GROUP BY time(5)",
+        )
+        .unwrap();
+        let r = execute(&s, &q).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].timestamp, 0);
+        assert_eq!(r.rows[0].values["sum(_cpu0)"], Some(0.0 + 1.0 + 2.0 + 3.0 + 4.0));
+        assert_eq!(r.rows[1].values["sum(_cpu0)"], Some(5.0 + 6.0 + 7.0 + 8.0 + 9.0));
+    }
+
+    #[test]
+    fn wildcard_expands_fields() {
+        let s = filled();
+        let q = Query::parse("SELECT * FROM \"m\" WHERE tag='obs1'").unwrap();
+        let r = execute(&s, &q).unwrap();
+        assert_eq!(r.columns, vec!["_cpu0".to_string(), "_cpu1".to_string()]);
+    }
+
+    #[test]
+    fn missing_field_yields_null() {
+        let s = filled();
+        let q = Query::parse("SELECT \"_cpu1\" FROM \"m\" WHERE tag='obs2'").unwrap();
+        let r = execute(&s, &q).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].values["_cpu1"], None);
+        assert!(r.column_series("_cpu1").is_empty());
+    }
+
+    #[test]
+    fn unknown_measurement_errors() {
+        let s = filled();
+        let q = Query::parse("SELECT \"f\" FROM \"nosuch\"").unwrap();
+        assert!(matches!(
+            execute(&s, &q),
+            Err(TsdbError::UnknownMeasurement(_))
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Query::parse("").is_err());
+        assert!(Query::parse("SELECT FROM m").is_err());
+        assert!(Query::parse("SELECT \"a\" FROM \"m\" WHERE time ~ 3").is_err());
+        assert!(Query::parse("SELECT bogus(\"a\") FROM \"m\"").is_err());
+        assert!(Query::parse("SELECT \"a\" FROM \"m\" GROUP BY time(0)").is_err());
+        assert!(Query::parse("SELECT \"a\" FROM \"m\" trailing").is_err());
+    }
+
+    #[test]
+    fn negative_timestamps_bucket_correctly() {
+        let mut s = Storage::new();
+        s.insert(Point::new("m").field("v", 1.0).timestamp(-7));
+        let q = Query::parse("SELECT sum(\"v\") FROM \"m\" GROUP BY time(5)").unwrap();
+        let r = execute(&s, &q).unwrap();
+        assert_eq!(r.rows[0].timestamp, -10); // floor division
+    }
+}

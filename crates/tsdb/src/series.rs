@@ -1,0 +1,85 @@
+//! Series identity: a series is one measurement + one canonical tag set.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Opaque, dense series identifier assigned at first write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SeriesId(pub u64);
+
+/// Canonical series key: measurement plus sorted `tag=value` pairs.
+///
+/// Two points with the same measurement and tag set belong to the same
+/// series regardless of insertion order of their tags, matching InfluxDB
+/// semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SeriesKey {
+    /// Measurement this series belongs to.
+    pub measurement: String,
+    /// Canonically ordered tag set.
+    pub tags: BTreeMap<String, String>,
+}
+
+impl SeriesKey {
+    /// Build a key from a measurement and any iterable of tag pairs.
+    pub fn new<I, K, V>(measurement: impl Into<String>, tags: I) -> Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<String>,
+    {
+        SeriesKey {
+            measurement: measurement.into(),
+            tags: tags
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        }
+    }
+
+    /// Human-readable `measurement,k=v,k=v` form (stable because of BTreeMap).
+    pub fn canonical(&self) -> String {
+        let mut s = self.measurement.clone();
+        for (k, v) in &self.tags {
+            s.push(',');
+            s.push_str(k);
+            s.push('=');
+            s.push_str(v);
+        }
+        s
+    }
+
+    /// Whether this series matches all `tag=value` constraints given.
+    pub fn matches_tags(&self, constraints: &BTreeMap<String, String>) -> bool {
+        constraints
+            .iter()
+            .all(|(k, v)| self.tags.get(k).is_some_and(|tv| tv == v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_is_order_independent() {
+        let a = SeriesKey::new("m", [("b", "2"), ("a", "1")]);
+        let b = SeriesKey::new("m", [("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.canonical(), "m,a=1,b=2");
+    }
+
+    #[test]
+    fn tag_matching() {
+        let k = SeriesKey::new("m", [("host", "skx"), ("cpu", "0")]);
+        let mut constraints = BTreeMap::new();
+        assert!(k.matches_tags(&constraints)); // empty constraints match
+        constraints.insert("host".into(), "skx".into());
+        assert!(k.matches_tags(&constraints));
+        constraints.insert("cpu".into(), "1".into());
+        assert!(!k.matches_tags(&constraints));
+        let mut missing = BTreeMap::new();
+        missing.insert("rack".into(), "r1".into());
+        assert!(!k.matches_tags(&missing));
+    }
+}

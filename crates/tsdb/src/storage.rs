@@ -1,0 +1,265 @@
+//! In-memory columnar storage: measurement -> series -> time-ordered rows.
+
+use crate::index::TagIndex;
+use crate::point::Point;
+use crate::series::{SeriesId, SeriesKey};
+use crate::value::FieldValue;
+use std::collections::{BTreeMap, HashMap};
+
+/// One stored sample: timestamp plus the point's field set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Nanosecond timestamp.
+    pub timestamp: i64,
+    /// Field name -> value.
+    pub fields: BTreeMap<String, FieldValue>,
+}
+
+/// Data for a single series.
+#[derive(Debug)]
+pub struct SeriesData {
+    /// Identity of the series.
+    pub key: SeriesKey,
+    /// Rows sorted by timestamp (append-mostly; out-of-order inserts are
+    /// placed by binary search, as Influx's TSM engine effectively does).
+    pub rows: Vec<Row>,
+}
+
+impl SeriesData {
+    fn insert(&mut self, row: Row) {
+        match self.rows.last() {
+            Some(last) if last.timestamp <= row.timestamp => self.rows.push(row),
+            None => self.rows.push(row),
+            _ => {
+                let pos = self
+                    .rows
+                    .partition_point(|r| r.timestamp <= row.timestamp);
+                self.rows.insert(pos, row);
+            }
+        }
+    }
+
+    /// Rows with `start <= ts < end`.
+    pub fn range(&self, start: i64, end: i64) -> &[Row] {
+        let lo = self.rows.partition_point(|r| r.timestamp < start);
+        let hi = self.rows.partition_point(|r| r.timestamp < end);
+        &self.rows[lo..hi]
+    }
+}
+
+/// Per-measurement storage: the series map plus its inverted tag index.
+#[derive(Debug, Default)]
+pub struct Measurement {
+    series_ids: HashMap<SeriesKey, SeriesId>,
+    series: BTreeMap<SeriesId, SeriesData>,
+    index: TagIndex,
+    field_keys: BTreeMap<String, ()>,
+}
+
+impl Measurement {
+    /// All series in id order.
+    pub fn series_iter(&self) -> impl Iterator<Item = &SeriesData> {
+        self.series.values()
+    }
+
+    /// Look up one series by id.
+    pub fn series(&self, id: SeriesId) -> Option<&SeriesData> {
+        self.series.get(&id)
+    }
+
+    /// Series ids matching a set of tag constraints, using the inverted
+    /// index when constraints exist, otherwise all series.
+    pub fn matching_series(&self, constraints: &[(String, String)]) -> Vec<SeriesId> {
+        match self.index.lookup_all(constraints) {
+            Some(set) => set.into_iter().collect(),
+            None => self.series.keys().copied().collect(),
+        }
+    }
+
+    /// Field keys ever written to this measurement (sorted).
+    pub fn field_keys(&self) -> Vec<String> {
+        self.field_keys.keys().cloned().collect()
+    }
+
+    /// Distinct tag values for a key.
+    pub fn tag_values(&self, key: &str) -> Vec<String> {
+        self.index.values_for_key(key)
+    }
+
+    /// Total number of stored rows across series.
+    pub fn row_count(&self) -> usize {
+        self.series.values().map(|s| s.rows.len()).sum()
+    }
+}
+
+/// Whole-database storage shared behind the engine lock.
+#[derive(Debug, Default)]
+pub struct Storage {
+    measurements: BTreeMap<String, Measurement>,
+    next_series: u64,
+}
+
+impl Storage {
+    /// Create empty storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert one point, creating measurement/series as needed.
+    pub fn insert(&mut self, point: Point) {
+        let m = self.measurements.entry(point.measurement.clone()).or_default();
+        let key = SeriesKey {
+            measurement: point.measurement.clone(),
+            tags: point.tags.clone(),
+        };
+        let id = match m.series_ids.get(&key) {
+            Some(id) => *id,
+            None => {
+                let id = SeriesId(self.next_series);
+                self.next_series += 1;
+                m.series_ids.insert(key.clone(), id);
+                for (k, v) in &key.tags {
+                    m.index.insert(k, v, id);
+                }
+                m.series.insert(
+                    id,
+                    SeriesData {
+                        key: key.clone(),
+                        rows: Vec::new(),
+                    },
+                );
+                id
+            }
+        };
+        for k in point.fields.keys() {
+            m.field_keys.insert(k.clone(), ());
+        }
+        let row = Row {
+            timestamp: point.timestamp,
+            fields: point.fields,
+        };
+        m.series.get_mut(&id).expect("series just ensured").insert(row);
+    }
+
+    /// Access a measurement.
+    pub fn measurement(&self, name: &str) -> Option<&Measurement> {
+        self.measurements.get(name)
+    }
+
+    /// All measurement names (sorted).
+    pub fn measurement_names(&self) -> Vec<String> {
+        self.measurements.keys().cloned().collect()
+    }
+
+    /// Drop all rows strictly older than `cutoff` across every measurement;
+    /// returns the number of rows removed. Empty series are pruned and
+    /// removed from the index.
+    pub fn drop_before(&mut self, cutoff: i64) -> usize {
+        let mut removed = 0;
+        for m in self.measurements.values_mut() {
+            let mut dead = Vec::new();
+            for (id, s) in m.series.iter_mut() {
+                let keep_from = s.rows.partition_point(|r| r.timestamp < cutoff);
+                removed += keep_from;
+                s.rows.drain(..keep_from);
+                if s.rows.is_empty() {
+                    dead.push(*id);
+                }
+            }
+            for id in dead {
+                if let Some(s) = m.series.remove(&id) {
+                    for (k, v) in &s.key.tags {
+                        m.index.remove(k, v, id);
+                    }
+                    m.series_ids.remove(&s.key);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Total rows stored.
+    pub fn total_rows(&self) -> usize {
+        self.measurements.values().map(Measurement::row_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(m: &str, host: &str, ts: i64, v: f64) -> Point {
+        Point::new(m).tag("host", host).field("value", v).timestamp(ts)
+    }
+
+    #[test]
+    fn insert_creates_series_per_tagset() {
+        let mut s = Storage::new();
+        s.insert(pt("cpu", "a", 1, 1.0));
+        s.insert(pt("cpu", "a", 2, 2.0));
+        s.insert(pt("cpu", "b", 1, 3.0));
+        let m = s.measurement("cpu").unwrap();
+        assert_eq!(m.series_iter().count(), 2);
+        assert_eq!(m.row_count(), 3);
+    }
+
+    #[test]
+    fn out_of_order_insert_keeps_sorted() {
+        let mut s = Storage::new();
+        s.insert(pt("m", "a", 10, 1.0));
+        s.insert(pt("m", "a", 5, 2.0));
+        s.insert(pt("m", "a", 7, 3.0));
+        let m = s.measurement("m").unwrap();
+        let series = m.series_iter().next().unwrap();
+        let ts: Vec<i64> = series.rows.iter().map(|r| r.timestamp).collect();
+        assert_eq!(ts, vec![5, 7, 10]);
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let mut s = Storage::new();
+        for t in 0..10 {
+            s.insert(pt("m", "a", t, t as f64));
+        }
+        let m = s.measurement("m").unwrap();
+        let series = m.series_iter().next().unwrap();
+        let r = series.range(3, 7);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0].timestamp, 3);
+        assert_eq!(r[3].timestamp, 6);
+    }
+
+    #[test]
+    fn matching_series_uses_index() {
+        let mut s = Storage::new();
+        s.insert(pt("m", "a", 1, 1.0));
+        s.insert(pt("m", "b", 1, 1.0));
+        let m = s.measurement("m").unwrap();
+        let c = vec![("host".to_string(), "a".to_string())];
+        assert_eq!(m.matching_series(&c).len(), 1);
+        assert_eq!(m.matching_series(&[]).len(), 2);
+    }
+
+    #[test]
+    fn drop_before_prunes_and_reindexes() {
+        let mut s = Storage::new();
+        s.insert(pt("m", "old", 1, 1.0));
+        s.insert(pt("m", "new", 100, 1.0));
+        let removed = s.drop_before(50);
+        assert_eq!(removed, 1);
+        let m = s.measurement("m").unwrap();
+        assert_eq!(m.series_iter().count(), 1);
+        assert!(m.tag_values("host") == vec!["new".to_string()]);
+    }
+
+    #[test]
+    fn field_keys_accumulate() {
+        let mut s = Storage::new();
+        s.insert(Point::new("m").field("a", 1.0).timestamp(1));
+        s.insert(Point::new("m").field("b", 1.0).timestamp(2));
+        assert_eq!(
+            s.measurement("m").unwrap().field_keys(),
+            vec!["a".to_string(), "b".to_string()]
+        );
+    }
+}

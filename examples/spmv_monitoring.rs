@@ -1,0 +1,76 @@
+//! SpMV monitoring (the Fig. 7 workflow): profile MKL-style and merge-path
+//! SpMV on a mesh matrix, original and RCM-reordered, and inspect the
+//! observation entries the KB records — including the Listing-2 entry and
+//! the Listing-3 auto-generated queries.
+//!
+//! ```sh
+//! cargo run --example spmv_monitoring
+//! ```
+
+use pmove::core::analysis::{queries_for_observation, report::observation_report};
+use pmove::core::profiles::spmv_profile;
+use pmove::core::telemetry::pinning::PinningStrategy;
+use pmove::core::telemetry::scenario_b::ProfileRequest;
+use pmove::core::PMoveDaemon;
+use pmove::spmv::profile::SpmvAlgorithm;
+use pmove::spmv::reorder::Reordering;
+use pmove::spmv::suite::SuiteMatrix;
+use pmove::spmv::verify::cross_check;
+
+fn main() {
+    let mut daemon = PMoveDaemon::for_preset("csl").expect("preset machine");
+    let threads = daemon.machine.spec.total_cores();
+
+    // The actual kernels really run — verify them against the sequential
+    // reference before monitoring the simulated target executions.
+    let matrix = SuiteMatrix::Hugetrace00020.generate(1.0);
+    let x = pmove::spmv::verify::test_vector(matrix.cols);
+    cross_check(&matrix, &x, 16, 1e-9).expect("all SpMV implementations agree");
+    println!(
+        "matrix {}: {} rows, {} nnz — implementations cross-checked\n",
+        SuiteMatrix::Hugetrace00020.name(),
+        matrix.rows,
+        matrix.nnz()
+    );
+
+    for reorder in [Reordering::None, Reordering::Rcm] {
+        let a = reorder.apply(&matrix);
+        for algo in [SpmvAlgorithm::Mkl, SpmvAlgorithm::Merge] {
+            let request = ProfileRequest {
+                profile: spmv_profile(&a, algo, &daemon.machine.spec, threads, 10_000),
+                command: format!("spmv --algo {} --reorder {}", algo.label(), reorder.label()),
+                generic_events: vec![
+                    "SCALAR_DP_INSTRUCTIONS".into(),
+                    "AVX512_DP_INSTRUCTIONS".into(),
+                    "TOTAL_MEMORY_OPERATIONS".into(),
+                    "RAPL_ENERGY_PKG".into(),
+                ],
+                freq_hz: 4.0,
+                pinning: PinningStrategy::Balanced,
+            };
+            let outcome = daemon.profile(&request).expect("profiling succeeds");
+            println!(
+                "{}",
+                observation_report(
+                    &daemon.ts,
+                    &daemon.layer,
+                    "csl",
+                    &outcome.observation,
+                    &["TOTAL_MEMORY_OPERATIONS", "AVX512_DP_INSTRUCTIONS", "RAPL_ENERGY_PKG"],
+                )
+            );
+        }
+    }
+
+    // The last observation as a Listing-2 style KB entry...
+    let obs = daemon.kb.observations.last().expect("observations recorded");
+    println!(
+        "ObservationInterface entry (Listing 2 shape):\n{}\n",
+        serde_json::to_string_pretty(&obs.to_json()).unwrap()
+    );
+    // ...and its Listing-3 auto-generated recall queries.
+    println!("auto-generated queries (Listing 3):");
+    for q in queries_for_observation(obs) {
+        println!("  {q}");
+    }
+}

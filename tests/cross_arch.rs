@@ -1,0 +1,112 @@
+//! Cross-architecture integration: the abstraction layer lets identical
+//! profiling code run on Intel and AMD targets — the same generic events,
+//! different PMU formulas underneath (the §V-D use case of §IV-A).
+
+use pmove::core::abstraction::PmuUtils;
+use pmove::core::profiles::stream_kernel_profile;
+use pmove::core::telemetry::pinning::PinningStrategy;
+use pmove::core::telemetry::scenario_b::{recall_generic_total, ProfileRequest};
+use pmove::core::PMoveDaemon;
+use pmove::hwsim::vendor::IsaExt;
+use pmove::kernels::StreamKernel;
+
+/// Profile the same DDOT kernel with the same generic events on every
+/// target; the recalled totals must match the analytic truth everywhere.
+#[test]
+fn same_generic_events_on_all_four_targets() {
+    let n: u64 = 1 << 32;
+    let truth_flops = 2.0 * n as f64;
+    let truth_mem_ops = 2.0 * n as f64; // scalar loads, one element each
+
+    for key in ["skx", "icl", "csl", "zen3"] {
+        let mut d = PMoveDaemon::for_preset(key).expect("preset");
+        let threads = d.machine.spec.total_cores();
+        let request = ProfileRequest {
+            profile: stream_kernel_profile(StreamKernel::Ddot, n, threads, IsaExt::Scalar),
+            command: "ddot".into(),
+            // TOTAL_DP_FLOPS and TOTAL_MEMORY_OPERATIONS are common
+            // events: mapped on every PMU, via different formulas.
+            generic_events: vec![
+                "TOTAL_DP_FLOPS".into(),
+                "TOTAL_MEMORY_OPERATIONS".into(),
+            ],
+            freq_hz: 4.0,
+            pinning: PinningStrategy::Balanced,
+        };
+        let outcome = d.profile(&request).expect("profiling succeeds");
+        let flops =
+            recall_generic_total(&d.ts, &d.layer, key, "TOTAL_DP_FLOPS", &outcome.observation.id)
+                .unwrap();
+        let mem = recall_generic_total(
+            &d.ts,
+            &d.layer,
+            key,
+            "TOTAL_MEMORY_OPERATIONS",
+            &outcome.observation.id,
+        )
+        .unwrap();
+        assert!(
+            (flops - truth_flops).abs() / truth_flops < 0.1,
+            "{key}: flops {flops:.3e} vs {truth_flops:.3e}"
+        );
+        assert!(
+            (mem - truth_mem_ops).abs() / truth_mem_ops < 0.1,
+            "{key}: mem {mem:.3e} vs {truth_mem_ops:.3e}"
+        );
+    }
+}
+
+/// The pmu_utils façade resolves the same generic event to
+/// vendor-specific formulas (Table I's "different names" row).
+#[test]
+fn pmu_utils_resolves_per_vendor() {
+    let d = PMoveDaemon::for_preset("csl").expect("preset");
+    let utils = PmuUtils::new(&d.layer);
+    let intel = utils.get("csl", "TOTAL_MEMORY_OPERATIONS").unwrap();
+    let amd = utils.get("zen3", "TOTAL_MEMORY_OPERATIONS").unwrap();
+    assert!(intel[0].contains("MEM_INST_RETIRED"));
+    assert!(amd[0].contains("LS_DISPATCH"));
+    assert_eq!(intel[1], "+");
+    assert_eq!(amd[1], "+");
+}
+
+/// Every common generic event is mapped on every builtin PMU, and the
+/// required HW events exist in the corresponding catalogs.
+#[test]
+fn common_events_resolve_to_real_hw_events_everywhere() {
+    let d = PMoveDaemon::for_preset("icl").expect("preset");
+    for key in ["skx", "icl", "csl", "zen3"] {
+        assert!(d.layer.missing_common_events(key).is_empty(), "{key}");
+        let machine = pmove::hwsim::Machine::preset(key).unwrap();
+        let catalog = pmove::hwsim::EventCatalog::for_arch(machine.spec.arch);
+        for generic in pmove::core::abstraction::events::COMMON_EVENTS {
+            for hw in d.layer.required_hw_events(key, generic).unwrap() {
+                assert!(
+                    catalog.supports(&hw),
+                    "{key}: {generic} needs {hw} which the catalog lacks"
+                );
+            }
+        }
+    }
+}
+
+/// Pinning strategies produce valid, distinct affinities on a two-socket
+/// machine and the observation records them.
+#[test]
+fn pinning_strategies_distinct_on_skx() {
+    let machine = pmove::hwsim::Machine::preset("skx").unwrap();
+    let compact = PinningStrategy::Compact.assign(&machine, 8);
+    let balanced = PinningStrategy::Balanced.assign(&machine, 8);
+    let numa_compact = PinningStrategy::NumaCompact.assign(&machine, 8);
+    assert_ne!(compact, balanced);
+    assert_ne!(compact, numa_compact);
+    // Balanced touches both sockets; numa-compact stays on node 0.
+    assert_eq!(
+        PinningStrategy::nodes_touched(&machine, &balanced),
+        vec![0, 1]
+    );
+    assert_eq!(
+        PinningStrategy::nodes_touched(&machine, &numa_compact),
+        vec![0]
+    );
+}
