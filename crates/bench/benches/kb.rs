@@ -65,7 +65,10 @@ fn bench_docdb(c: &mut Criterion) {
         b.iter(|| col.find(black_box(&json!({"@type": "Interface"}))).unwrap())
     });
     group.bench_function("scan_find_range", |b| {
-        b.iter(|| col.find(black_box(&json!({"value": {"$gt": 4900}}))).unwrap())
+        b.iter(|| {
+            col.find(black_box(&json!({"value": {"$gt": 4900}})))
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -1,0 +1,61 @@
+//! Criterion benches: the observability substrate's hot paths. These are
+//! the operations sprinkled through the sampling/ingest loops, so their
+//! cost bounds the instrumentation overhead budget (< 5 %, enforced by
+//! `overhead_stays_bounded` in `crates/pcp`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmove_obs::{latency_buckets, Registry};
+
+fn bench_counter(c: &mut Criterion) {
+    let reg = Registry::new();
+    let counter = reg.counter("bench.counter", &[("host", "skx")]);
+    c.bench_function("obs_counter_inc", |b| b.iter(|| black_box(&counter).inc()));
+    c.bench_function("obs_counter_add", |b| {
+        b.iter(|| black_box(&counter).add(black_box(88)))
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let reg = Registry::new();
+    let hist = reg.histogram("bench.latency_ns", &[], latency_buckets());
+    let mut i = 0u64;
+    c.bench_function("obs_histogram_record", |b| {
+        b.iter(|| {
+            hist.record(black_box(1_000 + (i % 977) * 13));
+            i += 1;
+        })
+    });
+}
+
+fn bench_span(c: &mut Criterion) {
+    let reg = Registry::new();
+    let mut t = 0u64;
+    c.bench_function("obs_span_enter_exit", |b| {
+        b.iter(|| {
+            let guard = reg.span_enter(black_box("bench.span"), t);
+            guard.finish(t + 1_000);
+            t += 1_000;
+        })
+    });
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let reg = Registry::new();
+    for i in 0..32 {
+        reg.counter("bench.c", &[("i", &i.to_string())]).add(i);
+    }
+    reg.histogram("bench.h", &[], latency_buckets()).record(500);
+    reg.record_span("bench.s", 0, 10);
+    c.bench_function("obs_registry_snapshot_32_metrics", |b| {
+        b.iter(|| black_box(reg.snapshot()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_counter,
+    bench_histogram,
+    bench_span,
+    bench_snapshot
+);
+criterion_main!(benches);

@@ -58,5 +58,10 @@ fn bench_rcm_itself(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithms, bench_reorderings, bench_rcm_itself);
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_reorderings,
+    bench_rcm_itself
+);
 criterion_main!(benches);

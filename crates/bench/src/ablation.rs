@@ -70,8 +70,11 @@ pub fn capacity_sweep(capacities: &[f64]) -> Vec<CapacityPoint> {
                 .iter()
                 .map(|e| format!("perfevent.hwcounters.{e}"))
                 .collect();
-            let report =
-                SamplingLoop::run(&SamplingConfig::new(metrics, 32.0, 0.0, 10.0), &mut pmcd, &mut shipper);
+            let report = SamplingLoop::run(
+                &SamplingConfig::new(metrics, 32.0, 0.0, 10.0),
+                &mut pmcd,
+                &mut shipper,
+            );
             CapacityPoint {
                 capacity,
                 loss_pct: 100.0
@@ -80,7 +83,8 @@ pub fn capacity_sweep(capacities: &[f64]) -> Vec<CapacityPoint> {
                         - report.transport.values_zeroed) as f64
                     / report.expected_values as f64,
                 loss_plus_zero_pct: 100.0
-                    * ((report.expected_values - report.transport.values_inserted
+                    * ((report.expected_values
+                        - report.transport.values_inserted
                         - report.transport.values_zeroed)
                         + report.transport.values_zeroed) as f64
                     / report.expected_values as f64,
@@ -150,7 +154,8 @@ pub fn partition_skew(workers: &[usize]) -> Vec<SkewPoint> {
 
 /// Render all three ablations.
 pub fn format_all() -> String {
-    let mut out = String::from("ABLATIONS\n\n[1] shipping capacity vs losses (skx, 32 Hz, 6 metrics)\n");
+    let mut out =
+        String::from("ABLATIONS\n\n[1] shipping capacity vs losses (skx, 32 Hz, 6 metrics)\n");
     out.push_str(&format!("{:>12} {:>8} {:>8}\n", "values/s", "%L", "L+Z%"));
     for p in capacity_sweep(&[4_000.0, 8_000.0, 11_000.0, 16_000.0, 24_000.0, 48_000.0]) {
         out.push_str(&format!(

@@ -1,6 +1,16 @@
-//! Reproduce Table III: sampling throughput and losses.
+//! Reproduce Table III: sampling throughput and losses, plus the
+//! loss-conservation audit over every cell.
 
 fn main() {
-    let rows = pmove_bench::table3::run();
+    let (rows, audit) = pmove_bench::table3::run_audited();
     print!("{}", pmove_bench::table3::format(&rows));
+    match audit.verify() {
+        Ok(n) => println!(
+            "\nconservation audit: {n}/{n} cells balanced (offered == inserted + zeroed + lost)"
+        ),
+        Err(e) => {
+            println!("\nconservation audit FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -90,7 +90,10 @@ pub fn run(machine_key: &str, freqs: &[f64]) -> Vec<OverheadCell> {
 /// Render the figure data.
 pub fn format(cells: &[OverheadCell]) -> String {
     let mut out = String::from("FIG 5: profiling overhead (%) per kernel and frequency\n");
-    out.push_str(&format!("{:<11} {:>6} {:>12}\n", "Kernel", "Freq", "Overhead %"));
+    out.push_str(&format!(
+        "{:<11} {:>6} {:>12}\n",
+        "Kernel", "Freq", "Overhead %"
+    ));
     for c in cells {
         out.push_str(&format!(
             "{:<11} {:>6} {:>12.4}\n",

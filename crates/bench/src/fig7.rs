@@ -79,8 +79,7 @@ pub fn run(scale: f64) -> Fig7Result {
                 let per_iter_bytes = (a.nnz() as f64 * 2.5 + a.rows as f64) * 8.0;
                 let target = daemon.machine.spec.dram_bw_total() * 1.0;
                 let iterations = ((target / per_iter_bytes) as u64).max(1);
-                let profile =
-                    spmv_profile(&a, algo, &daemon.machine.spec, threads, iterations);
+                let profile = spmv_profile(&a, algo, &daemon.machine.spec, threads, iterations);
                 let request = ProfileRequest {
                     profile,
                     command: format!(

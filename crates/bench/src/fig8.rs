@@ -69,10 +69,7 @@ pub fn run(scale: f64) -> Fig8Result {
             let request = ProfileRequest {
                 profile: spmv_profile(&a, algo, &daemon.machine.spec, threads, iterations),
                 command: format!("spmv --algo {} --reorder {}", algo.label(), reorder.label()),
-                generic_events: vec![
-                    "TOTAL_DP_FLOPS".into(),
-                    "TOTAL_MEMORY_OPERATIONS".into(),
-                ],
+                generic_events: vec!["TOTAL_DP_FLOPS".into(), "TOTAL_MEMORY_OPERATIONS".into()],
                 freq_hz: 8.0,
                 pinning: PinningStrategy::Balanced,
             };

@@ -74,10 +74,7 @@ pub fn run() -> Fig9Result {
         let request = ProfileRequest {
             profile: stream_kernel_profile_at_level(kernel, n, threads, isa, level),
             command: format!("likwid-bench -t {}", kernel.name()),
-            generic_events: vec![
-                "TOTAL_DP_FLOPS".into(),
-                "TOTAL_MEMORY_OPERATIONS".into(),
-            ],
+            generic_events: vec!["TOTAL_DP_FLOPS".into(), "TOTAL_MEMORY_OPERATIONS".into()],
             freq_hz: 8.0,
             pinning: PinningStrategy::Compact,
         };
@@ -114,10 +111,7 @@ pub fn steady_state_means(points: &[pmove_core::carm::LiveCarmPoint]) -> (f64, f
     // bytes ∝ gflops / ai.
     let flops: f64 = steady.iter().map(|p| p.gflops).sum();
     let bytes: f64 = steady.iter().map(|p| p.gflops / p.ai).sum();
-    (
-        if bytes > 0.0 { flops / bytes } else { 0.0 },
-        flops / m,
-    )
+    (if bytes > 0.0 { flops / bytes } else { 0.0 }, flops / m)
 }
 
 /// Render the panel.

@@ -26,7 +26,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod table1;
-pub mod variability;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod variability;

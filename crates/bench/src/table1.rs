@@ -48,9 +48,8 @@ fn formula(layer: &AbstractionLayer, pmu: &str, generic: &str) -> Option<String>
 
 /// Render the table.
 pub fn format(rows: &[Row]) -> String {
-    let mut out = String::from(
-        "TABLE I: Intel (Cascade Lake) vs AMD (Zen3) PMU events per generic event\n",
-    );
+    let mut out =
+        String::from("TABLE I: Intel (Cascade Lake) vs AMD (Zen3) PMU events per generic event\n");
     out.push_str(&format!(
         "{:<26} | {:<58} | {}\n",
         "Generic event", "Intel Cascade", "AMD Zen3"

@@ -12,6 +12,7 @@ use pmove_hwsim::kernel_profile::{KernelProfile, Precision};
 use pmove_hwsim::network::LinkSpec;
 use pmove_hwsim::vendor::Vendor;
 use pmove_hwsim::{ExecModel, Machine};
+use pmove_obs::{ConservationAudit, ConservationCell, Registry};
 use pmove_pcp::pmda_perfevent::PerfEventAgent;
 use pmove_pcp::{Pmcd, SamplingConfig, SamplingLoop, Shipper};
 use pmove_tsdb::Database;
@@ -97,6 +98,14 @@ fn busy_kernel(machine: &Machine) -> KernelProfile {
 
 /// Run one cell of the table.
 pub fn run_cell(host: &str, freq: f64, n_metrics: usize) -> Row {
+    run_cell_audited(host, freq, n_metrics).0
+}
+
+/// [`run_cell`] with the transport observed through `pmove-obs`: the cell's
+/// conservation counters come from the exported self-telemetry (not the
+/// transport's private stats), so the audit exercises the same numbers a
+/// self-dashboard would show.
+pub fn run_cell_audited(host: &str, freq: f64, n_metrics: usize) -> (Row, ConservationCell) {
     let machine = Machine::preset(host).expect("known host");
     let events = busy_metrics(&machine, n_metrics);
     let refs: Vec<&str> = events.iter().map(String::as_str).collect();
@@ -105,13 +114,15 @@ pub fn run_cell(host: &str, freq: f64, n_metrics: usize) -> Row {
     let exec = ExecModel::new(machine.spec.clone()).run(&busy_kernel(&machine), 0.0);
     agent.attach(exec);
 
+    let registry = Registry::shared();
     let db = Database::new("host");
     let mut shipper = Shipper::new(
         &db,
         LinkSpec::mbit_100(),
         1.0 / freq,
         &[host, &format!("t3-{freq}-{n_metrics}")],
-    );
+    )
+    .with_obs(registry.clone());
     let mut pmcd = Pmcd::new();
     pmcd.set_tag("tag", format!("table3-{host}-{freq}-{n_metrics}"));
     pmcd.register(Box::new(agent));
@@ -122,27 +133,50 @@ pub fn run_cell(host: &str, freq: f64, n_metrics: usize) -> Row {
     let config = SamplingConfig::new(metrics, freq, 0.0, DURATION_S);
     let report = SamplingLoop::run(&config, &mut pmcd, &mut shipper);
 
-    Row {
+    let snap = registry.snapshot();
+    let cell = ConservationCell {
+        offered: snap
+            .counter("pcp.transport.values_offered", &[])
+            .unwrap_or(0),
+        inserted: snap
+            .counter("pcp.transport.values_inserted", &[])
+            .unwrap_or(0),
+        zeroed: snap
+            .counter("pcp.transport.values_zeroed", &[])
+            .unwrap_or(0),
+        lost: snap.counter("pcp.transport.values_lost", &[]).unwrap_or(0),
+    };
+    let row = Row {
         host: host.to_string(),
         freq,
         n_metrics,
         expected: report.expected_values,
         inserted: report.transport.values_inserted + report.transport.values_zeroed,
         zeros: report.transport.values_zeroed,
-    }
+    };
+    (row, cell)
 }
 
 /// Run the whole table (skx and icl × {2, 8, 32} Hz × {4, 5, 6} metrics).
 pub fn run() -> Vec<Row> {
+    run_audited().0
+}
+
+/// Run the whole table with a loss-conservation audit: one
+/// [`ConservationCell`] per table cell, named `host/freqHz/nm`.
+pub fn run_audited() -> (Vec<Row>, ConservationAudit) {
     let mut rows = Vec::new();
+    let mut audit = ConservationAudit::new();
     for host in ["skx", "icl"] {
         for freq in [2.0, 8.0, 32.0] {
             for mt in [4, 5, 6] {
-                rows.push(run_cell(host, freq, mt));
+                let (row, cell) = run_cell_audited(host, freq, mt);
+                audit.record(&format!("{host}/{freq}Hz/{mt}m"), cell);
+                rows.push(row);
             }
         }
     }
-    rows
+    (rows, audit)
 }
 
 /// Render the table.
@@ -228,6 +262,19 @@ mod tests {
         let r = run_cell("icl", 8.0, 6);
         assert!(r.actual_tput() <= r.tput());
         assert!((r.tput() - r.inserted as f64 / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_cell_conserves_offered_values_exactly() {
+        // A lossy cell (skx @ 32 Hz sheds >half its points) still balances:
+        // every offered value is inserted, zeroed, or lost — never unaccounted.
+        let (row, cell) = run_cell_audited("skx", 32.0, 5);
+        assert!(cell.holds(), "imbalance {}", cell.imbalance());
+        assert!(cell.lost > 0, "cell should actually lose points");
+        assert_eq!(cell.inserted + cell.zeroed, row.inserted);
+        let mut audit = ConservationAudit::new();
+        audit.record("skx/32Hz/5m", cell);
+        assert_eq!(audit.verify(), Ok(1));
     }
 
     #[test]

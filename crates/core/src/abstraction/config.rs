@@ -64,7 +64,10 @@ impl AbstractionLayer {
                         lineno + 1
                     )));
                 }
-                let alias = parts.next().map(|a| a.trim().to_string()).filter(|a| !a.is_empty());
+                let alias = parts
+                    .next()
+                    .map(|a| a.trim().to_string())
+                    .filter(|a| !a.is_empty());
                 current = Some(PmuConfig {
                     pmu_name,
                     alias,
@@ -101,11 +104,7 @@ impl AbstractionLayer {
     }
 
     fn upsert(&mut self, cfg: PmuConfig) {
-        if let Some(existing) = self
-            .configs
-            .iter_mut()
-            .find(|c| c.pmu_name == cfg.pmu_name)
-        {
+        if let Some(existing) = self.configs.iter_mut().find(|c| c.pmu_name == cfg.pmu_name) {
             // Later registrations extend/override earlier mappings.
             for (k, v) in cfg.mappings {
                 existing.mappings.insert(k, v);
@@ -210,7 +209,9 @@ CPU_CYCLES: CYCLES
             "MEM_INST_RETIRED:ALL_LOADS + MEM_INST_RETIRED:ALL_STORES"
         );
         assert_eq!(
-            layer.required_hw_events("skl", "TOTAL_MEMORY_OPERATIONS").unwrap(),
+            layer
+                .required_hw_events("skl", "TOTAL_MEMORY_OPERATIONS")
+                .unwrap(),
             vec![
                 "MEM_INST_RETIRED:ALL_LOADS".to_string(),
                 "MEM_INST_RETIRED:ALL_STORES".to_string()

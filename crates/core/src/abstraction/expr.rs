@@ -90,12 +90,12 @@ impl Formula {
         let mut ops: Vec<char> = Vec::new();
         for t in &self.tokens {
             match t {
-                Token::Event(e) => operands.push(resolve(e).ok_or_else(|| {
-                    PmoveError::UnmappedEvent {
+                Token::Event(e) => {
+                    operands.push(resolve(e).ok_or_else(|| PmoveError::UnmappedEvent {
                         pmu: "<resolver>".into(),
                         event: e.clone(),
-                    }
-                })?),
+                    })?)
+                }
                 Token::Const(c) => operands.push(*c),
                 Token::Op(o) => ops.push(*o),
             }
@@ -145,8 +145,7 @@ mod tests {
 
     #[test]
     fn parses_paper_example() {
-        let f = Formula::parse("MEM_INST_RETIRED:ALL_LOADS + MEM_INST_RETIRED:ALL_STORES")
-            .unwrap();
+        let f = Formula::parse("MEM_INST_RETIRED:ALL_LOADS + MEM_INST_RETIRED:ALL_STORES").unwrap();
         assert_eq!(f.tokens.len(), 3);
         assert_eq!(
             f.events(),
@@ -164,9 +163,7 @@ mod tests {
     fn precedence_mul_before_add() {
         // a + b * 2 with a=10, b=3 → 16 (not 26).
         let f = Formula::parse("A + B * 2").unwrap();
-        let v = f
-            .eval(|e| Some(if e == "A" { 10.0 } else { 3.0 }))
-            .unwrap();
+        let v = f.eval(|e| Some(if e == "A" { 10.0 } else { 3.0 })).unwrap();
         assert_eq!(v, 16.0);
         // The live-CARM flops chain: s * 1 + x * 2 + y * 4 + z * 8.
         let f = Formula::parse("S * 1 + X * 2 + Y * 4 + Z * 8").unwrap();

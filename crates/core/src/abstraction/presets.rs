@@ -110,7 +110,10 @@ mod tests {
         // Same: energy.
         assert_eq!(
             layer.formula("csl", "RAPL_ENERGY_PKG").unwrap().to_string(),
-            layer.formula("zen3", "RAPL_ENERGY_PKG").unwrap().to_string()
+            layer
+                .formula("zen3", "RAPL_ENERGY_PKG")
+                .unwrap()
+                .to_string()
         );
         // Different: total memory operations.
         assert!(layer

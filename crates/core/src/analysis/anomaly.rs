@@ -89,7 +89,11 @@ mod tests {
             let mut p = Point::new("kernel_percpu_cpu_idle").timestamp(t);
             for c in 0..8 {
                 // cpu5 is pegged (idle ≈ 0); the rest idle around 0.9.
-                let v = if c == 5 { 0.01 } else { 0.9 + 0.01 * (c as f64) };
+                let v = if c == 5 {
+                    0.01
+                } else {
+                    0.9 + 0.01 * (c as f64)
+                };
                 p = p.field(format!("_cpu{c}"), v);
             }
             db.write_point(p).unwrap();
@@ -124,8 +128,13 @@ mod tests {
     #[test]
     fn too_few_peers_reports_nothing() {
         let db = Database::new("t");
-        db.write_point(Point::new("m").field("_cpu0", 1.0).field("_cpu1", 99.0).timestamp(0))
-            .unwrap();
+        db.write_point(
+            Point::new("m")
+                .field("_cpu0", 1.0)
+                .field("_cpu1", 99.0)
+                .timestamp(0),
+        )
+        .unwrap();
         assert!(anomaly_scan(&db, "m", None, 1.0).is_empty());
         assert!(anomaly_scan(&db, "missing", None, 1.0).is_empty());
     }

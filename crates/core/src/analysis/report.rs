@@ -70,7 +70,8 @@ mod tests {
             freq_hz: 8.0,
             pinning: PinningStrategy::Compact,
         };
-        let out = profile_kernel(&machine, &mut kb, &layer, &ts, &mut ids, &req, 0.0).unwrap();
+        let out =
+            profile_kernel(&machine, &mut kb, &layer, &ts, &mut ids, &req, 0.0, None).unwrap();
         let text = observation_report(
             &ts,
             &layer,

@@ -118,7 +118,10 @@ mod tests {
         };
         let steps = trace_anomaly(&d.kb, &d.ts, &anomaly);
         let kinds: Vec<&str> = steps.iter().map(|s| s.component_type.as_str()).collect();
-        assert_eq!(kinds, vec!["thread", "core", "socket", "numanode", "system"]);
+        assert_eq!(
+            kinds,
+            vec!["thread", "core", "socket", "numanode", "system"]
+        );
         // The thread level has per-cpu stats; the system level has
         // singular stats (load, memory).
         assert!(!steps[0].stats.is_empty());
@@ -139,7 +142,8 @@ mod tests {
         // locates the twin.
         let d = PMoveDaemon::for_preset("icl").unwrap();
         for t in 0..30 {
-            let mut p = pmove_tsdb::Point::new("kernel_percpu_cpu_idle").timestamp(t * 1_000_000_000);
+            let mut p =
+                pmove_tsdb::Point::new("kernel_percpu_cpu_idle").timestamp(t * 1_000_000_000);
             for c in 0..16 {
                 p = p.field(format!("_cpu{c}"), if c == 3 { 0.01 } else { 0.9 });
             }

@@ -70,7 +70,12 @@ impl<'a> LiveCarm<'a> {
     }
 
     /// Compute one live point from windowed HW-event sums.
-    pub fn point<F>(&self, t_s: f64, window_s: f64, mut resolve: F) -> Result<LiveCarmPoint, PmoveError>
+    pub fn point<F>(
+        &self,
+        t_s: f64,
+        window_s: f64,
+        mut resolve: F,
+    ) -> Result<LiveCarmPoint, PmoveError>
     where
         F: FnMut(&str) -> Option<f64>,
     {
@@ -121,8 +126,7 @@ impl<'a> LiveCarm<'a> {
         use std::collections::BTreeMap;
         let mut buckets: BTreeMap<i64, BTreeMap<String, f64>> = BTreeMap::new();
         for event in &events {
-            let measurement =
-                format!("perfevent_hwcounters_{}", event.replace([':', '.'], "_"));
+            let measurement = format!("perfevent_hwcounters_{}", event.replace([':', '.'], "_"));
             // Discover the fields, then aggregate each with a per-bucket
             // sum and add the fields together.
             let Ok(fields) = ts
@@ -267,9 +271,7 @@ mod tests {
         let layer = builtin_layer();
         let lc = LiveCarm::new(&layer, "csl");
         // Pure AVX-512 mix → 64 B per memory op.
-        let w = lc.bytes_per_mem_op(|e| {
-            (e == "FP_ARITH:512B_PACKED_DOUBLE").then_some(100.0)
-        });
+        let w = lc.bytes_per_mem_op(|e| (e == "FP_ARITH:512B_PACKED_DOUBLE").then_some(100.0));
         assert_eq!(w, 64.0);
         // Pure scalar → 8 B.
         let w = lc.bytes_per_mem_op(|e| (e == "FP_ARITH:SCALAR_DOUBLE").then_some(10.0));
@@ -345,16 +347,12 @@ mod tests {
         let layer = d.layer.clone();
         // The observation id is deterministic: first id of this factory.
         let obs_id = crate::ids::IdFactory::new("csl").next_id();
-        let stream =
-            LiveCarmStream::attach(&layer, "csl", &d.ts, &obs_id, 0.5);
+        let stream = LiveCarmStream::attach(&layer, "csl", &d.ts, &obs_id, 0.5);
 
         let request = ProfileRequest {
             profile: stream_kernel_profile(StreamKernel::Triad, 1 << 36, 28, IsaExt::Avx512),
             command: "triad".into(),
-            generic_events: vec![
-                "TOTAL_DP_FLOPS".into(),
-                "TOTAL_MEMORY_OPERATIONS".into(),
-            ],
+            generic_events: vec!["TOTAL_DP_FLOPS".into(), "TOTAL_MEMORY_OPERATIONS".into()],
             freq_hz: 4.0,
             pinning: PinningStrategy::Compact,
         };

@@ -71,7 +71,11 @@ pub fn measure_level_bandwidth(machine: &Machine, level: u8, threads: u32) -> f6
 }
 
 /// Measure the peak FP throughput of one ISA extension.
-pub fn measure_peak_gflops(machine: &Machine, isa: pmove_hwsim::vendor::IsaExt, threads: u32) -> f64 {
+pub fn measure_peak_gflops(
+    machine: &Machine,
+    isa: pmove_hwsim::vendor::IsaExt,
+    threads: u32,
+) -> f64 {
     let model = ExecModel::new(machine.spec.clone());
     let flops: u64 = 1 << 36;
     let profile = KernelProfile::named(format!("carm_peak_{}", isa.label()))

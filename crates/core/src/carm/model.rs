@@ -42,10 +42,7 @@ pub struct CarmModel {
 impl CarmModel {
     /// The top compute peak (widest ISA).
     pub fn peak_gflops(&self) -> f64 {
-        self.peaks
-            .iter()
-            .map(|p| p.gflops)
-            .fold(0.0, f64::max)
+        self.peaks.iter().map(|p| p.gflops).fold(0.0, f64::max)
     }
 
     /// Bandwidth of a named level.
@@ -156,14 +153,32 @@ mod tests {
             machine: "csl".into(),
             threads: 28,
             roofs: vec![
-                MemRoof { level: "L1".into(), bandwidth_bps: 9.0e12 },
-                MemRoof { level: "L2".into(), bandwidth_bps: 4.0e12 },
-                MemRoof { level: "L3".into(), bandwidth_bps: 1.0e12 },
-                MemRoof { level: "DRAM".into(), bandwidth_bps: 1.2e11 },
+                MemRoof {
+                    level: "L1".into(),
+                    bandwidth_bps: 9.0e12,
+                },
+                MemRoof {
+                    level: "L2".into(),
+                    bandwidth_bps: 4.0e12,
+                },
+                MemRoof {
+                    level: "L3".into(),
+                    bandwidth_bps: 1.0e12,
+                },
+                MemRoof {
+                    level: "DRAM".into(),
+                    bandwidth_bps: 1.2e11,
+                },
             ],
             peaks: vec![
-                FpPeak { isa: "scalar".into(), gflops: 300.0 },
-                FpPeak { isa: "avx512".into(), gflops: 2400.0 },
+                FpPeak {
+                    isa: "scalar".into(),
+                    gflops: 300.0,
+                },
+                FpPeak {
+                    isa: "avx512".into(),
+                    gflops: 2400.0,
+                },
             ],
         }
     }

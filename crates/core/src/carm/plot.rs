@@ -31,12 +31,7 @@ pub fn roof_series(model: &CarmModel, ai_min: f64, ai_max: f64, n: usize) -> Vec
             label: roof.level.clone(),
             points: ais
                 .iter()
-                .map(|&ai| {
-                    (
-                        ai,
-                        (ai * roof.bandwidth_bps / 1e9).min(model.peak_gflops()),
-                    )
-                })
+                .map(|&ai| (ai, (ai * roof.bandwidth_bps / 1e9).min(model.peak_gflops())))
                 .collect(),
         });
     }
@@ -63,8 +58,7 @@ pub fn render(model: &CarmModel, points: &[LiveCarmPoint], width: usize, height:
             .clamp(0.0, (width - 1) as f64) as usize
     };
     let y_of = |gf: f64| {
-        let norm =
-            (gf.max(gf_min).ln() - gf_min.ln()) / (gf_max.ln() - gf_min.ln());
+        let norm = (gf.max(gf_min).ln() - gf_min.ln()) / (gf_max.ln() - gf_min.ln());
         ((1.0 - norm) * (height - 1) as f64)
             .round()
             .clamp(0.0, (height - 1) as f64) as usize
@@ -118,10 +112,19 @@ mod tests {
             machine: "csl".into(),
             threads: 28,
             roofs: vec![
-                MemRoof { level: "L1".into(), bandwidth_bps: 9.0e12 },
-                MemRoof { level: "DRAM".into(), bandwidth_bps: 1.2e11 },
+                MemRoof {
+                    level: "L1".into(),
+                    bandwidth_bps: 9.0e12,
+                },
+                MemRoof {
+                    level: "DRAM".into(),
+                    bandwidth_bps: 1.2e11,
+                },
             ],
-            peaks: vec![FpPeak { isa: "avx512".into(), gflops: 2400.0 }],
+            peaks: vec![FpPeak {
+                isa: "avx512".into(),
+                gflops: 2400.0,
+            }],
         }
     }
 
@@ -143,7 +146,11 @@ mod tests {
 
     #[test]
     fn render_contains_roofs_and_points() {
-        let pts = vec![LiveCarmPoint { t_s: 1.0, ai: 0.125, gflops: 10.0 }];
+        let pts = vec![LiveCarmPoint {
+            t_s: 1.0,
+            ai: 0.125,
+            gflops: 10.0,
+        }];
         let out = render(&model(), &pts, 60, 20);
         assert!(out.contains('●'), "application point missing:\n{out}");
         assert!(out.contains('l') || out.contains('d'), "roofs missing");

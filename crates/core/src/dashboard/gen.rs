@@ -82,12 +82,75 @@ pub fn level_dashboard(kb: &KnowledgeBase, component_type: &str) -> Option<Dashb
     if level.is_empty() {
         return None;
     }
-    Some(build(
-        kb,
-        3,
-        format!("level: {component_type}"),
-        &level,
-    ))
+    Some(build(kb, 3, format!("level: {component_type}"), &level))
+}
+
+/// Self-observability dashboard (the framework watching itself): built
+/// from a registry [`Snapshot`](pmove_obs::Snapshot) instead of KB
+/// telemetry, targeting the `pmove.self.*` series that
+/// [`export_snapshot`](pmove_tsdb::export_snapshot) writes.
+///
+/// Panels: transport loss (loss gauge + the four conservation counters),
+/// one latency panel per histogram (p50/p90/p99 targets), per-daemon-step
+/// span timings, and the remaining spans.
+pub fn self_dashboard(kb: &KnowledgeBase, snap: &pmove_obs::Snapshot) -> Dashboard {
+    use pmove_tsdb::self_export::{SELF_PREFIX, SPAN_PREFIX};
+    let target = |measurement: &str, params: &str| Target {
+        datasource: Datasource::influx(&kb.db.influx_uid),
+        measurement: measurement.to_string(),
+        params: params.to_string(),
+    };
+
+    let mut d = Dashboard::new(4, format!("self: {}", kb.machine_key));
+
+    // Transport loss accounting: the gauge plus the conservation terms.
+    let loss_targets: Vec<Target> = [
+        "pcp.transport.loss_pct",
+        "pcp.transport.values_offered",
+        "pcp.transport.values_inserted",
+        "pcp.transport.values_zeroed",
+        "pcp.transport.values_lost",
+    ]
+    .iter()
+    .map(|name| target(&format!("{SELF_PREFIX}{name}"), "value"))
+    .collect();
+    d = d.panel("transport loss", loss_targets);
+
+    // One panel per histogram, quantile targets.
+    let mut seen = Vec::new();
+    for (key, _) in &snap.histograms {
+        if seen.contains(&key.name) {
+            continue;
+        }
+        seen.push(key.name.clone());
+        let m = format!("{SELF_PREFIX}{}", key.name);
+        let targets = ["p50", "p90", "p99"]
+            .iter()
+            .map(|q| target(&m, q))
+            .collect();
+        d = d.panel(key.name.clone(), targets);
+    }
+
+    // Span timings: daemon boot steps get their own panel.
+    let step_targets: Vec<Target> = snap
+        .spans
+        .iter()
+        .filter(|(name, _)| name.starts_with("daemon.step"))
+        .map(|(name, _)| target(&format!("{SPAN_PREFIX}{name}"), "mean_ns"))
+        .collect();
+    if !step_targets.is_empty() {
+        d = d.panel("daemon steps", step_targets);
+    }
+    let other_targets: Vec<Target> = snap
+        .spans
+        .iter()
+        .filter(|(name, _)| !name.starts_with("daemon.step"))
+        .map(|(name, _)| target(&format!("{SPAN_PREFIX}{name}"), "mean_ns"))
+        .collect();
+    if !other_targets.is_empty() {
+        d = d.panel("spans", other_targets);
+    }
+    d
 }
 
 #[cfg(test)]
@@ -165,6 +228,57 @@ mod tests {
         let j = d.to_json();
         let back = Dashboard::from_json(&j).unwrap();
         assert_eq!(back, d);
+    }
+
+    #[test]
+    fn self_dashboard_covers_loss_latency_and_steps() {
+        let mut d = crate::telemetry::daemon::PMoveDaemon::for_preset("icl").unwrap();
+        d.monitor(5.0, 2.0);
+        let dash = d.self_dashboard();
+        assert!(dash.title.starts_with("self:"));
+        let titles: Vec<&str> = dash.panels.iter().map(|p| p.title.as_str()).collect();
+        assert!(titles.contains(&"transport loss"));
+        assert!(titles.contains(&"tsdb.ingest_ns"));
+        assert!(titles.contains(&"daemon steps"));
+        // Loss panel carries the conservation terms.
+        let loss = dash
+            .panels
+            .iter()
+            .find(|p| p.title == "transport loss")
+            .unwrap();
+        assert!(loss
+            .targets
+            .iter()
+            .any(|t| t.measurement == "pmove.self.pcp.transport.values_lost"));
+        // Latency panels target quantiles.
+        let ingest = dash
+            .panels
+            .iter()
+            .find(|p| p.title == "tsdb.ingest_ns")
+            .unwrap();
+        let params: Vec<&str> = ingest.targets.iter().map(|t| t.params.as_str()).collect();
+        assert_eq!(params, vec!["p50", "p90", "p99"]);
+        // Step panel targets every boot step's span measurement.
+        let steps = dash
+            .panels
+            .iter()
+            .find(|p| p.title == "daemon steps")
+            .unwrap();
+        assert_eq!(steps.targets.len(), 4);
+        assert!(steps
+            .targets
+            .iter()
+            .all(|t| t.measurement.starts_with("pmove.self.span.daemon.step")));
+        assert!(steps.targets.iter().all(|t| t.params == "mean_ns"));
+        // Round-trips through the shareable-JSON model.
+        let back = Dashboard::from_json(&dash.to_json()).unwrap();
+        assert_eq!(back, dash);
+        // The dashboard's self series actually exist once exported.
+        d.export_self_telemetry();
+        let ms = d.ts.measurements();
+        for t in loss.targets.iter().chain(steps.targets.iter()) {
+            assert!(ms.contains(&t.measurement), "missing {}", t.measurement);
+        }
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub fn sparkline(values: &[f64], width: usize) -> String {
     buckets
         .iter()
         .map(|v| {
-            let norm = if max > min { (v - min) / (max - min) } else { 0.5 };
+            let norm = if max > min {
+                (v - min) / (max - min)
+            } else {
+                0.5
+            };
             SPARK[((norm * 7.0).round() as usize).min(7)]
         })
         .collect()
@@ -38,9 +42,7 @@ pub fn sparkline(values: &[f64], width: usize) -> String {
 pub fn render_panel(db: &Database, panel: &Panel, tag: Option<&str>, width: usize) -> String {
     let mut out = format!("── {} ──\n", panel.title);
     for t in &panel.targets {
-        let where_clause = tag
-            .map(|v| format!(" WHERE tag='{v}'"))
-            .unwrap_or_default();
+        let where_clause = tag.map(|v| format!(" WHERE tag='{v}'")).unwrap_or_default();
         let q = format!(
             "SELECT \"{}\" FROM \"{}\"{}",
             t.params, t.measurement, where_clause

@@ -16,6 +16,16 @@ use std::collections::BTreeMap;
 
 /// Build the knowledge base for one probed target.
 pub fn build_kb(report: &ProbeReport) -> Result<KnowledgeBase, PmoveError> {
+    build_kb_observed(report, None)
+}
+
+/// [`build_kb`] with `kb.builder.*` counters recorded in `obs`:
+/// interfaces built, telemetry entries attached (by kind), and GPU twins
+/// enriched.
+pub fn build_kb_observed(
+    report: &ProbeReport,
+    obs: Option<&pmove_obs::Registry>,
+) -> Result<KnowledgeBase, PmoveError> {
     let host = report.hostname().to_string();
     let mut kb = KnowledgeBase::new(host.clone(), report.pmu_name());
 
@@ -59,6 +69,27 @@ pub fn build_kb(report: &ProbeReport) -> Result<KnowledgeBase, PmoveError> {
     attach_gpus(&mut kb, report)?;
 
     kb.validate()?;
+    if let Some(reg) = obs {
+        let labels = [("host", host.as_str())];
+        reg.counter("kb.builder.interfaces_built", &labels)
+            .add(kb.len() as u64);
+        let mut sw = 0u64;
+        let mut hw = 0u64;
+        for iface in &kb.interfaces {
+            for t in iface.telemetry() {
+                match t.kind {
+                    pmove_jsonld::TelemetryKind::Software => sw += 1,
+                    pmove_jsonld::TelemetryKind::Hardware => hw += 1,
+                }
+            }
+        }
+        reg.counter("kb.builder.sw_telemetry_attached", &labels)
+            .add(sw);
+        reg.counter("kb.builder.hw_telemetry_attached", &labels)
+            .add(hw);
+        reg.counter("kb.builder.gpus_enriched", &labels)
+            .add(kb.of_type("gpu").len() as u64);
+    }
     Ok(kb)
 }
 
@@ -91,7 +122,11 @@ fn attach_sw_telemetry(kb: &mut KnowledgeBase, report: &ProbeReport) -> Result<(
         .collect();
     // Indices of target interfaces per kind, resolved via component_type.
     let threads: Vec<Dtmi> = kb.of_type("thread").iter().map(|i| i.id.clone()).collect();
-    let nodes: Vec<Dtmi> = kb.of_type("numanode").iter().map(|i| i.id.clone()).collect();
+    let nodes: Vec<Dtmi> = kb
+        .of_type("numanode")
+        .iter()
+        .map(|i| i.id.clone())
+        .collect();
     let disks: Vec<Dtmi> = kb.of_type("disk").iter().map(|i| i.id.clone()).collect();
     let nics: Vec<Dtmi> = kb.of_type("nic").iter().map(|i| i.id.clone()).collect();
     let root = kb.root_id();
@@ -145,7 +180,11 @@ fn attach_hw_telemetry(kb: &mut KnowledgeBase, report: &ProbeReport) -> Result<(
         })
         .unwrap_or_default();
     let threads: Vec<Dtmi> = kb.of_type("thread").iter().map(|i| i.id.clone()).collect();
-    let nodes: Vec<Dtmi> = kb.of_type("numanode").iter().map(|i| i.id.clone()).collect();
+    let nodes: Vec<Dtmi> = kb
+        .of_type("numanode")
+        .iter()
+        .map(|i| i.id.clone())
+        .collect();
 
     let mut metric_no = 100_000usize; // distinct logical-name space from SW
     for (event, per_package, desc) in events {
@@ -163,9 +202,13 @@ fn attach_hw_telemetry(kb: &mut KnowledgeBase, report: &ProbeReport) -> Result<(
                 .collect()
         };
         for (dtmi, field) in targets {
-            let b = TelemetryBuilder::hardware(format!("metric{metric_no}"), pmu.clone(), event.clone())
-                .field(field)
-                .description(desc.clone());
+            let b = TelemetryBuilder::hardware(
+                format!("metric{metric_no}"),
+                pmu.clone(),
+                event.clone(),
+            )
+            .field(field)
+            .description(desc.clone());
             metric_no += 1;
             if let Some(iface) = kb.get_mut(&dtmi) {
                 iface.add_telemetry(b);
@@ -208,14 +251,10 @@ fn attach_gpus(kb: &mut KnowledgeBase, report: &ProbeReport) -> Result<(), Pmove
                 for (j, m) in arr.iter().enumerate() {
                     if let Some(name) = m["name"].as_str() {
                         iface.add_telemetry(
-                            TelemetryBuilder::hardware(
-                                format!("gpuhwmetric{j}"),
-                                "ncu",
-                                name,
-                            )
-                            .db_name(format!("ncu_{name}"))
-                            .field(format!("_gpu{i}"))
-                            .description(m["description"].as_str().unwrap_or("")),
+                            TelemetryBuilder::hardware(format!("gpuhwmetric{j}"), "ncu", name)
+                                .db_name(format!("ncu_{name}"))
+                                .field(format!("_gpu{i}"))
+                                .description(m["description"].as_str().unwrap_or("")),
                         );
                     }
                 }
@@ -313,8 +352,9 @@ mod tests {
             .telemetry()
             .filter(|t| t.kind == TelemetryKind::Software)
             .collect();
-        assert!(sw.iter().any(|t| t.sampler_name == "nvidia.memused"
-            && t.db_name == "nvidia_memused"));
+        assert!(sw
+            .iter()
+            .any(|t| t.sampler_name == "nvidia.memused" && t.db_name == "nvidia_memused"));
         let hw: Vec<_> = gpu
             .telemetry()
             .filter(|t| t.kind == TelemetryKind::Hardware)
@@ -324,6 +364,34 @@ mod tests {
                 && t.sampler_name == "gpu__compute_memory_access_throughput"
                 && t.db_name == "ncu_gpu__compute_memory_access_throughput"
         }));
+    }
+
+    #[test]
+    fn observed_build_counts_interfaces_and_telemetry() {
+        let m = Machine::preset("csl").unwrap();
+        let report = ProbeReport::collect(&m);
+        let reg = pmove_obs::Registry::shared();
+        let kb = build_kb_observed(&report, Some(&reg)).unwrap();
+        let snap = reg.snapshot();
+        let labels = [("host", "csl")];
+        assert_eq!(
+            snap.counter("kb.builder.interfaces_built", &labels),
+            Some(kb.len() as u64)
+        );
+        let total: u64 = kb
+            .interfaces
+            .iter()
+            .map(|i| i.telemetry().count() as u64)
+            .sum();
+        let sw = snap
+            .counter("kb.builder.sw_telemetry_attached", &labels)
+            .unwrap();
+        let hw = snap
+            .counter("kb.builder.hw_telemetry_attached", &labels)
+            .unwrap();
+        assert_eq!(sw + hw, total);
+        assert!(sw > 0 && hw > 0);
+        assert_eq!(snap.counter("kb.builder.gpus_enriched", &labels), Some(0));
     }
 
     #[test]

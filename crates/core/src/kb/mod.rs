@@ -101,7 +101,10 @@ impl KnowledgeBase {
 
     /// Mutable lookup.
     pub fn get_mut(&mut self, id: &Dtmi) -> Option<&mut Interface> {
-        self.index.get(id).copied().map(move |i| &mut self.interfaces[i])
+        self.index
+            .get(id)
+            .copied()
+            .map(move |i| &mut self.interfaces[i])
     }
 
     /// Look up an interface by display name (`cpu0`, `l3cache0`).
@@ -239,7 +242,9 @@ mod tests {
         );
         assert_eq!(sols.len(), 16);
         // Every solution binds both variables.
-        assert!(sols.iter().all(|s| s.contains_key("c") && s.contains_key("t")));
+        assert!(sols
+            .iter()
+            .all(|s| s.contains_key("c") && s.contains_key("t")));
         // HW-telemetry-only join restricts further.
         let hw = kb.sparql(
             "?c pmove:componentType thread

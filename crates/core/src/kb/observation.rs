@@ -167,7 +167,10 @@ impl BenchmarkInterface {
 
     /// Look up one result by name.
     pub fn result(&self, name: &str) -> Option<f64> {
-        self.results.iter().find(|r| r.name == name).map(|r| r.value)
+        self.results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.value)
     }
 }
 
@@ -188,7 +191,12 @@ mod tests {
             metrics: vec![
                 MetricRef {
                     db_name: "kernel_percpu_cpu_idle".into(),
-                    fields: vec!["_cpu0".into(), "_cpu1".into(), "_cpu22".into(), "_cpu23".into()],
+                    fields: vec![
+                        "_cpu0".into(),
+                        "_cpu1".into(),
+                        "_cpu22".into(),
+                        "_cpu23".into(),
+                    ],
                 },
                 MetricRef {
                     db_name: "perfevent_hwcounters_RAPL_ENERGY_PKG".into(),
@@ -219,7 +227,10 @@ mod tests {
         assert_eq!(j["pinning"], json!("numa_balanced"));
         assert_eq!(j["affinity"], json!([0, 1, 22, 23]));
         assert_eq!(j["report"]["mean_power_w"], json!(155.2));
-        assert!(j["@id"].as_str().unwrap().starts_with("dtmi:dt:skx:observation:"));
+        assert!(j["@id"]
+            .as_str()
+            .unwrap()
+            .starts_with("dtmi:dt:skx:observation:"));
     }
 
     #[test]

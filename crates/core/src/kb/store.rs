@@ -101,10 +101,7 @@ mod tests {
         // Interfaces survive the roundtrip intact.
         assert_eq!(loaded[0], kb.interfaces[0]);
         let cpu0_orig = kb.by_name("cpu0").unwrap();
-        let cpu0_loaded = loaded
-            .iter()
-            .find(|i| i.display_name == "cpu0")
-            .unwrap();
+        let cpu0_loaded = loaded.iter().find(|i| i.display_name == "cpu0").unwrap();
         assert_eq!(cpu0_loaded, cpu0_orig);
     }
 

@@ -86,9 +86,7 @@ impl SuperDb {
             machine: obs.machine.clone(),
             summaries: series
                 .iter()
-                .filter_map(|(m, f, values)| {
-                    Summary::of(values).map(|s| (m.clone(), f.clone(), s))
-                })
+                .filter_map(|(m, f, values)| Summary::of(values).map(|s| (m.clone(), f.clone(), s)))
                 .collect(),
         }
     }
@@ -224,7 +222,12 @@ mod tests {
     fn ts_observation_carries_series() {
         let s = SuperDb::new();
         let series: Vec<Point> = (0..5)
-            .map(|t| Point::new("m").tag("tag", "icl-obs").field("_cpu0", t as f64).timestamp(t))
+            .map(|t| {
+                Point::new("m")
+                    .tag("tag", "icl-obs")
+                    .field("_cpu0", t as f64)
+                    .timestamp(t)
+            })
             .collect();
         let stored = s.upload_ts_observation(&obs("icl"), series).unwrap();
         assert_eq!(stored, 5);
@@ -265,8 +268,10 @@ mod tests {
         let o = obs("zen3");
         let agg = SuperDb::aggregate(
             &o,
-            &[("m".into(), "_cpu0".into(), vec![1.0, 2.0, 3.0]),
-              ("m".into(), "_cpu1".into(), vec![])],
+            &[
+                ("m".into(), "_cpu0".into(), vec![1.0, 2.0, 3.0]),
+                ("m".into(), "_cpu1".into(), vec![]),
+            ],
         );
         // Empty series yields no summary.
         assert_eq!(agg.summaries.len(), 1);

@@ -82,7 +82,10 @@ mod tests {
         let cpu = kb.by_name("cpu5").unwrap();
         let path = focus_path(&kb, &cpu.id);
         let kinds: Vec<&str> = path.iter().map(|i| i.component_type.as_str()).collect();
-        assert_eq!(kinds, vec!["thread", "core", "socket", "numanode", "system"]);
+        assert_eq!(
+            kinds,
+            vec!["thread", "core", "socket", "numanode", "system"]
+        );
         assert!(focus(&kb, &cpu.id).is_some());
     }
 

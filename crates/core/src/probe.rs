@@ -27,17 +27,21 @@ impl ProbeReport {
 
     /// Parse a report received as JSON, validating required sections.
     pub fn from_json(json: Value) -> Result<ProbeReport, PmoveError> {
-        for section in ["system", "cpu", "memory", "components", "pmu_events", "sw_metrics"] {
+        for section in [
+            "system",
+            "cpu",
+            "memory",
+            "components",
+            "pmu_events",
+            "sw_metrics",
+        ] {
             if json.get(section).is_none() {
                 return Err(PmoveError::BadProbeReport(format!(
                     "missing section {section}"
                 )));
             }
         }
-        if json["components"]
-            .as_array()
-            .is_none_or(|a| a.is_empty())
-        {
+        if json["components"].as_array().is_none_or(|a| a.is_empty()) {
             return Err(PmoveError::BadProbeReport("no components".into()));
         }
         Ok(ProbeReport { json })
@@ -45,7 +49,9 @@ impl ProbeReport {
 
     /// Target hostname.
     pub fn hostname(&self) -> &str {
-        self.json["system"]["hostname"].as_str().unwrap_or("unknown")
+        self.json["system"]["hostname"]
+            .as_str()
+            .unwrap_or("unknown")
     }
 
     /// PMU name for the abstraction layer (`skx`, `zen3`, ...).

@@ -46,9 +46,9 @@ pub fn spmv_profile(
     let x_fraction = matrix.nnz() as f64 / per_iter_total; // one x gather per nnz
     let cached = x_fraction * counts.x_hit_fraction;
     let locality = LocalityProfile::new(
-        0.05 * cached,        // a sliver of x stays L1-hot
-        0.70 * cached,        // most cached gathers come from L2
-        0.25 * cached,        // the rest from L3
+        0.05 * cached, // a sliver of x stays L1-hot
+        0.70 * cached, // most cached gathers come from L2
+        0.25 * cached, // the rest from L3
         (1.0 - cached).max(0.0),
     );
 
@@ -126,7 +126,10 @@ mod tests {
         let a = SuiteMatrix::Hugetrace00020.generate(2.0);
         let model = ExecModel::new(csl());
         let mkl = model.run(&spmv_profile(&a, SpmvAlgorithm::Mkl, &csl(), 28, 100), 0.0);
-        let merge = model.run(&spmv_profile(&a, SpmvAlgorithm::Merge, &csl(), 28, 100), 0.0);
+        let merge = model.run(
+            &spmv_profile(&a, SpmvAlgorithm::Merge, &csl(), 28, 100),
+            0.0,
+        );
         assert!(
             mkl.gflops() > merge.gflops() * 1.1,
             "mkl {} vs merge {}",

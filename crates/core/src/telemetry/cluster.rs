@@ -10,8 +10,10 @@
 use crate::error::PmoveError;
 use crate::kb::superdb::SuperDb;
 use crate::telemetry::daemon::PMoveDaemon;
+use pmove_obs::Registry;
 use pmove_pcp::SamplingReport;
 use pmove_tsdb::RetentionPolicy;
+use std::sync::Arc;
 
 /// A monitored cluster: one P-MoVE daemon per node plus the global DB.
 pub struct Cluster {
@@ -21,23 +23,30 @@ pub struct Cluster {
     pub superdb: SuperDb,
     /// Whether the cluster retention policy has been installed.
     retention_installed: bool,
+    /// Fleet-level observability registry (per-node telemetry lives in
+    /// each daemon's own registry; this one holds cluster-wide counters
+    /// and the `cluster.monitor_all` span).
+    pub obs: Arc<Registry>,
 }
 
 impl Cluster {
     /// Bring up a cluster from preset machine keys; every node's KB is
     /// uploaded to SUPERDB immediately.
     pub fn from_presets(keys: &[&str]) -> Result<Cluster, PmoveError> {
+        let obs = Registry::shared();
         let superdb = SuperDb::new();
         let mut nodes = Vec::with_capacity(keys.len());
         for key in keys {
             let daemon = PMoveDaemon::for_preset(key)?;
             superdb.upload_kb(&daemon.kb)?;
+            obs.counter("cluster.kb_uploads", &[("node", key)]).inc();
             nodes.push(daemon);
         }
         Ok(Cluster {
             nodes,
             superdb,
             retention_installed: false,
+            obs,
         })
     }
 
@@ -54,10 +63,21 @@ impl Cluster {
     /// Run Scenario A on every node for the same window; returns
     /// per-node reports in node order.
     pub fn monitor_all(&mut self, duration_s: f64, freq_hz: f64) -> Vec<(String, SamplingReport)> {
-        self.nodes
+        let start_s = self.nodes.first().map(|d| d.now_s).unwrap_or(0.0);
+        let reports: Vec<(String, SamplingReport)> = self
+            .nodes
             .iter_mut()
             .map(|d| (d.kb.machine_key.clone(), d.monitor(duration_s, freq_hz)))
-            .collect()
+            .collect();
+        self.obs
+            .counter("cluster.nodes_monitored", &[])
+            .add(reports.len() as u64);
+        self.obs.record_span(
+            "cluster.monitor_all",
+            (start_s * 1e9).round().max(0.0) as u64,
+            ((start_s + duration_s) * 1e9).round().max(0.0) as u64,
+        );
+        reports
     }
 
     /// Cluster-wide load summary at the current virtual time: per node,
@@ -66,16 +86,15 @@ impl Cluster {
         self.nodes
             .iter()
             .map(|d| {
-                let mean = d
-                    .ts
-                    .query("SELECT mean(\"value\") FROM \"kernel_all_load\"")
-                    .ok()
-                    .and_then(|r| {
-                        r.rows
-                            .first()
-                            .and_then(|row| row.values.values().next().copied().flatten())
-                    })
-                    .unwrap_or(0.0);
+                let mean =
+                    d.ts.query("SELECT mean(\"value\") FROM \"kernel_all_load\"")
+                        .ok()
+                        .and_then(|r| {
+                            r.rows
+                                .first()
+                                .and_then(|row| row.values.values().next().copied().flatten())
+                        })
+                        .unwrap_or(0.0);
                 (d.kb.machine_key.clone(), mean)
             })
             .collect()
@@ -103,7 +122,8 @@ impl Cluster {
     pub fn enforce_retention(&mut self, keep_ns: i64) -> Vec<(String, usize)> {
         let first_call = !self.retention_installed;
         self.retention_installed = true;
-        self.nodes
+        let removed: Vec<(String, usize)> = self
+            .nodes
             .iter()
             .map(|d| {
                 if first_call {
@@ -112,7 +132,12 @@ impl Cluster {
                 let now_ns = (d.now_s * 1e9) as i64;
                 (d.kb.machine_key.clone(), d.ts.enforce_retention(now_ns))
             })
-            .collect()
+            .collect();
+        let total: u64 = removed.iter().map(|(_, n)| *n as u64).sum();
+        self.obs
+            .counter("cluster.retention_rows_removed", &[])
+            .add(total);
+        removed
     }
 
     /// Total component twins across the fleet (from SUPERDB).
@@ -166,6 +191,30 @@ mod tests {
         }
         let loads = c.load_summary();
         assert!(loads.iter().all(|(_, l)| *l >= 0.0));
+    }
+
+    #[test]
+    fn fleet_observability_tracks_uploads_windows_and_retention() {
+        let mut c = cluster();
+        c.monitor_all(30.0, 2.0);
+        c.monitor_all(10.0, 1.0);
+        c.enforce_retention(10_000_000_000);
+        let snap = c.obs.snapshot();
+        assert_eq!(
+            snap.counter("cluster.kb_uploads", &[("node", "icl")]),
+            Some(1)
+        );
+        assert_eq!(snap.counter("cluster.nodes_monitored", &[]), Some(4));
+        let span = snap.span("cluster.monitor_all").unwrap();
+        assert_eq!(span.count, 2);
+        assert_eq!(span.last_start_ns, 30_000_000_000);
+        assert_eq!(span.last_end_ns, 40_000_000_000);
+        assert!(snap.counter("cluster.retention_rows_removed", &[]).unwrap() > 0);
+        // Each node's own registry carries its transport counters.
+        for d in &c.nodes {
+            let node_snap = d.obs.snapshot();
+            assert!(node_snap.counter_total("pcp.transport.values_offered") > 0);
+        }
     }
 
     #[test]

@@ -18,7 +18,14 @@ use crate::telemetry::scenario_b::{self, ProfileOutcome, ProfileRequest};
 use pmove_hwsim::kernel_profile::{KernelProfile, Precision};
 use pmove_hwsim::{ExecModel, Machine};
 use pmove_kernels::hpcg;
+use pmove_obs::Registry;
 use pmove_pcp::SamplingReport;
+use std::sync::Arc;
+
+/// Convert virtual-clock seconds to integer nanoseconds for span stamps.
+fn s_to_ns(s: f64) -> u64 {
+    (s * 1e9).round().max(0.0) as u64
+}
 
 /// The daemon.
 pub struct PMoveDaemon {
@@ -40,18 +47,50 @@ pub struct PMoveDaemon {
     /// Pinned background load — `(os thread, busy fraction)` pairs of
     /// long-running processes, reflected in Scenario A's SW telemetry.
     pub background_busy: Vec<(u32, f64)>,
+    /// Self-observability registry: every subsystem the daemon owns
+    /// (transport, pmcd, tsdb, docdb, KB builder) reports into it.
+    pub obs: Arc<Registry>,
 }
+
+/// Modeled boot-step durations (virtual ns, deterministic): reading the
+/// environment is a fixed cost; probing scales with components found; KB
+/// generation with interfaces built; KB insertion with documents written.
+const STEP0_ENV_NS: u64 = 150_000;
+const STEP1_PER_COMPONENT_NS: u64 = 2_500;
+const STEP2_PER_INTERFACE_NS: u64 = 8_000;
+const STEP3_PER_DOC_NS: u64 = 12_000;
 
 impl PMoveDaemon {
     /// Steps ⓪–③: environment, probe, KB generation, KB insertion.
+    ///
+    /// Each step is stamped as a `daemon.stepN.*` span on a synthetic boot
+    /// timeline starting at 0 ns with modeled durations, so the span
+    /// record is bit-identical across same-configuration runs. The boot
+    /// timeline does not advance the daemon clock (`now_s` stays 0).
     pub fn new(machine: Machine, env: DbParams) -> Result<Self, PmoveError> {
-        let report = ProbeReport::collect(&machine); // ①/②
-        let mut kb = builder::build_kb(&report)?;
+        let obs = Registry::shared();
+        let mut boot_ns = 0u64; // ⓪ environment
+        obs.record_span("daemon.step0.environment", boot_ns, boot_ns + STEP0_ENV_NS);
+        boot_ns += STEP0_ENV_NS;
+
+        let report = ProbeReport::collect(&machine); // ①
+        let probe_ns = report.components().len() as u64 * STEP1_PER_COMPONENT_NS;
+        obs.record_span("daemon.step1.probe", boot_ns, boot_ns + probe_ns);
+        boot_ns += probe_ns;
+
+        let mut kb = builder::build_kb_observed(&report, Some(&obs))?; // ②
         kb.db = env.clone();
-        let ts = pmove_tsdb::Database::new(&env.influx_db);
-        let doc = pmove_docdb::Database::new(&env.mongo_db);
+        let gen_ns = kb.len() as u64 * STEP2_PER_INTERFACE_NS;
+        obs.record_span("daemon.step2.kb_generation", boot_ns, boot_ns + gen_ns);
+        boot_ns += gen_ns;
+
+        let ts = pmove_tsdb::Database::with_obs(&env.influx_db, obs.clone());
+        let doc = pmove_docdb::Database::with_obs(&env.mongo_db, obs.clone());
         doc.collection(store::KB_COLLECTION).create_index("@type");
-        store::insert_kb(&doc, &kb)?; // ③
+        let inserted = store::insert_kb(&doc, &kb)?; // ③
+        let insert_ns = inserted as u64 * STEP3_PER_DOC_NS;
+        obs.record_span("daemon.step3.kb_insert", boot_ns, boot_ns + insert_ns);
+
         let ids = IdFactory::new(machine.key());
         Ok(PMoveDaemon {
             machine,
@@ -62,6 +101,7 @@ impl PMoveDaemon {
             ids,
             now_s: 0.0,
             background_busy: Vec::new(),
+            obs,
         })
     }
 
@@ -85,6 +125,7 @@ impl PMoveDaemon {
 
     /// Scenario A: monitor system state for `duration_s` at `freq_hz`.
     pub fn monitor(&mut self, duration_s: f64, freq_hz: f64) -> SamplingReport {
+        let start_s = self.now_s;
         let report = scenario_a::monitor_system_with_load(
             &self.machine,
             &self.kb,
@@ -93,14 +134,18 @@ impl PMoveDaemon {
             duration_s,
             freq_hz,
             &self.background_busy,
+            Some(&self.obs),
         );
         self.now_s += duration_s;
+        self.obs
+            .record_span("daemon.monitor", s_to_ns(start_s), s_to_ns(self.now_s));
         report
     }
 
     /// Scenario B: profile a kernel; appends the observation and syncs
     /// the KB.
     pub fn profile(&mut self, request: &ProfileRequest) -> Result<ProfileOutcome, PmoveError> {
+        let start_s = self.now_s;
         let outcome = scenario_b::profile_kernel(
             &self.machine,
             &mut self.kb,
@@ -109,10 +154,27 @@ impl PMoveDaemon {
             &mut self.ids,
             request,
             self.now_s,
+            Some(&self.obs),
         )?;
         self.now_s = outcome.execution.end_s() + 0.1;
         self.sync_kb()?;
+        self.obs
+            .record_span("daemon.profile", s_to_ns(start_s), s_to_ns(self.now_s));
         Ok(outcome)
+    }
+
+    /// Flush the self-observability registry into the daemon's own
+    /// time-series database as `pmove.self.*` series stamped at the
+    /// current virtual time. Returns the number of points written.
+    pub fn export_self_telemetry(&self) -> usize {
+        let snap = self.obs.snapshot();
+        pmove_tsdb::export_snapshot(&self.ts, &snap, (self.now_s * 1e9).round() as i64)
+    }
+
+    /// Generate the self-observability dashboard (pipeline loss, ingest
+    /// latency, per-step span timings) from the current registry state.
+    pub fn self_dashboard(&self) -> crate::dashboard::model::Dashboard {
+        crate::dashboard::gen::self_dashboard(&self.kb, &self.obs.snapshot())
     }
 
     /// Summarize one observation's series into an
@@ -163,11 +225,7 @@ impl PMoveDaemon {
         for (name, fl, ld, st, vecs) in kernels {
             let profile = KernelProfile::named(format!("stream_{name}"))
                 .with_threads(threads)
-                .with_flops(
-                    self.machine.spec.arch.widest_isa(),
-                    Precision::F64,
-                    fl * n,
-                )
+                .with_flops(self.machine.spec.arch.widest_isa(), Precision::F64, fl * n)
                 .with_mem(ld * n, st * n, self.machine.spec.arch.widest_isa())
                 .with_working_set(vecs * n * 8)
                 // STREAM is built to defeat caching: no reuse at all.
@@ -208,9 +266,7 @@ impl PMoveDaemon {
             .spec
             .gpus
             .get(device_index)
-            .ok_or_else(|| {
-                PmoveError::BadKernelRequest(format!("no GPU at index {device_index}"))
-            })?
+            .ok_or_else(|| PmoveError::BadKernelRequest(format!("no GPU at index {device_index}")))?
             .clone();
         let report = pmove_hwsim::gpu::profile_kernel(&gpu, kernel);
         let obs_id = self.ids.next_id();
@@ -274,7 +330,11 @@ impl PMoveDaemon {
                 Precision::F64,
                 solve.flops,
             )
-            .with_mem(solve.flops / 2 * 3, n * solve.iterations as u64, pmove_hwsim::vendor::IsaExt::Scalar)
+            .with_mem(
+                solve.flops / 2 * 3,
+                n * solve.iterations as u64,
+                pmove_hwsim::vendor::IsaExt::Scalar,
+            )
             .with_working_set(n * 8 * 6);
         let exec = ExecModel::new(self.machine.spec.clone()).run(&profile, self.now_s);
         self.now_s = exec.end_s();
@@ -330,6 +390,74 @@ mod tests {
         assert_eq!(r.ticks, 10);
         assert_eq!(d.now_s, 5.0);
         assert!(d.ts.total_rows() > 0);
+    }
+
+    #[test]
+    fn construction_records_contiguous_boot_spans() {
+        let d = PMoveDaemon::for_preset("icl").unwrap();
+        assert_eq!(d.now_s, 0.0); // boot timeline is synthetic
+        let snap = d.obs.snapshot();
+        let s0 = snap.span("daemon.step0.environment").unwrap();
+        let s1 = snap.span("daemon.step1.probe").unwrap();
+        let s2 = snap.span("daemon.step2.kb_generation").unwrap();
+        let s3 = snap.span("daemon.step3.kb_insert").unwrap();
+        assert_eq!(s0.last_start_ns, 0);
+        assert_eq!(s0.last_end_ns, s1.last_start_ns);
+        assert_eq!(s1.last_end_ns, s2.last_start_ns);
+        assert_eq!(s2.last_end_ns, s3.last_start_ns);
+        assert!(s3.last_end_ns > s3.last_start_ns);
+        // KB builder counters rode along.
+        assert_eq!(
+            snap.counter_total("kb.builder.interfaces_built"),
+            d.kb.len() as u64
+        );
+    }
+
+    #[test]
+    fn monitor_feeds_self_telemetry_and_conservation_holds() {
+        let mut d = PMoveDaemon::for_preset("icl").unwrap();
+        let r = d.monitor(5.0, 2.0);
+        let snap = d.obs.snapshot();
+        // Transport counters mirror the report exactly.
+        let offered = snap.counter("pcp.transport.values_offered", &[]).unwrap();
+        assert_eq!(offered, r.transport.values_offered);
+        let inserted = snap.counter("pcp.transport.values_inserted", &[]).unwrap();
+        let zeroed = snap.counter("pcp.transport.values_zeroed", &[]).unwrap();
+        let lost = snap.counter("pcp.transport.values_lost", &[]).unwrap();
+        assert_eq!(offered, inserted + zeroed + lost);
+        // The tsdb saw the same inserts the transport claims.
+        assert_eq!(snap.counter_total("tsdb.values_inserted"), inserted);
+        // Monitor window span on the virtual clock.
+        let span = snap.span("daemon.monitor").unwrap();
+        assert_eq!(span.last_start_ns, 0);
+        assert_eq!(span.last_end_ns, 5_000_000_000);
+    }
+
+    #[test]
+    fn export_self_telemetry_writes_deterministic_series() {
+        let run = || {
+            let mut d = PMoveDaemon::for_preset("csl").unwrap();
+            d.monitor(5.0, 2.0);
+            let n = d.export_self_telemetry();
+            assert!(n > 0, "no self points written");
+            d
+        };
+        let a = run();
+        let b = run();
+        let self_ms: Vec<String> =
+            a.ts.measurements()
+                .into_iter()
+                .filter(|m| m.starts_with(pmove_tsdb::self_export::SELF_PREFIX))
+                .collect();
+        assert!(self_ms.contains(&"pmove.self.pcp.transport.values_offered".to_string()));
+        assert!(self_ms.contains(&"pmove.self.span.daemon.monitor".to_string()));
+        // Two same-seed runs produce identical pmove.self.* series.
+        for m in &self_ms {
+            let q = format!("SELECT * FROM \"{m}\"");
+            let ra = a.ts.query(&q).unwrap();
+            let rb = b.ts.query(&q).unwrap();
+            assert_eq!(ra.rows, rb.rows, "series {m} differs between runs");
+        }
     }
 
     #[test]
@@ -404,7 +532,7 @@ mod tests {
         let r = d.ts.query(&q).unwrap();
         assert_eq!(r.rows.len(), 1);
         assert!(r.rows[0].values["_gpu0"].unwrap() > 50.0); // memory-bound
-        // No GPU at index 7.
+                                                            // No GPU at index 7.
         assert!(d.profile_gpu_kernel(7, &kernel).is_err());
         // Observation persisted.
         assert_eq!(d.kb.observations.len(), 1);

@@ -9,10 +9,12 @@
 use crate::kb::KnowledgeBase;
 use pmove_hwsim::network::LinkSpec;
 use pmove_hwsim::Machine;
+use pmove_obs::Registry;
 use pmove_pcp::pmda_linux::LinuxAgent;
 use pmove_pcp::pmda_proc::{ProcAgent, TrackedProcess};
 use pmove_pcp::{Pmcd, SamplingConfig, SamplingLoop, SamplingReport, Shipper};
 use pmove_tsdb::Database;
+use std::sync::Arc;
 
 /// Default SW metric set of Scenario A (≈20 pmdalinux metrics in the
 /// paper; this is the modelled subset).
@@ -57,12 +59,14 @@ pub fn monitor_system(
     duration_s: f64,
     freq_hz: f64,
 ) -> SamplingReport {
-    monitor_system_with_load(machine, kb, ts, start_s, duration_s, freq_hz, &[])
+    monitor_system_with_load(machine, kb, ts, start_s, duration_s, freq_hz, &[], None)
 }
 
 /// [`monitor_system`] with pinned background load: `busy` lists
 /// `(os thread index, busy fraction)` pairs imposed by running processes,
 /// which the `pmdalinux` agent reflects in the per-CPU idle metrics.
+/// When `obs` is given, the transport, sampler and pmcd report their
+/// `pcp.*` self-telemetry into it.
 #[allow(clippy::too_many_arguments)]
 pub fn monitor_system_with_load(
     machine: &Machine,
@@ -72,6 +76,7 @@ pub fn monitor_system_with_load(
     duration_s: f64,
     freq_hz: f64,
     busy: &[(u32, f64)],
+    obs: Option<&Arc<Registry>>,
 ) -> SamplingReport {
     // The metric selection comes from the KB: only metrics some twin
     // actually declares as SWTelemetry are sampled.
@@ -115,6 +120,10 @@ pub fn monitor_system_with_load(
         1.0 / freq_hz,
         &[machine.key(), "scenario_a"],
     );
+    if let Some(reg) = obs {
+        shipper = shipper.with_obs(reg.clone());
+        pmcd.set_obs(reg);
+    }
     let config = SamplingConfig::new(metrics, freq_hz, start_s, duration_s);
     SamplingLoop::run(&config, &mut pmcd, &mut shipper)
 }

@@ -46,7 +46,9 @@ pub struct ProfileOutcome {
 }
 
 /// Execute Scenario B. Telemetry lands in `ts`, tagged with the new
-/// observation id; the observation is appended to `kb`.
+/// observation id; the observation is appended to `kb`. When `obs` is
+/// given, the transport, sampler and pmcd report their `pcp.*`
+/// self-telemetry into it.
 #[allow(clippy::too_many_arguments)]
 pub fn profile_kernel(
     machine: &Machine,
@@ -56,6 +58,7 @@ pub fn profile_kernel(
     ids: &mut IdFactory,
     request: &ProfileRequest,
     start_s: f64,
+    obs: Option<&std::sync::Arc<pmove_obs::Registry>>,
 ) -> Result<ProfileOutcome, PmoveError> {
     let pmu = kb.pmu_name.clone();
 
@@ -101,7 +104,11 @@ pub fn profile_kernel(
     // components; Fig. 2c shows their level view).
     let proc_name = format!(
         "_proc_{}",
-        request.command.split_whitespace().next().unwrap_or("kernel")
+        request
+            .command
+            .split_whitespace()
+            .next()
+            .unwrap_or("kernel")
     );
     pmcd.register(Box::new(pmove_pcp::pmda_proc::ProcAgent::new(vec![
         pmove_pcp::pmda_proc::TrackedProcess {
@@ -124,6 +131,10 @@ pub fn profile_kernel(
         1.0 / request.freq_hz,
         &[machine.key(), &obs_id],
     );
+    if let Some(reg) = obs {
+        shipper = shipper.with_obs(reg.clone());
+        pmcd.set_obs(reg);
+    }
     // PCP "stops the sampling as the kernel is halted": even for kernels
     // shorter than one period, a final read covers the full run.
     let duration = (exec.end_s() - start_s).max(1.0 / request.freq_hz);
@@ -214,20 +225,12 @@ fn append_process_twin(
     let id = root
         .child(&format!("process{n}"))
         .map_err(PmoveError::from)?;
-    let mut iface = pmove_jsonld::Interface::new(
-        id.clone(),
-        "process",
-        format!("{proc_name}#{n}"),
-    );
+    let mut iface = pmove_jsonld::Interface::new(id.clone(), "process", format!("{proc_name}#{n}"));
     iface.add_property("command", serde_json::json!(obs.command));
     iface.add_property("observation", serde_json::json!(obs.id));
     iface.add_property("pinning", serde_json::json!(obs.pinning));
-    iface.add_telemetry(
-        TelemetryBuilder::software("utime", "proc.psinfo.utime").field(proc_name),
-    );
-    iface.add_telemetry(
-        TelemetryBuilder::software("rss", "proc.psinfo.rss").field(proc_name),
-    );
+    iface.add_telemetry(TelemetryBuilder::software("utime", "proc.psinfo.utime").field(proc_name));
+    iface.add_telemetry(TelemetryBuilder::software("rss", "proc.psinfo.rss").field(proc_name));
     if let Some(root_iface) = kb.get_mut(&root) {
         root_iface.add_relationship("contains", id);
     }
@@ -246,10 +249,7 @@ pub fn recall_generic_total(
 ) -> Result<f64, PmoveError> {
     let formula = layer.formula(pmu, generic)?.clone();
     formula.eval(|hw_event| {
-        let measurement = format!(
-            "perfevent_hwcounters_{}",
-            hw_event.replace([':', '.'], "_")
-        );
+        let measurement = format!("perfevent_hwcounters_{}", hw_event.replace([':', '.'], "_"));
         let q = format!("SELECT * FROM \"{measurement}\" WHERE tag='{obs_id}'");
         ts.query(&q).ok().map(|r| r.total())
     })
@@ -264,7 +264,13 @@ mod tests {
     use pmove_hwsim::kernel_profile::Precision;
     use pmove_hwsim::vendor::IsaExt;
 
-    fn setup() -> (Machine, KnowledgeBase, AbstractionLayer, Database, IdFactory) {
+    fn setup() -> (
+        Machine,
+        KnowledgeBase,
+        AbstractionLayer,
+        Database,
+        IdFactory,
+    ) {
         let machine = Machine::preset("csl").unwrap();
         let kb = build_kb(&ProbeReport::collect(&machine)).unwrap();
         (
@@ -302,8 +308,17 @@ mod tests {
     #[test]
     fn full_scenario_b_flow() {
         let (machine, mut kb, layer, ts, mut ids) = setup();
-        let outcome =
-            profile_kernel(&machine, &mut kb, &layer, &ts, &mut ids, &request(), 5.0).unwrap();
+        let outcome = profile_kernel(
+            &machine,
+            &mut kb,
+            &layer,
+            &ts,
+            &mut ids,
+            &request(),
+            5.0,
+            None,
+        )
+        .unwrap();
 
         // Observation appended to the KB (B8).
         assert_eq!(kb.observations.len(), 1);
@@ -324,10 +339,12 @@ mod tests {
         // (4 HW events + 2 per-process metrics).
         let queries = obs.queries();
         assert_eq!(queries.len(), 6);
-        assert!(queries.iter().any(|q| q.contains("proc_psinfo_utime")
-            && q.contains("\"_proc_triad\"")));
-        assert!(queries.iter().any(|q| q.contains("RAPL_ENERGY_PKG")
-            && q.contains("\"_node0\"")));
+        assert!(queries
+            .iter()
+            .any(|q| q.contains("proc_psinfo_utime") && q.contains("\"_proc_triad\"")));
+        assert!(queries
+            .iter()
+            .any(|q| q.contains("RAPL_ENERGY_PKG") && q.contains("\"_node0\"")));
         assert!(queries
             .iter()
             .any(|q| q.contains("MEM_INST_RETIRED_ALL_LOADS") && q.contains("\"_cpu0\"")));
@@ -342,12 +359,17 @@ mod tests {
         let (machine, mut kb, layer, ts, mut ids) = setup();
         let req = request();
         let outcome =
-            profile_kernel(&machine, &mut kb, &layer, &ts, &mut ids, &req, 0.0).unwrap();
+            profile_kernel(&machine, &mut kb, &layer, &ts, &mut ids, &req, 0.0, None).unwrap();
         // AVX512_DP_FLOPS (scaled by ×8) should recall ≈ the true FLOPs.
         let truth = req.profile.total_flops() as f64;
-        let recalled =
-            recall_generic_total(&ts, &layer, "csl", "AVX512_DP_FLOPS", &outcome.observation.id)
-                .unwrap();
+        let recalled = recall_generic_total(
+            &ts,
+            &layer,
+            "csl",
+            "AVX512_DP_FLOPS",
+            &outcome.observation.id,
+        )
+        .unwrap();
         let rel = (recalled - truth).abs() / truth;
         assert!(rel < 0.1, "recalled {recalled} truth {truth} rel {rel}");
     }
@@ -357,7 +379,7 @@ mod tests {
         let (machine, mut kb, layer, ts, mut ids) = setup();
         let mut req = request();
         req.generic_events = vec!["L3_HIT".into()]; // Intel: unsupported
-        let err = profile_kernel(&machine, &mut kb, &layer, &ts, &mut ids, &req, 0.0);
+        let err = profile_kernel(&machine, &mut kb, &layer, &ts, &mut ids, &req, 0.0, None);
         assert!(matches!(err, Err(PmoveError::UnmappedEvent { .. })));
     }
 
@@ -366,8 +388,28 @@ mod tests {
         // Fig. 2(c): the process level view — one twin per profiled run.
         let (machine, mut kb, layer, ts, mut ids) = setup();
         assert!(kb.of_type("process").is_empty());
-        profile_kernel(&machine, &mut kb, &layer, &ts, &mut ids, &request(), 0.0).unwrap();
-        profile_kernel(&machine, &mut kb, &layer, &ts, &mut ids, &request(), 10.0).unwrap();
+        profile_kernel(
+            &machine,
+            &mut kb,
+            &layer,
+            &ts,
+            &mut ids,
+            &request(),
+            0.0,
+            None,
+        )
+        .unwrap();
+        profile_kernel(
+            &machine,
+            &mut kb,
+            &layer,
+            &ts,
+            &mut ids,
+            &request(),
+            10.0,
+            None,
+        )
+        .unwrap();
         let procs = kb.of_type("process");
         assert_eq!(procs.len(), 2);
         // Each twin carries its observation id and telemetry links.
@@ -381,10 +423,7 @@ mod tests {
         // The KB still validates and the process level dashboard exists.
         kb.validate().unwrap();
         let dash = crate::dashboard::gen::level_dashboard(&kb, "process").unwrap();
-        assert!(dash
-            .panels
-            .iter()
-            .any(|p| p.title == "proc_psinfo_utime"));
+        assert!(dash.panels.iter().any(|p| p.title == "proc_psinfo_utime"));
         // The per-process utime series is recallable and ≈ threads × time.
         let obs = &kb.observations[0];
         let q = format!(
@@ -402,10 +441,28 @@ mod tests {
     #[test]
     fn observation_ids_are_unique_per_run() {
         let (machine, mut kb, layer, ts, mut ids) = setup();
-        let a = profile_kernel(&machine, &mut kb, &layer, &ts, &mut ids, &request(), 0.0)
-            .unwrap();
-        let b = profile_kernel(&machine, &mut kb, &layer, &ts, &mut ids, &request(), 10.0)
-            .unwrap();
+        let a = profile_kernel(
+            &machine,
+            &mut kb,
+            &layer,
+            &ts,
+            &mut ids,
+            &request(),
+            0.0,
+            None,
+        )
+        .unwrap();
+        let b = profile_kernel(
+            &machine,
+            &mut kb,
+            &layer,
+            &ts,
+            &mut ids,
+            &request(),
+            10.0,
+            None,
+        )
+        .unwrap();
         assert_ne!(a.observation.id, b.observation.id);
         assert_eq!(kb.observations.len(), 2);
     }

@@ -7,8 +7,10 @@ use crate::filter::{equality_constraints, matches};
 use crate::index::PathIndex;
 use crate::update;
 use parking_lot::RwLock;
+use pmove_obs::{Counter, Registry};
 use serde_json::{json, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Options controlling `find_with`.
 #[derive(Debug, Clone, Default)]
@@ -58,12 +60,33 @@ struct Inner {
     live: usize,
 }
 
+/// Hoisted per-collection `docdb.*` op counters, labelled by collection.
+struct CollectionObs {
+    inserts: Arc<Counter>,
+    finds: Arc<Counter>,
+    updates: Arc<Counter>,
+    deletes: Arc<Counter>,
+}
+
+impl CollectionObs {
+    fn new(registry: &Registry, collection: &str) -> CollectionObs {
+        let labels = [("collection", collection)];
+        CollectionObs {
+            inserts: registry.counter("docdb.inserts", &labels),
+            finds: registry.counter("docdb.finds", &labels),
+            updates: registry.counter("docdb.updates", &labels),
+            deletes: registry.counter("docdb.deletes", &labels),
+        }
+    }
+}
+
 /// A named document collection. Cloneable handles share state via the
 /// database; `Collection` itself is the storage object.
 pub struct Collection {
     name: String,
     inner: RwLock<Inner>,
     next_id: AtomicU64,
+    obs: Option<CollectionObs>,
 }
 
 impl Collection {
@@ -77,7 +100,16 @@ impl Collection {
                 live: 0,
             }),
             next_id: AtomicU64::new(1),
+            obs: None,
         }
+    }
+
+    /// [`Collection::new`] with `docdb.*` op counters (labelled with the
+    /// collection name) registered in `registry`.
+    pub fn with_obs(name: impl Into<String>, registry: &Registry) -> Self {
+        let mut c = Collection::new(name);
+        c.obs = Some(CollectionObs::new(registry, &c.name));
+        c
     }
 
     /// Collection name.
@@ -109,6 +141,9 @@ impl Collection {
 
     /// Insert one document; assigns `_id` if absent. Returns the `_id`.
     pub fn insert_one(&self, mut doc: Value) -> Result<String, DocDbError> {
+        if let Some(o) = &self.obs {
+            o.inserts.inc();
+        }
         let map = doc.as_object_mut().ok_or(DocDbError::NotAnObject)?;
         let id = match map.get("_id") {
             Some(Value::String(s)) => s.clone(),
@@ -176,11 +211,10 @@ impl Collection {
     }
 
     /// Find with sort/limit/projection options.
-    pub fn find_with(
-        &self,
-        filter: &Value,
-        opts: &FindOptions,
-    ) -> Result<Vec<Value>, DocDbError> {
+    pub fn find_with(&self, filter: &Value, opts: &FindOptions) -> Result<Vec<Value>, DocDbError> {
+        if let Some(o) = &self.obs {
+            o.finds.inc();
+        }
         let inner = self.inner.read();
         let mut out = Vec::new();
         match self.candidate_slots(&inner, filter) {
@@ -244,6 +278,9 @@ impl Collection {
 
     /// Update all matching documents; returns the number updated.
     pub fn update_many(&self, filter: &Value, spec: &Value) -> Result<usize, DocDbError> {
+        if let Some(o) = &self.obs {
+            o.updates.inc();
+        }
         let mut inner = self.inner.write();
         let mut updated = 0;
         for slot in 0..inner.docs.len() {
@@ -266,6 +303,9 @@ impl Collection {
 
     /// Delete all matching documents; returns the number deleted.
     pub fn delete_many(&self, filter: &Value) -> Result<usize, DocDbError> {
+        if let Some(o) = &self.obs {
+            o.deletes.inc();
+        }
         let mut inner = self.inner.write();
         let mut deleted = 0;
         for slot in 0..inner.docs.len() {
@@ -368,7 +408,10 @@ mod tests {
     fn update_many_applies_operators() {
         let c = filled();
         let n = c
-            .update_many(&json!({"@type": "Interface"}), &json!({"$inc": {"freq": 1}}))
+            .update_many(
+                &json!({"@type": "Interface"}),
+                &json!({"$inc": {"freq": 1}}),
+            )
             .unwrap();
         assert_eq!(n, 2);
         let d = c.find_one(&json!({"name": "cpu0"})).unwrap().unwrap();

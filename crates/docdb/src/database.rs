@@ -3,6 +3,7 @@
 
 use crate::collection::Collection;
 use parking_lot::RwLock;
+use pmove_obs::Registry;
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -11,6 +12,7 @@ use std::sync::Arc;
 pub struct Database {
     name: String,
     collections: RwLock<BTreeMap<String, Arc<Collection>>>,
+    obs: Option<Arc<Registry>>,
 }
 
 impl Database {
@@ -19,7 +21,22 @@ impl Database {
         Database {
             name: name.into(),
             collections: RwLock::new(BTreeMap::new()),
+            obs: None,
         }
+    }
+
+    /// [`Database::new`] with an observability registry: every collection
+    /// created through [`Database::collection`] counts its operations
+    /// under `docdb.*`, labelled with the collection name.
+    pub fn with_obs(name: impl Into<String>, registry: Arc<Registry>) -> Self {
+        let mut db = Database::new(name);
+        db.obs = Some(registry);
+        db
+    }
+
+    /// The attached observability registry, if any.
+    pub fn obs_registry(&self) -> Option<&Arc<Registry>> {
+        self.obs.as_ref()
     }
 
     /// Database name.
@@ -31,7 +48,12 @@ impl Database {
     pub fn collection(&self, name: &str) -> Arc<Collection> {
         let mut cols = self.collections.write();
         cols.entry(name.to_string())
-            .or_insert_with(|| Arc::new(Collection::new(name)))
+            .or_insert_with(|| {
+                Arc::new(match &self.obs {
+                    Some(reg) => Collection::with_obs(name, reg),
+                    None => Collection::new(name),
+                })
+            })
             .clone()
     }
 
@@ -110,6 +132,26 @@ mod tests {
         db.collection("tmp");
         assert!(db.drop_collection("tmp"));
         assert!(!db.drop_collection("tmp"));
+    }
+
+    #[test]
+    fn observed_database_counts_collection_ops() {
+        let reg = Registry::shared();
+        let db = Database::with_obs("st", reg.clone());
+        let kb = db.collection("kb");
+        kb.insert_one(json!({"x": 1})).unwrap();
+        kb.insert_one(json!({"x": 2})).unwrap();
+        kb.find(&json!({"x": 1})).unwrap();
+        kb.update_many(&json!({"x": 1}), &json!({"$set": {"y": 3}}))
+            .unwrap();
+        kb.delete_many(&json!({"x": 2})).unwrap();
+        let snap = reg.snapshot();
+        let labels = [("collection", "kb")];
+        assert_eq!(snap.counter("docdb.inserts", &labels), Some(2));
+        assert_eq!(snap.counter("docdb.finds", &labels), Some(1));
+        assert_eq!(snap.counter("docdb.updates", &labels), Some(1));
+        assert_eq!(snap.counter("docdb.deletes", &labels), Some(1));
+        assert!(db.obs_registry().is_some());
     }
 
     #[test]

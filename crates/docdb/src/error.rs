@@ -34,7 +34,11 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(DocDbError::DuplicateId("x".into()).to_string().contains('x'));
-        assert!(DocDbError::BadFilter("f".into()).to_string().contains("filter"));
+        assert!(DocDbError::DuplicateId("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(DocDbError::BadFilter("f".into())
+            .to_string()
+            .contains("filter"));
     }
 }

@@ -85,9 +85,12 @@ fn apply_op(actual: Option<&Value>, op: &str, operand: &Value) -> Result<bool, D
                 .ok_or_else(|| DocDbError::BadFilter("$exists expects a bool".into()))?;
             Ok(actual.is_some() == want)
         }
-        "$eq" => Ok(actual.is_some_and(|v| v == operand) || (actual.is_none() && operand.is_null())),
-        "$ne" => Ok(!(actual.is_some_and(|v| v == operand)
-            || (actual.is_none() && operand.is_null()))),
+        "$eq" => {
+            Ok(actual.is_some_and(|v| v == operand) || (actual.is_none() && operand.is_null()))
+        }
+        "$ne" => {
+            Ok(!(actual.is_some_and(|v| v == operand) || (actual.is_none() && operand.is_null())))
+        }
         "$gt" | "$gte" | "$lt" | "$lte" => {
             let Some(v) = actual else { return Ok(false) };
             let ord = compare(v, operand);

@@ -17,7 +17,11 @@ use crate::machine::MachineSpec;
 /// larger sets spill smoothly to the next level. The smoothing window
 /// reflects that a set slightly larger than a cache still enjoys partial
 /// residency.
-pub fn derive_locality(spec: &MachineSpec, working_set_bytes: u64, threads: u32) -> LocalityProfile {
+pub fn derive_locality(
+    spec: &MachineSpec,
+    working_set_bytes: u64,
+    threads: u32,
+) -> LocalityProfile {
     // Effective per-thread share of each level.
     let threads = threads.max(1) as u64;
     let threads_per_core = spec.threads_per_core.max(1) as u64;

@@ -124,6 +124,8 @@ mod tests {
 
     #[test]
     fn nvme_is_faster() {
-        assert!(DiskSpec::nvme("n").write_throughput(512) > DiskSpec::sata("s").write_throughput(512));
+        assert!(
+            DiskSpec::nvme("n").write_throughput(512) > DiskSpec::sata("s").write_throughput(512)
+        );
     }
 }

@@ -97,10 +97,16 @@ mod tests {
 
     #[test]
     fn license_classes_follow_isa_mix() {
-        assert_eq!(License::of_profile(&profile(IsaExt::Scalar, 1)), License::L0);
+        assert_eq!(
+            License::of_profile(&profile(IsaExt::Scalar, 1)),
+            License::L0
+        );
         assert_eq!(License::of_profile(&profile(IsaExt::Sse, 1)), License::L0);
         assert_eq!(License::of_profile(&profile(IsaExt::Avx2, 1)), License::L1);
-        assert_eq!(License::of_profile(&profile(IsaExt::Avx512, 1)), License::L2);
+        assert_eq!(
+            License::of_profile(&profile(IsaExt::Avx512, 1)),
+            License::L2
+        );
         // Mixed: a sliver of AVX-512 under 10 % does not trip L2.
         let mixed = KernelProfile::named("m")
             .with_threads(1)

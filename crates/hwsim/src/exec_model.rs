@@ -65,8 +65,7 @@ impl ExecModel {
             .flops
             .iter()
             .map(|g| {
-                let peak =
-                    self.spec.peak_gflops_f64(g.isa, profile.threads) * 1e9;
+                let peak = self.spec.peak_gflops_f64(g.isa, profile.threads) * 1e9;
                 // F32 doubles the lane count, hence the throughput.
                 let peak = match g.precision {
                     Precision::F64 => peak,
@@ -106,9 +105,9 @@ impl ExecModel {
 
     /// Run a kernel starting at `start_s` seconds of virtual time.
     pub fn run(&self, profile: &KernelProfile, start_s: f64) -> Execution {
-        let locality = profile
-            .locality
-            .unwrap_or_else(|| derive_locality(&self.spec, profile.working_set_bytes, profile.threads));
+        let locality = profile.locality.unwrap_or_else(|| {
+            derive_locality(&self.spec, profile.working_set_bytes, profile.threads)
+        });
         // Under DVFS, core-clocked resources (FP pipes, private caches)
         // slow by the frequency ratio; DRAM bandwidth is unaffected.
         let clock_ghz = self.clock_ghz(profile);
@@ -122,11 +121,8 @@ impl ExecModel {
         let active = profile.threads.min(self.spec.total_threads());
         let raw: Vec<f64> = (0..active)
             .map(|i| {
-                let mut n = NoiseSource::from_labels(&[
-                    &self.spec.key,
-                    &profile.name,
-                    &format!("t{i}"),
-                ]);
+                let mut n =
+                    NoiseSource::from_labels(&[&self.spec.key, &profile.name, &format!("t{i}")]);
                 (1.0 + n.normal(0.0, 0.03)).max(0.2)
             })
             .collect();
@@ -221,14 +217,11 @@ impl Execution {
             Quantity::StoreInstr => p.store_instructions() as f64,
             Quantity::CacheMiss(level) => {
                 // Misses at L are accesses served by deeper levels, in lines.
-                let deeper: f64 = (level + 1..=4)
-                    .map(|l| self.locality.fraction(l))
-                    .sum();
+                let deeper: f64 = (level + 1..=4).map(|l| self.locality.fraction(l)).sum();
                 p.total_bytes() as f64 * deeper / 64.0
             }
             Quantity::CacheRef(level) => {
-                let here_or_deeper: f64 =
-                    (level..=4).map(|l| self.locality.fraction(l)).sum();
+                let here_or_deeper: f64 = (level..=4).map(|l| self.locality.fraction(l)).sum();
                 p.total_bytes() as f64 * here_or_deeper / 64.0
             }
             Quantity::DivOps => p.div_ops as f64,
@@ -282,13 +275,7 @@ impl Execution {
     }
 
     /// Per-thread quantity in a window (uniform rate × imbalance share).
-    pub fn thread_quantity_in_window(
-        &self,
-        q: Quantity,
-        thread_idx: u32,
-        t0: f64,
-        t1: f64,
-    ) -> f64 {
+    pub fn thread_quantity_in_window(&self, q: Quantity, thread_idx: u32, t0: f64, t1: f64) -> f64 {
         self.quantity_in_window(q, t0, t1) * self.thread_share(thread_idx)
     }
 }
@@ -390,8 +377,7 @@ mod tests {
         assert!(l1_miss > 0.9 * p.total_bytes() as f64 / 64.0);
         assert!(exec.quantity_total(Quantity::EnergyPkg) > 0.0);
         assert!(
-            exec.quantity_total(Quantity::EnergyDram)
-                < exec.quantity_total(Quantity::EnergyPkg)
+            exec.quantity_total(Quantity::EnergyDram) < exec.quantity_total(Quantity::EnergyPkg)
         );
     }
 

@@ -204,8 +204,18 @@ mod tests {
             threads_launched: 1 << 20,
         };
         let r = profile_kernel(&g, &k);
-        let mem = r.metrics.iter().find(|(n, _)| n == "gpu__compute_memory_access_throughput").unwrap().1;
-        let sm = r.metrics.iter().find(|(n, _)| n == "sm__throughput").unwrap().1;
+        let mem = r
+            .metrics
+            .iter()
+            .find(|(n, _)| n == "gpu__compute_memory_access_throughput")
+            .unwrap()
+            .1;
+        let sm = r
+            .metrics
+            .iter()
+            .find(|(n, _)| n == "sm__throughput")
+            .unwrap()
+            .1;
         assert!(mem > 80.0, "mem {mem}");
         assert!(sm < 20.0, "sm {sm}");
         assert!(r.duration_us > 0.0);
@@ -222,7 +232,12 @@ mod tests {
             threads_launched: 1 << 20,
         };
         let r = profile_kernel(&g, &k);
-        let sm = r.metrics.iter().find(|(n, _)| n == "sm__throughput").unwrap().1;
+        let sm = r
+            .metrics
+            .iter()
+            .find(|(n, _)| n == "sm__throughput")
+            .unwrap()
+            .1;
         assert!(sm > 80.0, "sm {sm}");
     }
 }

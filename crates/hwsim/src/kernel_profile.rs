@@ -292,10 +292,7 @@ mod tests {
         let avx512 = triad(1024, IsaExt::Avx512);
         assert_eq!(scalar.load_instructions(), 2048);
         assert_eq!(avx512.load_instructions(), 256); // 8 elems/instr
-        assert_eq!(
-            scalar.flop_instructions_with_isa(IsaExt::Scalar),
-            2048
-        );
+        assert_eq!(scalar.flop_instructions_with_isa(IsaExt::Scalar), 2048);
         assert_eq!(avx512.flop_instructions_with_isa(IsaExt::Avx512), 256);
         assert_eq!(avx512.flop_instructions_with_isa(IsaExt::Scalar), 0);
     }
@@ -324,11 +321,8 @@ mod tests {
 
     #[test]
     fn zero_mem_kernel_has_infinite_ai() {
-        let p = KernelProfile::named("peakflops").with_flops(
-            IsaExt::Avx2,
-            Precision::F64,
-            1_000_000,
-        );
+        let p =
+            KernelProfile::named("peakflops").with_flops(IsaExt::Avx2, Precision::F64, 1_000_000);
         assert!(p.arithmetic_intensity().is_infinite());
     }
 

@@ -75,7 +75,9 @@ impl MachineSpec {
             l2_kb: 1024,
             l3_kb: 30976,
             env: "pcp 5.3.6-1".into(),
-            disks: (0..4).map(|i| DiskSpec::sata(format!("sd{}", (b'a' + i) as char))).collect(),
+            disks: (0..4)
+                .map(|i| DiskSpec::sata(format!("sd{}", (b'a' + i) as char)))
+                .collect(),
             nic_mbit: 100,
             gpus: Vec::new(),
         }
@@ -264,11 +266,7 @@ impl MachineSpec {
                 }
             }
             let mem = t.add(numa, ComponentKind::Memory, format!("mem{s}"));
-            t.set_attr(
-                mem,
-                "size_gb",
-                json!(self.mem_gb / self.sockets as u64),
-            );
+            t.set_attr(mem, "size_gb", json!(self.mem_gb / self.sockets as u64));
             t.set_attr(mem, "freq_mhz", json!(self.mem_freq_mhz));
         }
         for d in &self.disks {
@@ -394,7 +392,7 @@ mod tests {
         let p8 = icl.peak_gflops_f64(IsaExt::Avx512, 8);
         let p16 = icl.peak_gflops_f64(IsaExt::Avx512, 16);
         assert_eq!(p8, p16); // SMT threads add no FMA throughput
-        // 8 cores * 5.1 GHz * 32 flops/cyc = 1305.6 GF/s
+                             // 8 cores * 5.1 GHz * 32 flops/cyc = 1305.6 GF/s
         assert!((p8 - 1305.6).abs() < 1.0);
     }
 

@@ -274,9 +274,7 @@ impl EventCatalog {
 
     /// Events counted per hardware thread.
     pub fn per_thread_events(&self) -> impl Iterator<Item = &EventDef> {
-        self.events
-            .iter()
-            .filter(|e| e.domain == Domain::PerThread)
+        self.events.iter().filter(|e| e.domain == Domain::PerThread)
     }
 }
 
@@ -400,10 +398,7 @@ mod tests {
             c.get("FP_ARITH:512B_PACKED_DOUBLE").unwrap().quantity,
             Quantity::FlopInstrF64(IsaExt::Avx512)
         );
-        assert_eq!(
-            c.get("RAPL_ENERGY_PKG").unwrap().domain,
-            Domain::PerPackage
-        );
+        assert_eq!(c.get("RAPL_ENERGY_PKG").unwrap().domain, Domain::PerPackage);
         let amd = EventCatalog::for_arch(Microarch::Zen3);
         assert_eq!(
             amd.get("RETIRED_SSE_AVX_FLOPS:ANY").unwrap().quantity,
@@ -414,9 +409,7 @@ mod tests {
     #[test]
     fn per_thread_iterator_excludes_rapl() {
         let c = EventCatalog::for_arch(Microarch::Zen3);
-        assert!(c
-            .per_thread_events()
-            .all(|e| e.domain == Domain::PerThread));
+        assert!(c.per_thread_events().all(|e| e.domain == Domain::PerThread));
         assert!(c.per_thread_events().count() < c.events().len());
     }
 

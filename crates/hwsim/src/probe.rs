@@ -19,20 +19,40 @@ pub fn linux_sw_metrics() -> Vec<(&'static str, &'static str, &'static str)> {
         ("kernel.all.load", "singular", "1-minute load average"),
         ("kernel.all.nprocs", "singular", "number of processes"),
         ("kernel.all.intr", "singular", "interrupts per second"),
-        ("kernel.all.pswitch", "singular", "context switches per second"),
+        (
+            "kernel.all.pswitch",
+            "singular",
+            "context switches per second",
+        ),
         ("kernel.percpu.cpu.idle", "per-cpu", "per-CPU idle time"),
         ("kernel.percpu.cpu.user", "per-cpu", "per-CPU user time"),
         ("kernel.percpu.cpu.sys", "per-cpu", "per-CPU system time"),
         ("mem.util.used", "singular", "used memory"),
         ("mem.util.free", "singular", "free memory"),
-        ("mem.numa.alloc_hit", "per-node", "NUMA local allocation hits"),
+        (
+            "mem.numa.alloc_hit",
+            "per-node",
+            "NUMA local allocation hits",
+        ),
         ("mem.numa.alloc_miss", "per-node", "NUMA remote allocations"),
-        ("disk.dev.write_bytes", "per-disk", "bytes written per device"),
+        (
+            "disk.dev.write_bytes",
+            "per-disk",
+            "bytes written per device",
+        ),
         ("disk.dev.read_bytes", "per-disk", "bytes read per device"),
-        ("network.interface.out.bytes", "per-nic", "bytes transmitted"),
+        (
+            "network.interface.out.bytes",
+            "per-nic",
+            "bytes transmitted",
+        ),
         ("network.interface.in.bytes", "per-nic", "bytes received"),
         ("proc.psinfo.utime", "per-process", "per-process user time"),
-        ("proc.psinfo.stime", "per-process", "per-process system time"),
+        (
+            "proc.psinfo.stime",
+            "per-process",
+            "per-process system time",
+        ),
         ("proc.psinfo.rss", "per-process", "per-process resident set"),
     ]
 }
@@ -176,10 +196,7 @@ mod tests {
         assert_eq!(r["cpu"]["pmu_name"], json!("csl"));
         assert!(r["pmu_events"].as_array().unwrap().len() > 8);
         assert!(r["sw_metrics"].as_array().unwrap().len() >= 15);
-        assert_eq!(
-            r["components"].as_array().unwrap().len(),
-            m.topology.len()
-        );
+        assert_eq!(r["components"].as_array().unwrap().len(), m.topology.len());
         assert!(r["gpus"].as_array().unwrap().is_empty());
     }
 

@@ -58,12 +58,9 @@ impl Microarch {
     pub fn isa_extensions(&self) -> &'static [IsaExt] {
         match self {
             // Paper §IV-B: microbenchmarks support scalar, SSE, AVX2, AVX512.
-            Microarch::SkylakeX | Microarch::IceLake | Microarch::CascadeLake => &[
-                IsaExt::Scalar,
-                IsaExt::Sse,
-                IsaExt::Avx2,
-                IsaExt::Avx512,
-            ],
+            Microarch::SkylakeX | Microarch::IceLake | Microarch::CascadeLake => {
+                &[IsaExt::Scalar, IsaExt::Sse, IsaExt::Avx2, IsaExt::Avx512]
+            }
             // Zen3 has no AVX-512.
             Microarch::Zen3 => &[IsaExt::Scalar, IsaExt::Sse, IsaExt::Avx2],
         }

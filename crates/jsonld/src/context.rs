@@ -135,7 +135,10 @@ mod tests {
     fn pmove_context_expands_classes() {
         let c = Context::pmove();
         assert_eq!(c.expand_term("Interface"), "dtmi:dtdl:class:Interface;2");
-        assert_eq!(c.expand_term("HWTelemetry"), "dtmi:pmove:class:HWTelemetry;1");
+        assert_eq!(
+            c.expand_term("HWTelemetry"),
+            "dtmi:pmove:class:HWTelemetry;1"
+        );
         assert_eq!(c.expand_term("@id"), "@id");
     }
 

@@ -186,7 +186,11 @@ pub struct Interface {
 
 impl Interface {
     /// New empty interface.
-    pub fn new(id: Dtmi, component_type: impl Into<String>, display_name: impl Into<String>) -> Self {
+    pub fn new(
+        id: Dtmi,
+        component_type: impl Into<String>,
+        display_name: impl Into<String>,
+    ) -> Self {
         Interface {
             id,
             component_type: component_type.into(),

@@ -34,7 +34,11 @@ mod tests {
 
     #[test]
     fn display_mentions_cause() {
-        assert!(JsonLdError::BadDtmi("x".into()).to_string().contains("DTMI"));
-        assert!(JsonLdError::Validation("v".into()).to_string().contains('v'));
+        assert!(JsonLdError::BadDtmi("x".into())
+            .to_string()
+            .contains("DTMI"));
+        assert!(JsonLdError::Validation("v".into())
+            .to_string()
+            .contains('v'));
     }
 }

@@ -83,9 +83,7 @@ pub fn compact(doc: &Value, ctx: &Context) -> Value {
 fn compact_type(v: &Value, ctx: &Context) -> Value {
     match v {
         Value::String(s) => Value::String(ctx.compact_iri(s)),
-        Value::Array(items) => {
-            Value::Array(items.iter().map(|i| compact_type(i, ctx)).collect())
-        }
+        Value::Array(items) => Value::Array(items.iter().map(|i| compact_type(i, ctx)).collect()),
         other => other.clone(),
     }
 }
@@ -109,14 +107,8 @@ mod tests {
         assert_eq!(e["@type"], json!("dtmi:dtdl:class:Interface;2"));
         assert!(e.get("@context").is_none());
         let contents = &e["dtmi:dtdl:property:contents;2"];
-        assert_eq!(
-            contents[0]["@type"],
-            json!("dtmi:dtdl:class:Property;2")
-        );
-        assert_eq!(
-            contents[0]["dtmi:dtdl:property:name;2"],
-            json!("model")
-        );
+        assert_eq!(contents[0]["@type"], json!("dtmi:dtdl:class:Property;2"));
+        assert_eq!(contents[0]["dtmi:dtdl:property:name;2"], json!("model"));
     }
 
     #[test]
@@ -125,7 +117,10 @@ mod tests {
         let e = expand(&doc, &Context::pmove()).unwrap();
         assert_eq!(
             e["@type"],
-            json!(["dtmi:dtdl:class:Telemetry;2", "dtmi:pmove:class:SWTelemetry;1"])
+            json!([
+                "dtmi:dtdl:class:Telemetry;2",
+                "dtmi:pmove:class:SWTelemetry;1"
+            ])
         );
     }
 

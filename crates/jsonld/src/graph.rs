@@ -86,12 +86,7 @@ impl Graph {
     }
 
     /// Convenience insert.
-    pub fn add(
-        &mut self,
-        subject: impl Into<String>,
-        predicate: impl Into<String>,
-        object: Node,
-    ) {
+    pub fn add(&mut self, subject: impl Into<String>, predicate: impl Into<String>, object: Node) {
         self.insert(Triple::new(subject, predicate, object));
     }
 
@@ -131,8 +126,7 @@ impl Graph {
             .object
             .as_ref()
             .and_then(|o| self.osp.get(&Self::object_key(o)));
-        let sets: Vec<&BTreeSet<usize>> =
-            [by_s, by_p, by_o].into_iter().flatten().collect();
+        let sets: Vec<&BTreeSet<usize>> = [by_s, by_p, by_o].into_iter().flatten().collect();
         match sets.into_iter().min_by_key(|s| s.len()) {
             Some(best) => Box::new(best.iter().copied()),
             None => Box::new(0..self.triples.len()),
@@ -196,14 +190,8 @@ mod tests {
         assert_eq!(g.query(&Pattern::any()).len(), 5);
         assert_eq!(g.query(&Pattern::any().s("gpu0")).len(), 3);
         assert_eq!(g.query(&Pattern::any().p("rdf:type")).len(), 2);
-        assert_eq!(
-            g.query(&Pattern::any().o(Node::lit("Interface"))).len(),
-            2
-        );
-        assert_eq!(
-            g.query(&Pattern::any().s("gpu0").p("rdf:type")).len(),
-            1
-        );
+        assert_eq!(g.query(&Pattern::any().o(Node::lit("Interface"))).len(), 2);
+        assert_eq!(g.query(&Pattern::any().s("gpu0").p("rdf:type")).len(), 1);
         assert!(g.query(&Pattern::any().s("nosuch")).is_empty());
     }
 

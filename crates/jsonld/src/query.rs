@@ -36,7 +36,6 @@ impl Term {
             Term::Const(s.to_string())
         }
     }
-
 }
 
 /// One triple pattern with variables.
@@ -262,7 +261,10 @@ mod tests {
     #[test]
     fn object_constant_matches_iri_nodes_too() {
         let g = kb_graph();
-        let sols = solve(&g, &[TriplePattern::new("?c", "pmove:hasTelemetry", "tel0")]);
+        let sols = solve(
+            &g,
+            &[TriplePattern::new("?c", "pmove:hasTelemetry", "tel0")],
+        );
         assert_eq!(sols.len(), 1);
         assert_eq!(sols[0]["c"].lexical(), "cpu0");
     }

@@ -166,15 +166,15 @@ fn content_from_json(c: &Value) -> Result<Content, JsonLdError> {
                     .map(str::to_string),
             })
         }
-        "Relationship" => Content::Relationship(Relationship {
-            id,
-            name,
-            target: Dtmi::parse(
-                obj.get("target")
-                    .and_then(Value::as_str)
-                    .ok_or_else(|| JsonLdError::BadDocument("relationship missing target".into()))?,
-            )?,
-        }),
+        "Relationship" => {
+            Content::Relationship(Relationship {
+                id,
+                name,
+                target: Dtmi::parse(obj.get("target").and_then(Value::as_str).ok_or_else(
+                    || JsonLdError::BadDocument("relationship missing target".into()),
+                )?)?,
+            })
+        }
         "Command" => Content::Command(Command {
             id,
             name,
@@ -206,19 +206,15 @@ pub fn interface_to_triples(i: &Interface, graph: &mut Graph) {
             }
             Content::Telemetry(t) => {
                 graph.add(&s, "pmove:hasTelemetry", Node::iri(t.id.to_string()));
-                graph.add(
-                    t.id.to_string(),
-                    "rdf:type",
-                    Node::lit(t.kind.type_name()),
-                );
-                graph.add(
-                    t.id.to_string(),
-                    "pmove:dbName",
-                    Node::lit(&t.db_name),
-                );
+                graph.add(t.id.to_string(), "rdf:type", Node::lit(t.kind.type_name()));
+                graph.add(t.id.to_string(), "pmove:dbName", Node::lit(&t.db_name));
             }
             Content::Relationship(r) => {
-                graph.add(&s, format!("rel:{}", r.name), Node::iri(r.target.to_string()));
+                graph.add(
+                    &s,
+                    format!("rel:{}", r.name),
+                    Node::iri(r.target.to_string()),
+                );
             }
             Content::Command(cmd) => {
                 graph.add(&s, "pmove:hasCommand", Node::lit(&cmd.name));

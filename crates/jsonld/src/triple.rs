@@ -71,11 +71,7 @@ pub struct Triple {
 
 impl Triple {
     /// Build a triple.
-    pub fn new(
-        subject: impl Into<String>,
-        predicate: impl Into<String>,
-        object: Node,
-    ) -> Self {
+    pub fn new(subject: impl Into<String>, predicate: impl Into<String>, object: Node) -> Self {
         Triple {
             subject: subject.into(),
             predicate: predicate.into(),
@@ -86,7 +82,11 @@ impl Triple {
 
 impl fmt::Display for Triple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "<{}> <{}> {} .", self.subject, self.predicate, self.object)
+        write!(
+            f,
+            "<{}> <{}> {} .",
+            self.subject, self.predicate, self.object
+        )
     }
 }
 
@@ -98,7 +98,10 @@ mod tests {
     fn node_constructors() {
         assert_eq!(Node::iri("dtmi:dt;1"), Node::Iri("dtmi:dt;1".into()));
         assert_eq!(Node::lit("x").lexical(), "x");
-        assert_eq!(Node::int(3), Node::TypedLiteral("3".into(), "xsd:integer".into()));
+        assert_eq!(
+            Node::int(3),
+            Node::TypedLiteral("3".into(), "xsd:integer".into())
+        );
         assert!(Node::iri("a").is_iri());
         assert!(!Node::lit("a").is_iri());
     }

@@ -26,15 +26,15 @@ pub fn validate_interface(i: &Interface) -> Result<(), JsonLdError> {
             )));
         }
         if c.name().is_empty() {
-            return Err(JsonLdError::Validation(format!("content {id} has empty name")));
+            return Err(JsonLdError::Validation(format!(
+                "content {id} has empty name"
+            )));
         }
         // Relationships may repeat a name across different targets (one
         // `contains` edge per child); other content names must be unique
         // within their kind.
         let uniqueness_key = match c {
-            Content::Relationship(r) => {
-                ("relationship", format!("{}->{}", r.name, r.target))
-            }
+            Content::Relationship(r) => ("relationship", format!("{}->{}", r.name, r.target)),
             other => (discriminant_name(other), other.name().to_string()),
         };
         if !seen.insert(uniqueness_key) {

@@ -23,8 +23,7 @@ pub fn build_operator(nx: usize, ny: usize, nz: usize) -> Csr {
                 for dz in -1i64..=1 {
                     for dy in -1i64..=1 {
                         for dx in -1i64..=1 {
-                            let (xx, yy, zz) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                             if xx < 0
                                 || yy < 0
                                 || zz < 0

@@ -48,7 +48,14 @@ impl Registry {
     /// Known kernel names.
     pub fn names() -> Vec<&'static str> {
         vec![
-            "sum", "copy", "scale", "stream", "triad", "ddot", "daxpy", "peakflops",
+            "sum",
+            "copy",
+            "scale",
+            "stream",
+            "triad",
+            "ddot",
+            "daxpy",
+            "peakflops",
         ]
     }
 

@@ -48,7 +48,9 @@ pub fn run_stream(n: usize, reps: usize) -> StreamResult {
         best[0] = best[0].min(t.elapsed().as_secs_f64());
         // Scale: b = scalar * c
         let t = Instant::now();
-        b.par_iter_mut().zip(&c).for_each(|(bi, &ci)| *bi = scalar * ci);
+        b.par_iter_mut()
+            .zip(&c)
+            .for_each(|(bi, &ci)| *bi = scalar * ci);
         best[1] = best[1].min(t.elapsed().as_secs_f64());
         // Add: c = a + b
         let t = Instant::now();
@@ -73,7 +75,9 @@ pub fn run_stream(n: usize, reps: usize) -> StreamResult {
         va = vb + scalar * vc;
     }
     let err = |x: f64, v: f64| ((x - v) / v).abs();
-    let max_rel_err = err(a[n / 2], va).max(err(b[n / 2], vb)).max(err(c[n / 2], vc));
+    let max_rel_err = err(a[n / 2], va)
+        .max(err(b[n / 2], vb))
+        .max(err(c[n / 2], vc));
 
     let nb = n as f64;
     StreamResult {

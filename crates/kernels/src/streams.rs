@@ -214,13 +214,13 @@ impl StreamKernel {
     pub fn expected_checksum(&self, n: usize) -> f64 {
         let n = n as f64;
         match self {
-            StreamKernel::Sum => n,              // Σ 1
-            StreamKernel::Copy => 2.0 * n,       // Σ 2
-            StreamKernel::Scale => 6.0 * n,      // Σ 3·2
-            StreamKernel::Stream => 7.0 * n,     // Σ 1 + 3·2
-            StreamKernel::Triad => 2.0 * n,      // Σ 1 + 2·0.5
-            StreamKernel::Ddot => n,             // Σ 2·0.5
-            StreamKernel::Daxpy => 5.0 * n,      // Σ 2 + 3·1
+            StreamKernel::Sum => n,          // Σ 1
+            StreamKernel::Copy => 2.0 * n,   // Σ 2
+            StreamKernel::Scale => 6.0 * n,  // Σ 3·2
+            StreamKernel::Stream => 7.0 * n, // Σ 1 + 3·2
+            StreamKernel::Triad => 2.0 * n,  // Σ 1 + 2·0.5
+            StreamKernel::Ddot => n,         // Σ 2·0.5
+            StreamKernel::Daxpy => 5.0 * n,  // Σ 2 + 3·1
             StreamKernel::Peakflops => {
                 // Eight chained FMAs on 1.0000001; compute serially.
                 let mut r = 1.000_000_1f64;

@@ -1,0 +1,408 @@
+//! Metric primitives and the registry that owns them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot};
+use crate::span::{SpanGuard, SpanStats};
+
+/// Identity of one metric: name plus sorted `label=value` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, dotted-lowercase by convention (`transport.values_lost`).
+    pub name: String,
+    /// Label pairs, sorted by key for deterministic identity and export.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Build a key; labels are sorted so equivalent label sets collide.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// Monotonic event counter (lock-free).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` events.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-value gauge storing an `f64` (lock-free via bit transmutation).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrite the gauge value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram over `u64` samples (latencies in ns, sizes, ...).
+///
+/// Buckets are upper-inclusive bounds; one implicit overflow bucket catches
+/// everything above the last bound. Recording is lock-free. Quantiles are
+/// estimated by linear interpolation inside the winning bucket, which is
+/// deterministic for a given sample multiset.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Build with the given ascending upper bounds.
+    pub fn new(bounds: Vec<u64>) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the bucket containing the target rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            let c = bucket.load(Ordering::Relaxed);
+            if seen + c >= target {
+                let lower = if idx == 0 { 0 } else { self.bounds[idx - 1] };
+                let upper = if idx < self.bounds.len() {
+                    self.bounds[idx]
+                } else {
+                    // Overflow bucket: bounded above by the observed max.
+                    self.max().max(lower)
+                };
+                if c == 0 {
+                    return upper as f64;
+                }
+                let frac = (target - seen) as f64 / c as f64;
+                return lower as f64 + (upper - lower) as f64 * frac;
+            }
+            seen += c;
+        }
+        self.max() as f64
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Default latency bucket bounds in nanoseconds: 1µs → 10s, log-ish spaced.
+pub fn latency_buckets() -> Vec<u64> {
+    vec![
+        1_000,
+        2_500,
+        5_000,
+        10_000,
+        25_000,
+        50_000,
+        100_000,
+        250_000,
+        500_000,
+        1_000_000,
+        2_500_000,
+        5_000_000,
+        10_000_000,
+        50_000_000,
+        100_000_000,
+        500_000_000,
+        1_000_000_000,
+        10_000_000_000,
+    ]
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<MetricKey, Arc<Counter>>,
+    gauges: BTreeMap<MetricKey, Arc<Gauge>>,
+    histograms: BTreeMap<MetricKey, Arc<Histogram>>,
+    spans: BTreeMap<String, SpanStats>,
+}
+
+/// Owner of all metrics for one pipeline instance.
+///
+/// Cloneable via `Arc<Registry>`; every accessor takes `&self`. Handle
+/// creation locks briefly; the returned `Arc` handles are lock-free to
+/// update.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// Fresh empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Shared fresh registry (the common way to thread one through a
+    /// pipeline).
+    pub fn shared() -> Arc<Registry> {
+        Arc::new(Registry::new())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+
+    /// Get or create the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = MetricKey::new(name, labels);
+        Arc::clone(self.lock().counters.entry(key).or_default())
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = MetricKey::new(name, labels);
+        Arc::clone(self.lock().gauges.entry(key).or_default())
+    }
+
+    /// Get or create the histogram `name{labels}` with `bounds` (bounds are
+    /// fixed on first creation; later calls reuse the existing instance).
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: Vec<u64>,
+    ) -> Arc<Histogram> {
+        let key = MetricKey::new(name, labels);
+        Arc::clone(
+            self.lock()
+                .histograms
+                .entry(key)
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Open a span at virtual time `start_ns`; finish it with
+    /// [`SpanGuard::finish`]. Aggregates per span name.
+    pub fn span_enter<'r>(&'r self, name: &str, start_ns: u64) -> SpanGuard<'r> {
+        SpanGuard::new(self, name, start_ns)
+    }
+
+    /// Record a completed span directly from explicit timestamps.
+    pub fn record_span(&self, name: &str, start_ns: u64, end_ns: u64) {
+        let mut inner = self.lock();
+        let stats = inner.spans.entry(name.to_string()).or_default();
+        stats.record(start_ns, end_ns);
+    }
+
+    /// Deterministic point-in-time export of every metric and span.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+            spans: inner
+                .spans
+                .iter()
+                .map(|(name, s)| {
+                    (
+                        name.clone(),
+                        SpanSnapshot {
+                            count: s.count,
+                            total_ns: s.total_ns,
+                            min_ns: s.min_ns,
+                            max_ns: s.max_ns,
+                            last_start_ns: s.last_start_ns,
+                            last_end_ns: s.last_end_ns,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .field("spans", &inner.spans.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let reg = Registry::new();
+        let a = reg.counter("x", &[("h", "skx")]);
+        let b = reg.counter("x", &[("h", "skx")]);
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        // Different labels are a different metric.
+        assert_eq!(reg.counter("x", &[("h", "icl")]).get(), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let reg = Registry::new();
+        reg.counter("m", &[("a", "1"), ("b", "2")]).inc();
+        assert_eq!(reg.counter("m", &[("b", "2"), ("a", "1")]).get(), 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let h = Histogram::new(vec![10, 20, 30]);
+        for v in [5, 15, 15, 25, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 100);
+        assert_eq!(h.max(), 40);
+        let p50 = h.quantile(0.5);
+        assert!(p50 > 10.0 && p50 <= 20.0, "p50 {p50}");
+        assert!(h.quantile(1.0) >= 30.0);
+        assert!(h.quantile(0.0) <= p50);
+        assert_eq!(Histogram::new(vec![10]).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn gauge_stores_floats() {
+        let g = Gauge::default();
+        g.set(0.375);
+        assert_eq!(g.get(), 0.375);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let build = || {
+            let reg = Registry::new();
+            reg.counter("b.metric", &[]).add(2);
+            reg.counter("a.metric", &[]).add(1);
+            reg.histogram("h", &[], vec![10, 100]).record(7);
+            reg.record_span("step", 100, 250);
+            reg.snapshot()
+        };
+        let s1 = build();
+        let s2 = build();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.counters[0].0.name, "a.metric");
+        assert_eq!(s1.spans[0].1.total_ns, 150);
+    }
+}

@@ -1,0 +1,135 @@
+//! Point-in-time exports of a registry.
+//!
+//! Snapshots are plain data (no atomics, no serde) sorted by metric key,
+//! so equality between two snapshots means the underlying runs were
+//! observationally identical. `pmove-tsdb` converts snapshots into
+//! `pmove.self.*` time series.
+
+use crate::metrics::MetricKey;
+
+/// Exported histogram state, including the raw bucket counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Mean sample (0.0 when empty).
+    pub mean: f64,
+    /// Interpolated 50th percentile.
+    pub p50: f64,
+    /// Interpolated 90th percentile.
+    pub p90: f64,
+    /// Interpolated 99th percentile.
+    pub p99: f64,
+    /// Upper bucket bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one longer than `bounds` (overflow bucket last).
+    pub buckets: Vec<u64>,
+}
+
+/// Exported aggregate for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Completed span count.
+    pub count: u64,
+    /// Total virtual time inside the span.
+    pub total_ns: u64,
+    /// Shortest completed span.
+    pub min_ns: u64,
+    /// Longest completed span.
+    pub max_ns: u64,
+    /// Start timestamp of the most recent span.
+    pub last_start_ns: u64,
+    /// End timestamp of the most recent span.
+    pub last_end_ns: u64,
+}
+
+impl SpanSnapshot {
+    /// Mean duration in nanoseconds (0.0 when no spans completed).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Full registry export: every metric, sorted by key.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counters as `(key, total)`.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// Gauges as `(key, value)`.
+    pub gauges: Vec<(MetricKey, f64)>,
+    /// Histograms as `(key, stats)`.
+    pub histograms: Vec<(MetricKey, HistogramSnapshot)>,
+    /// Spans as `(name, stats)`.
+    pub spans: Vec<(String, SpanSnapshot)>,
+}
+
+impl Snapshot {
+    /// Look up a counter total by name and exact label set.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = MetricKey::new(name, labels);
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    /// Sum a counter across all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Look up a gauge by name and exact label set.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = MetricKey::new(name, labels);
+        self.gauges.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram by name and exact label set.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        let key = MetricKey::new(name, labels);
+        self.histograms
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Look up a span aggregate by name.
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn lookup_helpers_find_metrics() {
+        let reg = Registry::new();
+        reg.counter("offered", &[("host", "skx")]).add(10);
+        reg.counter("offered", &[("host", "icl")]).add(5);
+        reg.gauge("queue_depth", &[]).set(3.0);
+        reg.histogram("lat", &[], vec![100]).record(42);
+        reg.record_span("s", 0, 10);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("offered", &[("host", "skx")]), Some(10));
+        assert_eq!(snap.counter_total("offered"), 15);
+        assert_eq!(snap.gauge("queue_depth", &[]), Some(3.0));
+        assert_eq!(snap.histogram("lat", &[]).unwrap().count, 1);
+        assert_eq!(snap.span("s").unwrap().mean_ns(), 10.0);
+        assert_eq!(snap.counter("offered", &[]), None);
+    }
+}

@@ -1,0 +1,104 @@
+//! Span tracing over explicit (virtual-clock) timestamps.
+//!
+//! Spans aggregate per name rather than retaining every event, so span
+//! overhead stays O(1) in memory no matter how long a pipeline runs. The
+//! last start/end pair is kept so dashboards can show the most recent
+//! step timings (the daemon construction steps 0–3 each run once, so
+//! "last" equals "the" timing for them).
+
+use crate::metrics::Registry;
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct SpanStats {
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub last_start_ns: u64,
+    pub last_end_ns: u64,
+}
+
+impl SpanStats {
+    pub(crate) fn record(&mut self, start_ns: u64, end_ns: u64) {
+        let dur = end_ns.saturating_sub(start_ns);
+        self.count += 1;
+        self.total_ns += dur;
+        self.min_ns = if self.count == 1 {
+            dur
+        } else {
+            self.min_ns.min(dur)
+        };
+        self.max_ns = self.max_ns.max(dur);
+        self.last_start_ns = start_ns;
+        self.last_end_ns = end_ns;
+    }
+}
+
+/// An open span; call [`SpanGuard::finish`] with the end timestamp.
+///
+/// Dropping without finishing records nothing — the clock is virtual, so
+/// there is no meaningful implicit end time to substitute.
+#[must_use = "a span records nothing until finish(end_ns) is called"]
+pub struct SpanGuard<'r> {
+    registry: &'r Registry,
+    name: String,
+    start_ns: u64,
+}
+
+impl<'r> SpanGuard<'r> {
+    pub(crate) fn new(registry: &'r Registry, name: &str, start_ns: u64) -> SpanGuard<'r> {
+        SpanGuard {
+            registry,
+            name: name.to_string(),
+            start_ns,
+        }
+    }
+
+    /// The timestamp this span was opened with.
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+
+    /// Close the span at virtual time `end_ns` and record it.
+    pub fn finish(self, end_ns: u64) {
+        self.registry.record_span(&self.name, self.start_ns, end_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn spans_aggregate_per_name() {
+        let reg = Registry::new();
+        reg.span_enter("step", 0).finish(100);
+        reg.span_enter("step", 1_000).finish(1_250);
+        let snap = reg.snapshot();
+        let (name, s) = &snap.spans[0];
+        assert_eq!(name, "step");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 350);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 250);
+        assert_eq!(s.last_start_ns, 1_000);
+        assert_eq!(s.last_end_ns, 1_250);
+    }
+
+    #[test]
+    fn unfinished_span_records_nothing() {
+        let reg = Registry::new();
+        let guard = reg.span_enter("open", 5);
+        assert_eq!(guard.start_ns(), 5);
+        drop(guard);
+        assert!(reg.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn backwards_clock_saturates_to_zero() {
+        let reg = Registry::new();
+        reg.record_span("odd", 100, 50);
+        assert_eq!(reg.snapshot().spans[0].1.total_ns, 0);
+    }
+}

@@ -1,7 +1,7 @@
 //! Metric namespace and instance domains.
 
-use pmove_hwsim::MachineSpec;
 use pmove_hwsim::topology::ComponentKind;
+use pmove_hwsim::MachineSpec;
 
 /// Instance domain of a metric: how many values one sample carries and how
 /// the fields are named. Table III's losses scale with the domain size
@@ -34,14 +34,12 @@ impl InstanceDomain {
             InstanceDomain::PerCpu => (0..spec.total_threads())
                 .map(|i| format!("_cpu{i}"))
                 .collect(),
-            InstanceDomain::PerNode | InstanceDomain::PerPackage => (0..spec.sockets)
-                .map(|i| format!("_node{i}"))
-                .collect(),
+            InstanceDomain::PerNode | InstanceDomain::PerPackage => {
+                (0..spec.sockets).map(|i| format!("_node{i}")).collect()
+            }
             InstanceDomain::PerDisk => spec.disks.iter().map(|d| d.name.clone()).collect(),
             InstanceDomain::PerNic => vec!["eth0".into()],
-            InstanceDomain::PerGpu => (0..spec.gpus.len())
-                .map(|i| format!("_gpu{i}"))
-                .collect(),
+            InstanceDomain::PerGpu => (0..spec.gpus.len()).map(|i| format!("_gpu{i}")).collect(),
             InstanceDomain::PerProcess => {
                 // The tracked process set is dynamic; the default domain is
                 // the interesting processes of the current observation.
@@ -155,17 +153,10 @@ mod tests {
 
     #[test]
     fn db_name_flattening() {
-        let m = MetricDesc::new(
-            "kernel.percpu.cpu.idle",
-            InstanceDomain::PerCpu,
-            "idle",
-        );
+        let m = MetricDesc::new("kernel.percpu.cpu.idle", InstanceDomain::PerCpu, "idle");
         assert_eq!(m.db_name(), "kernel_percpu_cpu_idle");
         let hw = MetricDesc::perfevent("FP_ARITH:SCALAR_DOUBLE", "scalar fp", false);
-        assert_eq!(
-            hw.db_name(),
-            "perfevent_hwcounters_FP_ARITH_SCALAR_DOUBLE"
-        );
+        assert_eq!(hw.db_name(), "perfevent_hwcounters_FP_ARITH_SCALAR_DOUBLE");
     }
 
     #[test]

@@ -6,8 +6,16 @@
 
 use crate::agent::Agent;
 use crate::metric::MetricDesc;
+use pmove_obs::{Counter, Registry};
 use pmove_tsdb::Point;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Hoisted `pcp.pmcd.*` counters.
+struct PmcdObs {
+    fetches: Arc<Counter>,
+    misses: Arc<Counter>,
+}
 
 /// The coordinator.
 pub struct Pmcd {
@@ -15,6 +23,7 @@ pub struct Pmcd {
     /// Optional tag set stamped on every shipped point (Scenario B stamps
     /// the observation UUID here so KB queries can recall the data).
     pub tags: BTreeMap<String, String>,
+    obs: Option<PmcdObs>,
 }
 
 impl Pmcd {
@@ -23,7 +32,17 @@ impl Pmcd {
         Pmcd {
             agents: Vec::new(),
             tags: BTreeMap::new(),
+            obs: None,
         }
+    }
+
+    /// Count every fetch (and every miss) in `registry` under
+    /// `pcp.pmcd.*`.
+    pub fn set_obs(&mut self, registry: &Registry) {
+        self.obs = Some(PmcdObs {
+            fetches: registry.counter("pcp.pmcd.fetches", &[]),
+            misses: registry.counter("pcp.pmcd.misses", &[]),
+        });
     }
 
     /// Register an agent.
@@ -60,6 +79,17 @@ impl Pmcd {
     /// Returns `None` when no agent serves the metric or no instance
     /// reported.
     pub fn fetch(&mut self, metric: &str, t_prev: f64, t_now: f64) -> Option<Point> {
+        let point = self.fetch_inner(metric, t_prev, t_now);
+        if let Some(o) = &self.obs {
+            o.fetches.inc();
+            if point.is_none() {
+                o.misses.inc();
+            }
+        }
+        point
+    }
+
+    fn fetch_inner(&mut self, metric: &str, t_prev: f64, t_now: f64) -> Option<Point> {
         let desc = self.namespace().into_iter().find(|d| d.name == metric)?;
         for agent in &mut self.agents {
             if !agent.metrics().iter().any(|m| m.name == metric) {
@@ -156,6 +186,19 @@ mod tests {
         ];
         let points = p.fetch_all(&metrics, 0.0, 0.5);
         assert_eq!(points.len(), 2);
+    }
+
+    #[test]
+    fn obs_counts_fetches_and_misses() {
+        let reg = pmove_obs::Registry::new();
+        let mut p = coordinator();
+        p.set_obs(&reg);
+        p.fetch("test.answer", 0.0, 1.0).unwrap();
+        assert!(p.fetch("nosuch.metric", 0.0, 1.0).is_none());
+        p.fetch_all(&["kernel.all.load".to_string()], 0.0, 1.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("pcp.pmcd.fetches", &[]), Some(3));
+        assert_eq!(snap.counter("pcp.pmcd.misses", &[]), Some(1));
     }
 
     #[test]

@@ -40,19 +40,55 @@ impl Agent for LinuxAgent {
     fn metrics(&self) -> Vec<MetricDesc> {
         vec![
             MetricDesc::new("kernel.all.load", InstanceDomain::Singular, "load average"),
-            MetricDesc::new("kernel.all.nprocs", InstanceDomain::Singular, "process count"),
+            MetricDesc::new(
+                "kernel.all.nprocs",
+                InstanceDomain::Singular,
+                "process count",
+            ),
             MetricDesc::new("kernel.all.intr", InstanceDomain::Singular, "interrupts/s"),
-            MetricDesc::new("kernel.all.pswitch", InstanceDomain::Singular, "context switches/s"),
-            MetricDesc::new("kernel.percpu.cpu.idle", InstanceDomain::PerCpu, "per-CPU idle"),
-            MetricDesc::new("kernel.percpu.cpu.user", InstanceDomain::PerCpu, "per-CPU user"),
-            MetricDesc::new("kernel.percpu.cpu.sys", InstanceDomain::PerCpu, "per-CPU system"),
+            MetricDesc::new(
+                "kernel.all.pswitch",
+                InstanceDomain::Singular,
+                "context switches/s",
+            ),
+            MetricDesc::new(
+                "kernel.percpu.cpu.idle",
+                InstanceDomain::PerCpu,
+                "per-CPU idle",
+            ),
+            MetricDesc::new(
+                "kernel.percpu.cpu.user",
+                InstanceDomain::PerCpu,
+                "per-CPU user",
+            ),
+            MetricDesc::new(
+                "kernel.percpu.cpu.sys",
+                InstanceDomain::PerCpu,
+                "per-CPU system",
+            ),
             MetricDesc::new("mem.util.used", InstanceDomain::Singular, "used memory"),
             MetricDesc::new("mem.util.free", InstanceDomain::Singular, "free memory"),
-            MetricDesc::new("mem.numa.alloc_hit", InstanceDomain::PerNode, "NUMA local hits"),
-            MetricDesc::new("disk.dev.write_bytes", InstanceDomain::PerDisk, "bytes written"),
+            MetricDesc::new(
+                "mem.numa.alloc_hit",
+                InstanceDomain::PerNode,
+                "NUMA local hits",
+            ),
+            MetricDesc::new(
+                "disk.dev.write_bytes",
+                InstanceDomain::PerDisk,
+                "bytes written",
+            ),
             MetricDesc::new("disk.dev.read_bytes", InstanceDomain::PerDisk, "bytes read"),
-            MetricDesc::new("network.interface.out.bytes", InstanceDomain::PerNic, "bytes sent"),
-            MetricDesc::new("network.interface.in.bytes", InstanceDomain::PerNic, "bytes received"),
+            MetricDesc::new(
+                "network.interface.out.bytes",
+                InstanceDomain::PerNic,
+                "bytes sent",
+            ),
+            MetricDesc::new(
+                "network.interface.in.bytes",
+                InstanceDomain::PerNic,
+                "bytes received",
+            ),
         ]
     }
 

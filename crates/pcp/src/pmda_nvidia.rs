@@ -89,10 +89,10 @@ impl Agent for NvidiaAgent {
                     "nvidia.gpuactive" => {
                         100.0 * (0.02 * self.wave(t_now, i as u64) + kernel_util).min(1.0)
                     }
-                    "nvidia.memactive" => {
-                        100.0 * (0.01 + 0.8 * kernel_util).min(1.0)
+                    "nvidia.memactive" => 100.0 * (0.01 + 0.8 * kernel_util).min(1.0),
+                    "nvidia.temp" => {
+                        35.0 + 40.0 * kernel_util + 3.0 * self.wave(t_now, 7 + i as u64)
                     }
-                    "nvidia.temp" => 35.0 + 40.0 * kernel_util + 3.0 * self.wave(t_now, 7 + i as u64),
                     "nvidia.power" => 40.0 + 210.0 * kernel_util,
                     "nvidia.clock.sm" => 1_400.0 - 100.0 * kernel_util,
                     "nvidia.clock.mem" => 850.0,

@@ -95,7 +95,11 @@ impl Agent for PerfEventAgent {
             .iter()
             .filter_map(|e| {
                 self.catalog.get(e).map(|def| {
-                    MetricDesc::perfevent(e, def.description.clone(), def.domain == Domain::PerPackage)
+                    MetricDesc::perfevent(
+                        e,
+                        def.description.clone(),
+                        def.domain == Domain::PerPackage,
+                    )
                 })
             })
             .collect()
@@ -140,11 +144,11 @@ impl Agent for PerfEventAgent {
                 for s in 0..sockets {
                     let mut v = 0.0;
                     for (exec, _) in &self.executions {
-                        v += exec.quantity_in_window(quantity, t_prev, t_now)
-                            / sockets as f64;
+                        v += exec.quantity_in_window(quantity, t_prev, t_now) / sockets as f64;
                     }
-                    let observed =
-                        v * self.noise.counter_factor(self.noise_base * 0.5, self.freq_hz);
+                    let observed = v * self
+                        .noise
+                        .counter_factor(self.noise_base * 0.5, self.freq_hz);
                     out.push((format!("_node{s}"), observed));
                 }
                 out
@@ -165,7 +169,11 @@ mod tests {
         let spec = MachineSpec::csl();
         let mut agent = PerfEventAgent::new(
             spec.clone(),
-            &["FP_ARITH:SCALAR_DOUBLE", "MEM_INST_RETIRED:ALL_LOADS", "RAPL_ENERGY_PKG"],
+            &[
+                "FP_ARITH:SCALAR_DOUBLE",
+                "MEM_INST_RETIRED:ALL_LOADS",
+                "RAPL_ENERGY_PKG",
+            ],
         );
         let profile = KernelProfile::named("k")
             .with_threads(4)
@@ -233,7 +241,9 @@ mod tests {
     fn metrics_expose_perfevent_namespace() {
         let a = agent_with_exec();
         let m = a.metrics();
-        assert!(m.iter().all(|d| d.name.starts_with("perfevent.hwcounters.")));
+        assert!(m
+            .iter()
+            .all(|d| d.name.starts_with("perfevent.hwcounters.")));
         assert!(m.iter().any(|d| d.indom == InstanceDomain::PerPackage));
         assert!(m.iter().any(|d| d.indom == InstanceDomain::PerCpu));
     }

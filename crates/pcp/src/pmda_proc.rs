@@ -65,9 +65,21 @@ impl Agent for ProcAgent {
 
     fn metrics(&self) -> Vec<MetricDesc> {
         vec![
-            MetricDesc::new("proc.psinfo.utime", InstanceDomain::PerProcess, "user CPU time"),
-            MetricDesc::new("proc.psinfo.stime", InstanceDomain::PerProcess, "system CPU time"),
-            MetricDesc::new("proc.psinfo.rss", InstanceDomain::PerProcess, "resident set size"),
+            MetricDesc::new(
+                "proc.psinfo.utime",
+                InstanceDomain::PerProcess,
+                "user CPU time",
+            ),
+            MetricDesc::new(
+                "proc.psinfo.stime",
+                InstanceDomain::PerProcess,
+                "system CPU time",
+            ),
+            MetricDesc::new(
+                "proc.psinfo.rss",
+                InstanceDomain::PerProcess,
+                "resident set size",
+            ),
         ]
     }
 

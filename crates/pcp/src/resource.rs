@@ -121,7 +121,11 @@ mod tests {
     #[test]
     fn pmdaproc_uses_most_memory() {
         let costs = agent_costs();
-        let proc_mem = costs.iter().find(|c| c.name == "pmdaproc").unwrap().rss_bytes;
+        let proc_mem = costs
+            .iter()
+            .find(|c| c.name == "pmdaproc")
+            .unwrap()
+            .rss_bytes;
         for c in &costs {
             if c.name != "pmdaproc" {
                 assert!(c.rss_bytes < proc_mem);

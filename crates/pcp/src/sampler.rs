@@ -77,13 +77,24 @@ pub struct SamplingLoop;
 impl SamplingLoop {
     /// Run the configured sampling against a coordinator and shipper.
     /// Returns the report; the shipper's DB receives the points.
-    pub fn run(config: &SamplingConfig, pmcd: &mut Pmcd, shipper: &mut Shipper<'_>) -> SamplingReport {
+    pub fn run(
+        config: &SamplingConfig,
+        pmcd: &mut Pmcd,
+        shipper: &mut Shipper<'_>,
+    ) -> SamplingReport {
         // Propagate the sampling frequency to the perfevent agent's noise
         // model (per-read jitter grows with frequency).
         let period = 1.0 / config.freq_hz;
         let mut t_prev = config.start_s;
         let mut total_domain = 0u64;
         let mut domain_counted = false;
+        // Hoisted self-observability handles (shared with the shipper's
+        // registry, so one snapshot covers the whole pipeline).
+        let obs = shipper.obs_registry().cloned();
+        let tick_counter = obs.as_ref().map(|r| r.counter("pcp.sampler.ticks", &[]));
+        let point_counter = obs
+            .as_ref()
+            .map(|r| r.counter("pcp.sampler.points_fetched", &[]));
 
         for tick in 0..config.ticks() {
             let t_now = config.start_s + (tick + 1) as f64 * period;
@@ -92,10 +103,24 @@ impl SamplingLoop {
                 total_domain = points.iter().map(|p| p.field_count() as u64).sum();
                 domain_counted = true;
             }
+            if let Some(c) = &tick_counter {
+                c.inc();
+            }
+            if let Some(c) = &point_counter {
+                c.add(points.len() as u64);
+            }
             for point in points {
                 shipper.ship(t_now, point, config.freq_hz);
             }
             t_prev = t_now;
+        }
+
+        if let Some(registry) = &obs {
+            // The loop ran from start_s to the last tick's timestamp on the
+            // virtual clock; stamp the span with those endpoints.
+            let start_ns = (config.start_s * 1e9).round().max(0.0) as u64;
+            let end_ns = (t_prev * 1e9).round().max(0.0) as u64;
+            registry.record_span("pcp.sampling", start_ns, end_ns);
         }
 
         SamplingReport {
@@ -169,5 +194,33 @@ mod tests {
     #[should_panic(expected = "bad sampling config")]
     fn zero_frequency_rejected() {
         SamplingConfig::new(vec![], 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn observed_run_records_span_and_tick_counters() {
+        let mut pmcd = Pmcd::new();
+        pmcd.register(Box::new(LinuxAgent::new(MachineSpec::icl())));
+        let db = Database::new("host");
+        let reg = pmove_obs::Registry::shared();
+        let mut shipper =
+            Shipper::new(&db, LinkSpec::mbit_100(), 0.5, &["obs", "s"]).with_obs(reg.clone());
+        let cfg = SamplingConfig::new(vec!["kernel.percpu.cpu.idle".into()], 2.0, 1.0, 10.0);
+        let report = SamplingLoop::run(&cfg, &mut pmcd, &mut shipper);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("pcp.sampler.ticks", &[]), Some(report.ticks));
+        assert_eq!(
+            snap.counter("pcp.sampler.points_fetched", &[]),
+            Some(report.ticks)
+        );
+        // The sampling span covers start_s..last tick on the virtual clock.
+        let span = snap.span("pcp.sampling").expect("span recorded");
+        assert_eq!(span.count, 1);
+        assert_eq!(span.last_start_ns, 1_000_000_000);
+        assert_eq!(span.last_end_ns, 11_000_000_000);
+        // Transport counters share the registry and conserve.
+        assert_eq!(
+            snap.counter("pcp.transport.values_offered", &[]),
+            Some(report.transport.values_offered)
+        );
     }
 }

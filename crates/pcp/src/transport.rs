@@ -12,7 +12,9 @@
 
 use pmove_hwsim::network::LinkSpec;
 use pmove_hwsim::noise::NoiseSource;
+use pmove_obs::{Counter, Gauge, Registry};
 use pmove_tsdb::{Database, Point};
+use std::sync::Arc;
 
 /// Outcome of shipping one report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +62,37 @@ impl ShipperStats {
     }
 }
 
+/// Hoisted `pcp.transport.*` metric handles, resolved once when a
+/// registry is attached so the per-ship cost is a handful of atomic adds.
+struct TransportObs {
+    registry: Arc<Registry>,
+    reports_offered: Arc<Counter>,
+    values_offered: Arc<Counter>,
+    values_inserted: Arc<Counter>,
+    values_zeroed: Arc<Counter>,
+    values_lost: Arc<Counter>,
+    bytes_shipped: Arc<Counter>,
+    window_fill: Arc<Gauge>,
+    loss_pct: Arc<Gauge>,
+}
+
+impl TransportObs {
+    fn new(registry: Arc<Registry>) -> TransportObs {
+        let c = |name: &str| registry.counter(name, &[]);
+        TransportObs {
+            reports_offered: c("pcp.transport.reports_offered"),
+            values_offered: c("pcp.transport.values_offered"),
+            values_inserted: c("pcp.transport.values_inserted"),
+            values_zeroed: c("pcp.transport.values_zeroed"),
+            values_lost: c("pcp.transport.values_lost"),
+            bytes_shipped: c("pcp.transport.bytes_shipped"),
+            window_fill: registry.gauge("pcp.transport.window_fill", &[]),
+            loss_pct: registry.gauge("pcp.transport.loss_pct", &[]),
+            registry,
+        }
+    }
+}
+
 /// The unbuffered shipping path: target sampler → network → host DB.
 pub struct Shipper<'a> {
     db: &'a Database,
@@ -74,6 +107,7 @@ pub struct Shipper<'a> {
     window_capacity: f64,
     noise: NoiseSource,
     stats: ShipperStats,
+    obs: Option<TransportObs>,
 }
 
 impl<'a> Shipper<'a> {
@@ -96,7 +130,20 @@ impl<'a> Shipper<'a> {
             window_capacity: 0.0,
             noise: NoiseSource::from_labels(seed_labels),
             stats: ShipperStats::default(),
+            obs: None,
         }
+    }
+
+    /// Attach an observability registry; every subsequent [`Shipper::ship`]
+    /// updates the `pcp.transport.*` counters and gauges in it.
+    pub fn with_obs(mut self, registry: Arc<Registry>) -> Self {
+        self.obs = Some(TransportObs::new(registry));
+        self
+    }
+
+    /// The attached observability registry, if any.
+    pub fn obs_registry(&self) -> Option<&Arc<Registry>> {
+        self.obs.as_ref().map(|o| &o.registry)
     }
 
     /// Probability that an on-time report still reads as batched zeros at
@@ -113,6 +160,31 @@ impl<'a> Shipper<'a> {
     /// Ship one report (a [`Point`] carrying one field per instance) sampled
     /// at `t` with sampling frequency `freq_hz`.
     pub fn ship(&mut self, t: f64, point: Point, freq_hz: f64) -> ShipOutcome {
+        let before = self.stats;
+        let outcome = self.ship_inner(t, point, freq_hz);
+        if let Some(o) = &self.obs {
+            let s = &self.stats;
+            o.reports_offered
+                .add(s.reports_offered - before.reports_offered);
+            o.values_offered
+                .add(s.values_offered - before.values_offered);
+            o.values_inserted
+                .add(s.values_inserted - before.values_inserted);
+            o.values_zeroed.add(s.values_zeroed - before.values_zeroed);
+            o.values_lost.add(s.values_lost - before.values_lost);
+            o.bytes_shipped.add(s.bytes_shipped - before.bytes_shipped);
+            let fill = if self.window_capacity > 0.0 {
+                self.values_in_window / self.window_capacity
+            } else {
+                0.0
+            };
+            o.window_fill.set(fill);
+            o.loss_pct.set(s.loss_pct());
+        }
+        outcome
+    }
+
+    fn ship_inner(&mut self, t: f64, point: Point, freq_hz: f64) -> ShipOutcome {
         let values = point.field_count() as u64;
         self.stats.reports_offered += 1;
         self.stats.values_offered += values;
@@ -175,10 +247,11 @@ impl<'a> Shipper<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn report(ts: i64, fields: usize) -> Point {
-        let mut p = Point::new("perfevent_hwcounters_test").tag("tag", "o1").timestamp(ts);
+        let mut p = Point::new("perfevent_hwcounters_test")
+            .tag("tag", "o1")
+            .timestamp(ts);
         for i in 0..fields {
             p = p.field(format!("_cpu{i}"), 5.0 + i as f64);
         }
@@ -258,6 +331,43 @@ mod tests {
             .query("SELECT \"_cpu0\" FROM \"perfevent_hwcounters_test\"")
             .unwrap();
         assert!(r.rows.iter().any(|row| row.values["_cpu0"] == Some(0.0)));
+    }
+
+    #[test]
+    fn obs_counters_mirror_stats_and_conserve() {
+        let db = Database::new("host");
+        let reg = Registry::shared();
+        let mut s =
+            Shipper::new(&db, LinkSpec::mbit_100(), 1.0 / 32.0, &["t5"]).with_obs(reg.clone());
+        assert!(s.obs_registry().is_some());
+        let mut t = 0.0;
+        for _ in 0..(32 * 5) {
+            for m in 0..6 {
+                s.ship(t, report((t * 1e9) as i64 + m, 88), 32.0);
+            }
+            t += 1.0 / 32.0;
+        }
+        let st = s.stats();
+        let snap = reg.snapshot();
+        for (name, want) in [
+            ("pcp.transport.reports_offered", st.reports_offered),
+            ("pcp.transport.values_offered", st.values_offered),
+            ("pcp.transport.values_inserted", st.values_inserted),
+            ("pcp.transport.values_zeroed", st.values_zeroed),
+            ("pcp.transport.values_lost", st.values_lost),
+            ("pcp.transport.bytes_shipped", st.bytes_shipped),
+        ] {
+            assert_eq!(snap.counter(name, &[]), Some(want), "{name}");
+        }
+        // Conservation holds in the exported counters, not just the stats.
+        assert_eq!(
+            snap.counter("pcp.transport.values_offered", &[]).unwrap(),
+            st.values_inserted + st.values_zeroed + st.values_lost
+        );
+        assert_eq!(
+            snap.gauge("pcp.transport.loss_pct", &[]),
+            Some(st.loss_pct())
+        );
     }
 
     #[test]

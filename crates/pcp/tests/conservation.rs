@@ -1,0 +1,83 @@
+//! Property test: transport loss-conservation is an identity, not a
+//! statistic. Whatever the sampling frequency, instance-domain size, or
+//! payload, every value offered to the transport is accounted for as
+//! inserted, zeroed, or lost — in the private stats AND in the exported
+//! `pcp.transport.*` counters, and the two views agree exactly.
+
+use pmove_hwsim::network::LinkSpec;
+use pmove_obs::Registry;
+use pmove_pcp::Shipper;
+use pmove_tsdb::{Database, Point};
+use proptest::prelude::*;
+
+/// Deterministic per-case value stream (SplitMix64).
+fn next(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn report(t_ns: i64, metric: usize, domain: usize, seed: &mut u64) -> Point {
+    let mut p = Point::new(format!("perfevent_hwcounters_m{metric}"))
+        .tag("tag", "prop")
+        .timestamp(t_ns);
+    for i in 0..domain {
+        p = p.field(format!("_cpu{i}"), (next(seed) % 1_000_000) as f64);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conservation_holds_for_any_run(
+        seed in any::<u64>(),
+        freq in 1u32..=64,
+        domain in 1usize..=96,
+        n_metrics in 1usize..=6,
+        duration_s in 1u32..=5,
+    ) {
+        let mut s = seed;
+        let freq_hz = freq as f64;
+        let db = Database::new("host");
+        let reg = Registry::shared();
+        let mut shipper = Shipper::new(
+            &db,
+            LinkSpec::mbit_100(),
+            1.0 / freq_hz,
+            &["prop", &format!("{seed:x}")],
+        )
+        .with_obs(reg.clone());
+
+        let ticks = freq * duration_s;
+        let mut t = 0.0;
+        for _ in 0..ticks {
+            for m in 0..n_metrics {
+                shipper.ship(t, report((t * 1e9) as i64 + m as i64, m, domain, &mut s), freq_hz);
+            }
+            t += 1.0 / freq_hz;
+        }
+
+        let st = shipper.stats();
+        // The identity itself.
+        prop_assert_eq!(
+            st.values_offered,
+            st.values_inserted + st.values_zeroed + st.values_lost,
+            "stats imbalance at freq={} domain={} metrics={}",
+            freq, domain, n_metrics
+        );
+        // Everything the sampler produced was offered.
+        prop_assert_eq!(st.values_offered, ticks as u64 * n_metrics as u64 * domain as u64);
+        // The exported counters are the same numbers, not a parallel estimate.
+        let snap = reg.snapshot();
+        prop_assert_eq!(snap.counter("pcp.transport.values_offered", &[]), Some(st.values_offered));
+        prop_assert_eq!(snap.counter("pcp.transport.values_inserted", &[]), Some(st.values_inserted));
+        prop_assert_eq!(snap.counter("pcp.transport.values_zeroed", &[]), Some(st.values_zeroed));
+        prop_assert_eq!(snap.counter("pcp.transport.values_lost", &[]), Some(st.values_lost));
+        // Nothing phantom: the DB can never hold more than was accounted.
+        prop_assert!(st.values_inserted + st.values_zeroed <= st.values_offered);
+    }
+}

@@ -1,0 +1,61 @@
+//! Instrumentation overhead budget: running the sampling loop with the
+//! observability registry attached must cost < 5 % wall-clock over the
+//! uninstrumented loop. Runs are interleaved and the minimum of several
+//! repetitions is compared, so scheduler noise cancels rather than
+//! accumulates.
+
+use pmove_hwsim::network::LinkSpec;
+use pmove_hwsim::MachineSpec;
+use pmove_obs::Registry;
+use pmove_pcp::pmda_linux::LinuxAgent;
+use pmove_pcp::{Pmcd, SamplingConfig, SamplingLoop, Shipper};
+use pmove_tsdb::Database;
+use std::time::Instant;
+
+fn run_once(instrumented: bool) -> std::time::Duration {
+    let spec = MachineSpec::csl();
+    let metrics: Vec<String> = vec![
+        "kernel.all.load".into(),
+        "kernel.percpu.cpu.idle".into(),
+        "kernel.percpu.cpu.user".into(),
+        "kernel.percpu.cpu.sys".into(),
+        "mem.util.used".into(),
+        "mem.util.free".into(),
+    ];
+    let db = Database::new("host");
+    let mut pmcd = Pmcd::new();
+    pmcd.register(Box::new(LinuxAgent::new(spec)));
+    let mut shipper = Shipper::new(&db, LinkSpec::mbit_100(), 1.0 / 32.0, &["ovh"]);
+    if instrumented {
+        let reg = Registry::shared();
+        shipper = shipper.with_obs(reg.clone());
+        pmcd.set_obs(&reg);
+    }
+    let config = SamplingConfig::new(metrics, 32.0, 0.0, 60.0);
+    let start = Instant::now();
+    let report = SamplingLoop::run(&config, &mut pmcd, &mut shipper);
+    let elapsed = start.elapsed();
+    assert_eq!(report.ticks, 32 * 60);
+    elapsed
+}
+
+#[test]
+fn overhead_stays_bounded() {
+    // Warm-up both paths (allocator, code pages).
+    run_once(false);
+    run_once(true);
+    let mut plain = Vec::new();
+    let mut observed = Vec::new();
+    for _ in 0..5 {
+        plain.push(run_once(false));
+        observed.push(run_once(true));
+    }
+    let min_plain = plain.iter().min().unwrap().as_secs_f64();
+    let min_observed = observed.iter().min().unwrap().as_secs_f64();
+    let ratio = min_observed / min_plain;
+    assert!(
+        ratio < 1.05,
+        "instrumented sampler {ratio:.4}x slower than uninstrumented \
+         (plain {min_plain:.6}s, observed {min_observed:.6}s); budget is 5%"
+    );
+}

@@ -139,7 +139,10 @@ pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
 /// position `new` where `perm[new] = old`.
 pub fn apply_symmetric(m: &Csr, perm: &[u32]) -> Csr {
     assert_eq!(perm.len(), m.rows, "permutation length mismatch");
-    assert_eq!(m.rows, m.cols, "symmetric permutation needs a square matrix");
+    assert_eq!(
+        m.rows, m.cols,
+        "symmetric permutation needs a square matrix"
+    );
     // inverse: old -> new
     let mut inv = vec![0u32; perm.len()];
     for (new, &old) in perm.iter().enumerate() {

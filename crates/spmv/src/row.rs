@@ -69,7 +69,13 @@ mod tests {
     fn matches_manual_small_case() {
         // [[1 2 0], [0 0 3], [4 0 5]] x [1,2,3] = [5, 9, 19]
         let mut coo = crate::coo::Coo::new(3, 3);
-        for &(r, c, v) in &[(0, 0, 1.0), (0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+        for &(r, c, v) in &[
+            (0, 0, 1.0),
+            (0, 1, 2.0),
+            (1, 2, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ] {
             coo.push(r, c, v);
         }
         let a = Csr::from_coo(&coo);

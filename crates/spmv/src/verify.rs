@@ -46,7 +46,9 @@ pub fn cross_check(a: &Csr, x: &[f64], partitions: usize, tol: f64) -> Result<Ve
 
 /// Deterministic test vector.
 pub fn test_vector(n: usize) -> Vec<f64> {
-    (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0).collect()
+    (0..n)
+        .map(|i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0)
+        .collect()
 }
 
 #[cfg(test)]

@@ -127,7 +127,9 @@ impl Accumulator {
             AggregateFn::Count => self.count as f64,
             AggregateFn::Stddev => {
                 let mean = self.sum / self.count as f64;
-                (self.sum_sq / self.count as f64 - mean * mean).max(0.0).sqrt()
+                (self.sum_sq / self.count as f64 - mean * mean)
+                    .max(0.0)
+                    .sqrt()
             }
             AggregateFn::First => self.first.expect("count > 0"),
             AggregateFn::Last => self.last.expect("count > 0"),

@@ -10,6 +10,8 @@ use crate::storage::Storage;
 use crate::subscribe::{Subscription, SubscriptionHub};
 use crossbeam::channel::Receiver;
 use parking_lot::{Mutex, RwLock};
+use pmove_obs::{Counter, Histogram, Registry};
+use std::sync::Arc;
 
 /// Models the maximum sustained point-insertion rate of the database.
 ///
@@ -88,6 +90,53 @@ pub struct IngestStats {
     pub points_rejected: u64,
 }
 
+/// Hoisted `tsdb.*` metric handles for the hot write/query paths.
+///
+/// The ingest/query latency histograms are *modelled*: the engine is an
+/// embedded deterministic stand-in, so instead of sampling the wall clock
+/// (which would break bit-reproducibility), each operation records a
+/// deterministic cost derived from the work it performed. The shapes —
+/// per-field ingest cost, per-row scan cost — mirror the real database's
+/// cost model, and two same-seed runs produce identical histograms.
+struct EngineObs {
+    registry: Arc<Registry>,
+    points_offered: Arc<Counter>,
+    points_inserted: Arc<Counter>,
+    values_inserted: Arc<Counter>,
+    zero_values_inserted: Arc<Counter>,
+    points_rejected: Arc<Counter>,
+    queries: Arc<Counter>,
+    ingest_ns: Arc<Histogram>,
+    query_ns: Arc<Histogram>,
+}
+
+impl EngineObs {
+    /// Modelled fixed cost of admitting one point (ns).
+    const INGEST_BASE_NS: u64 = 4_000;
+    /// Modelled per-field-value ingest cost (ns).
+    const INGEST_PER_VALUE_NS: u64 = 450;
+    /// Modelled fixed query planning/parse cost (ns).
+    const QUERY_BASE_NS: u64 = 25_000;
+    /// Modelled per-returned-row scan cost (ns).
+    const QUERY_PER_ROW_NS: u64 = 900;
+
+    fn new(registry: Arc<Registry>) -> EngineObs {
+        let c = |name: &str| registry.counter(name, &[]);
+        let buckets = pmove_obs::latency_buckets();
+        EngineObs {
+            points_offered: c("tsdb.points_offered"),
+            points_inserted: c("tsdb.points_inserted"),
+            values_inserted: c("tsdb.values_inserted"),
+            zero_values_inserted: c("tsdb.zero_values_inserted"),
+            points_rejected: c("tsdb.points_rejected"),
+            queries: c("tsdb.queries"),
+            ingest_ns: registry.histogram("tsdb.ingest_ns", &[], buckets.clone()),
+            query_ns: registry.histogram("tsdb.query_ns", &[], buckets),
+            registry,
+        }
+    }
+}
+
 /// The embedded time-series database.
 pub struct Database {
     name: String,
@@ -96,6 +145,7 @@ pub struct Database {
     stats: Mutex<IngestStats>,
     retention: Mutex<Vec<RetentionPolicy>>,
     hub: SubscriptionHub,
+    obs: Option<EngineObs>,
 }
 
 impl Database {
@@ -109,7 +159,22 @@ impl Database {
             stats: Mutex::new(IngestStats::default()),
             retention: Mutex::new(vec![RetentionPolicy::infinite("autogen")]),
             hub: SubscriptionHub::new(),
+            obs: None,
         }
+    }
+
+    /// [`Database::new`] with an observability registry attached: the
+    /// write and query paths update `tsdb.*` counters and the modelled
+    /// ingest/query latency histograms.
+    pub fn with_obs(name: impl Into<String>, registry: Arc<Registry>) -> Self {
+        let mut db = Database::new(name);
+        db.obs = Some(EngineObs::new(registry));
+        db
+    }
+
+    /// The attached observability registry, if any.
+    pub fn obs_registry(&self) -> Option<&Arc<Registry>> {
+        self.obs.as_ref().map(|o| &o.registry)
     }
 
     /// Database name.
@@ -129,23 +194,33 @@ impl Database {
             let mut stats = self.stats.lock();
             stats.points_offered += 1;
         }
+        if let Some(o) = &self.obs {
+            o.points_offered.inc();
+        }
         if point.fields.is_empty() {
             return Err(TsdbError::EmptyFields);
         }
         let n = point.field_count() as u64;
         if let Err(e) = self.limiter.lock().admit(point.timestamp, n) {
             self.stats.lock().points_rejected += 1;
+            if let Some(o) = &self.obs {
+                o.points_rejected.inc();
+            }
             return Err(e);
         }
+        let zero_values = point.fields.values().filter(|v| v.is_zero()).count() as u64;
         {
             let mut stats = self.stats.lock();
             stats.points_inserted += 1;
             stats.values_inserted += n;
-            stats.zero_values_inserted += point
-                .fields
-                .values()
-                .filter(|v| v.is_zero())
-                .count() as u64;
+            stats.zero_values_inserted += zero_values;
+        }
+        if let Some(o) = &self.obs {
+            o.points_inserted.inc();
+            o.values_inserted.add(n);
+            o.zero_values_inserted.add(zero_values);
+            o.ingest_ns
+                .record(EngineObs::INGEST_BASE_NS + EngineObs::INGEST_PER_VALUE_NS * n);
         }
         self.hub.publish(&point);
         self.storage.write().insert(point);
@@ -176,7 +251,14 @@ impl Database {
 
     /// Run a pre-parsed query.
     pub fn query_parsed(&self, q: &Query) -> Result<QueryResult, TsdbError> {
-        query::execute(&self.storage.read(), q)
+        let result = query::execute(&self.storage.read(), q);
+        if let Some(o) = &self.obs {
+            o.queries.inc();
+            let rows = result.as_ref().map(|r| r.rows.len() as u64).unwrap_or(0);
+            o.query_ns
+                .record(EngineObs::QUERY_BASE_NS + EngineObs::QUERY_PER_ROW_NS * rows);
+        }
+        result
     }
 
     /// Current ingest statistics snapshot.
@@ -275,10 +357,7 @@ mod tests {
     #[test]
     fn empty_fields_rejected() {
         let db = Database::new("test");
-        assert_eq!(
-            db.write_point(Point::new("m")),
-            Err(TsdbError::EmptyFields)
-        );
+        assert_eq!(db.write_point(Point::new("m")), Err(TsdbError::EmptyFields));
         assert_eq!(db.stats().points_offered, 1);
         assert_eq!(db.stats().points_inserted, 0);
     }
@@ -299,13 +378,8 @@ mod tests {
     #[test]
     fn zero_values_counted() {
         let db = Database::new("test");
-        db.write_point(
-            Point::new("m")
-                .field("a", 0.0)
-                .field("b", 1.0)
-                .timestamp(1),
-        )
-        .unwrap();
+        db.write_point(Point::new("m").field("a", 0.0).field("b", 1.0).timestamp(1))
+            .unwrap();
         assert_eq!(db.stats().zero_values_inserted, 1);
         assert_eq!(db.stats().values_inserted, 2);
     }
@@ -349,6 +423,43 @@ mod tests {
         db.write_point(pt(1, 1.0)).unwrap();
         db.reset_stats();
         assert_eq!(db.stats(), IngestStats::default());
+    }
+
+    #[test]
+    fn obs_counters_mirror_ingest_stats() {
+        let reg = Registry::shared();
+        let db = Database::with_obs("test", reg.clone());
+        db.set_ingest_limiter(IngestLimiter::per_window(10, 3));
+        let pts: Vec<Point> = (0..5).map(|i| pt(i, (i % 2) as f64)).collect();
+        db.write_points(pts);
+        db.query("SELECT \"v\" FROM \"m\"").unwrap();
+        let st = db.stats();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("tsdb.points_offered", &[]),
+            Some(st.points_offered)
+        );
+        assert_eq!(
+            snap.counter("tsdb.points_inserted", &[]),
+            Some(st.points_inserted)
+        );
+        assert_eq!(
+            snap.counter("tsdb.points_rejected", &[]),
+            Some(st.points_rejected)
+        );
+        assert_eq!(
+            snap.counter("tsdb.zero_values_inserted", &[]),
+            Some(st.zero_values_inserted)
+        );
+        assert_eq!(snap.counter("tsdb.queries", &[]), Some(1));
+        // Modelled latencies: one histogram sample per insert / per query,
+        // deterministic across runs.
+        let ingest = snap.histogram("tsdb.ingest_ns", &[]).unwrap();
+        assert_eq!(ingest.count, st.points_inserted);
+        assert_eq!(ingest.max, 4_450);
+        let query = snap.histogram("tsdb.query_ns", &[]).unwrap();
+        assert_eq!(query.count, 1);
+        assert_eq!(query.sum, 25_000 + 900 * 3);
     }
 
     #[test]

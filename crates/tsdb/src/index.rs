@@ -36,10 +36,7 @@ impl TagIndex {
     /// Remove a series from one tag pair (used by retention when a series
     /// becomes empty).
     pub fn remove(&mut self, key: &str, value: &str, series: SeriesId) {
-        if let Some(set) = self
-            .postings
-            .get_mut(&(key.to_string(), value.to_string()))
-        {
+        if let Some(set) = self.postings.get_mut(&(key.to_string(), value.to_string())) {
             set.remove(&series);
             if set.is_empty() {
                 self.postings.remove(&(key.to_string(), value.to_string()));

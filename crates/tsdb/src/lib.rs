@@ -40,6 +40,7 @@ pub mod line_protocol;
 pub mod point;
 pub mod query;
 pub mod retention;
+pub mod self_export;
 pub mod series;
 pub mod snapshot;
 pub mod storage;
@@ -51,5 +52,6 @@ pub use error::TsdbError;
 pub use point::Point;
 pub use query::{Query, QueryResult, ResultRow};
 pub use retention::RetentionPolicy;
+pub use self_export::export_snapshot;
 pub use series::{SeriesId, SeriesKey};
 pub use value::FieldValue;

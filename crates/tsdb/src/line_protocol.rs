@@ -55,16 +55,18 @@ pub fn parse(line: &str) -> Result<Point, TsdbError> {
     for tag in head_parts {
         let (k, v) = split_unescaped(tag, '=')
             .ok_or_else(|| TsdbError::LineProtocol(format!("bad tag: {tag}")))?;
-        point
-            .tags
-            .insert(unescape_ident(k), unescape_ident(v));
+        point.tags.insert(unescape_ident(k), unescape_ident(v));
     }
 
     // rest = fields [timestamp] — timestamp is the final whitespace-separated
     // integer if present.
     let rest = rest.trim();
     let (field_sec, ts) = match rest.rfind(' ') {
-        Some(idx) if rest[idx + 1..].chars().all(|c| c.is_ascii_digit() || c == '-') => {
+        Some(idx)
+            if rest[idx + 1..]
+                .chars()
+                .all(|c| c.is_ascii_digit() || c == '-') =>
+        {
             let ts: i64 = rest[idx + 1..]
                 .parse()
                 .map_err(|_| TsdbError::LineProtocol(format!("bad timestamp: {rest}")))?;
@@ -99,9 +101,7 @@ pub fn parse_batch(text: &str) -> Result<Vec<Point>, TsdbError> {
 fn parse_field_value(raw: &str) -> Result<FieldValue, TsdbError> {
     let raw = raw.trim();
     if raw.starts_with('"') && raw.ends_with('"') && raw.len() >= 2 {
-        return Ok(FieldValue::Str(
-            raw[1..raw.len() - 1].replace("\\\"", "\""),
-        ));
+        return Ok(FieldValue::Str(raw[1..raw.len() - 1].replace("\\\"", "\"")));
     }
     if raw == "true" || raw == "t" || raw == "T" {
         return Ok(FieldValue::Bool(true));
@@ -121,11 +121,15 @@ fn parse_field_value(raw: &str) -> Result<FieldValue, TsdbError> {
 }
 
 fn escape_ident(s: &str) -> String {
-    s.replace(',', "\\,").replace(' ', "\\ ").replace('=', "\\=")
+    s.replace(',', "\\,")
+        .replace(' ', "\\ ")
+        .replace('=', "\\=")
 }
 
 fn unescape_ident(s: &str) -> String {
-    s.replace("\\,", ",").replace("\\ ", " ").replace("\\=", "=")
+    s.replace("\\,", ",")
+        .replace("\\ ", " ")
+        .replace("\\=", "=")
 }
 
 /// Split on the first occurrence of `sep` that is not preceded by `\`.

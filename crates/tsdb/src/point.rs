@@ -66,11 +66,7 @@ impl Point {
 
     /// Approximate serialized size in bytes (used by the network model).
     pub fn wire_size(&self) -> usize {
-        let tag_len: usize = self
-            .tags
-            .iter()
-            .map(|(k, v)| k.len() + v.len() + 2)
-            .sum();
+        let tag_len: usize = self.tags.iter().map(|(k, v)| k.len() + v.len() + 2).sum();
         let field_len: usize = self
             .fields
             .iter()

@@ -74,7 +74,11 @@ impl QueryResult {
     pub fn column_series(&self, column: &str) -> Vec<(i64, f64)> {
         self.rows
             .iter()
-            .filter_map(|r| r.values.get(column).and_then(|v| v.map(|x| (r.timestamp, x))))
+            .filter_map(|r| {
+                r.values
+                    .get(column)
+                    .and_then(|v| v.map(|x| (r.timestamp, x)))
+            })
             .collect()
     }
 
@@ -297,9 +301,7 @@ impl<'a> Parser<'a> {
                             q.time_end = Some(n + 1);
                         }
                         _ => {
-                            return Err(TsdbError::QueryParse(format!(
-                                "unsupported time op: {op}"
-                            )))
+                            return Err(TsdbError::QueryParse(format!("unsupported time op: {op}")))
                         }
                     }
                 } else {
@@ -387,8 +389,10 @@ pub fn execute(storage: &Storage, q: &Query) -> Result<QueryResult, TsdbError> {
     let ids = m.matching_series(&q.tag_filters);
 
     // Merge rows from matching series into time order.
-    let mut merged: Vec<(i64, &std::collections::BTreeMap<String, crate::value::FieldValue>)> =
-        Vec::new();
+    let mut merged: Vec<(
+        i64,
+        &std::collections::BTreeMap<String, crate::value::FieldValue>,
+    )> = Vec::new();
     for id in ids {
         let s = m.series(id).expect("id from matching_series");
         for row in s.range(start, end) {
@@ -528,15 +532,19 @@ mod tests {
     #[test]
     fn group_by_time_buckets() {
         let s = filled();
-        let q = Query::parse(
-            "SELECT sum(\"_cpu0\") FROM \"m\" WHERE tag='obs1' GROUP BY time(5)",
-        )
-        .unwrap();
+        let q = Query::parse("SELECT sum(\"_cpu0\") FROM \"m\" WHERE tag='obs1' GROUP BY time(5)")
+            .unwrap();
         let r = execute(&s, &q).unwrap();
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[0].timestamp, 0);
-        assert_eq!(r.rows[0].values["sum(_cpu0)"], Some(0.0 + 1.0 + 2.0 + 3.0 + 4.0));
-        assert_eq!(r.rows[1].values["sum(_cpu0)"], Some(5.0 + 6.0 + 7.0 + 8.0 + 9.0));
+        assert_eq!(
+            r.rows[0].values["sum(_cpu0)"],
+            Some(0.0 + 1.0 + 2.0 + 3.0 + 4.0)
+        );
+        assert_eq!(
+            r.rows[1].values["sum(_cpu0)"],
+            Some(5.0 + 6.0 + 7.0 + 8.0 + 9.0)
+        );
     }
 
     #[test]

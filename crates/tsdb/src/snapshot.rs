@@ -158,7 +158,9 @@ mod tests {
         let dst = Database::new("ml");
         let n = import_measurement(&dst, &doc).unwrap();
         assert_eq!(n, 20);
-        let r = dst.query("SELECT \"_cpu1\" FROM \"m\" WHERE tag='o1'").unwrap();
+        let r = dst
+            .query("SELECT \"_cpu1\" FROM \"m\" WHERE tag='o1'")
+            .unwrap();
         assert_eq!(r.rows.len(), 20);
         assert_eq!(r.rows[3].values["_cpu1"], Some(6.0));
     }
@@ -173,8 +175,15 @@ mod tests {
     #[test]
     fn downsample_means_per_bucket() {
         let db = filled();
-        let n = downsample(&db, "m", "m_5s_mean", 5, AggregateFn::Mean, Some(("tag", "o1")))
-            .unwrap();
+        let n = downsample(
+            &db,
+            "m",
+            "m_5s_mean",
+            5,
+            AggregateFn::Mean,
+            Some(("tag", "o1")),
+        )
+        .unwrap();
         assert_eq!(n, 4); // 20 points / 5-unit buckets
         let r = db
             .query("SELECT \"_cpu0\" FROM \"m_5s_mean\" WHERE tag='o1'")

@@ -31,9 +31,7 @@ impl SeriesData {
             Some(last) if last.timestamp <= row.timestamp => self.rows.push(row),
             None => self.rows.push(row),
             _ => {
-                let pos = self
-                    .rows
-                    .partition_point(|r| r.timestamp <= row.timestamp);
+                let pos = self.rows.partition_point(|r| r.timestamp <= row.timestamp);
                 self.rows.insert(pos, row);
             }
         }
@@ -107,7 +105,10 @@ impl Storage {
 
     /// Insert one point, creating measurement/series as needed.
     pub fn insert(&mut self, point: Point) {
-        let m = self.measurements.entry(point.measurement.clone()).or_default();
+        let m = self
+            .measurements
+            .entry(point.measurement.clone())
+            .or_default();
         let key = SeriesKey {
             measurement: point.measurement.clone(),
             tags: point.tags.clone(),
@@ -138,7 +139,10 @@ impl Storage {
             timestamp: point.timestamp,
             fields: point.fields,
         };
-        m.series.get_mut(&id).expect("series just ensured").insert(row);
+        m.series
+            .get_mut(&id)
+            .expect("series just ensured")
+            .insert(row);
     }
 
     /// Access a measurement.
@@ -189,7 +193,10 @@ mod tests {
     use super::*;
 
     fn pt(m: &str, host: &str, ts: i64, v: f64) -> Point {
-        Point::new(m).tag("host", host).field("value", v).timestamp(ts)
+        Point::new(m)
+            .tag("host", host)
+            .field("value", v)
+            .timestamp(ts)
     }
 
     #[test]

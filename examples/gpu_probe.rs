@@ -49,10 +49,7 @@ fn main() {
         threads_launched: 1 << 22,
     };
     let ncu = profile_kernel(&GpuSpec::gv100(), &kernel);
-    println!(
-        "ncu report for {} ({:.1} µs):",
-        ncu.kernel, ncu.duration_us
-    );
+    println!("ncu report for {} ({:.1} µs):", ncu.kernel, ncu.duration_us);
     for (name, value) in &ncu.metrics {
         println!("  {name:<55} {value:.3e}");
     }

@@ -57,10 +57,7 @@ fn main() {
         let request = ProfileRequest {
             profile: stream_kernel_profile_at_level(kernel, 1 << 38, threads, isa, level),
             command: format!("likwid-bench -t {}", kernel.name()),
-            generic_events: vec![
-                "TOTAL_DP_FLOPS".into(),
-                "TOTAL_MEMORY_OPERATIONS".into(),
-            ],
+            generic_events: vec!["TOTAL_DP_FLOPS".into(), "TOTAL_MEMORY_OPERATIONS".into()],
             freq_hz: 8.0,
             pinning: PinningStrategy::Compact,
         };

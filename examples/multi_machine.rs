@@ -77,7 +77,12 @@ fn main() {
                         "SELECT \"{}\" FROM \"{}\" WHERE tag='{}'",
                         m.fields[0], m.db_name, obs.id
                     ))
-                    .map(|r| r.column_series(&m.fields[0]).into_iter().map(|(_, v)| v).collect())
+                    .map(|r| {
+                        r.column_series(&m.fields[0])
+                            .into_iter()
+                            .map(|(_, v)| v)
+                            .collect()
+                    })
                     .unwrap_or_default();
                 (m.db_name.clone(), m.fields[0].clone(), values)
             })

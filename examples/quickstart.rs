@@ -28,7 +28,12 @@ fn main() {
     );
 
     // Automatic dashboards from the KB (Listing 1 JSON).
-    let socket = daemon.kb.by_name("socket0").expect("socket twin").id.clone();
+    let socket = daemon
+        .kb
+        .by_name("socket0")
+        .expect("socket twin")
+        .id
+        .clone();
     let dash = gen::subtree_dashboard(&daemon.kb, &socket).expect("dashboard");
     println!(
         "generated subtree dashboard with {} panels; Listing-1 style JSON:\n{}\n",

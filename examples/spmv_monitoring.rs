@@ -56,14 +56,22 @@ fn main() {
                     &daemon.layer,
                     "csl",
                     &outcome.observation,
-                    &["TOTAL_MEMORY_OPERATIONS", "AVX512_DP_INSTRUCTIONS", "RAPL_ENERGY_PKG"],
+                    &[
+                        "TOTAL_MEMORY_OPERATIONS",
+                        "AVX512_DP_INSTRUCTIONS",
+                        "RAPL_ENERGY_PKG"
+                    ],
                 )
             );
         }
     }
 
     // The last observation as a Listing-2 style KB entry...
-    let obs = daemon.kb.observations.last().expect("observations recorded");
+    let obs = daemon
+        .kb
+        .observations
+        .last()
+        .expect("observations recorded");
     println!(
         "ObservationInterface entry (Listing 2 shape):\n{}\n",
         serde_json::to_string_pretty(&obs.to_json()).unwrap()

@@ -12,6 +12,7 @@ pub use pmove_docdb as docdb;
 pub use pmove_hwsim as hwsim;
 pub use pmove_jsonld as jsonld;
 pub use pmove_kernels as kernels;
+pub use pmove_obs as obs;
 pub use pmove_pcp as pcp;
 pub use pmove_spmv as spmv;
 pub use pmove_tsdb as tsdb;

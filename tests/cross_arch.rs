@@ -26,17 +26,19 @@ fn same_generic_events_on_all_four_targets() {
             command: "ddot".into(),
             // TOTAL_DP_FLOPS and TOTAL_MEMORY_OPERATIONS are common
             // events: mapped on every PMU, via different formulas.
-            generic_events: vec![
-                "TOTAL_DP_FLOPS".into(),
-                "TOTAL_MEMORY_OPERATIONS".into(),
-            ],
+            generic_events: vec!["TOTAL_DP_FLOPS".into(), "TOTAL_MEMORY_OPERATIONS".into()],
             freq_hz: 4.0,
             pinning: PinningStrategy::Balanced,
         };
         let outcome = d.profile(&request).expect("profiling succeeds");
-        let flops =
-            recall_generic_total(&d.ts, &d.layer, key, "TOTAL_DP_FLOPS", &outcome.observation.id)
-                .unwrap();
+        let flops = recall_generic_total(
+            &d.ts,
+            &d.layer,
+            key,
+            "TOTAL_DP_FLOPS",
+            &outcome.observation.id,
+        )
+        .unwrap();
         let mem = recall_generic_total(
             &d.ts,
             &d.layer,

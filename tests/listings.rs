@@ -49,10 +49,7 @@ fn listing2_and_3_observation_artifacts() {
     let request = ProfileRequest {
         profile: stream_kernel_profile(StreamKernel::Daxpy, 1 << 34, 4, IsaExt::Scalar),
         command: "daxpy -n 17179869184 -t 4".into(),
-        generic_events: vec![
-            "SCALAR_DP_FLOPS".into(),
-            "RAPL_ENERGY_PKG".into(),
-        ],
+        generic_events: vec!["SCALAR_DP_FLOPS".into(), "RAPL_ENERGY_PKG".into()],
         freq_hz: 4.0,
         pinning: PinningStrategy::NumaBalanced,
     };
@@ -61,7 +58,14 @@ fn listing2_and_3_observation_artifacts() {
 
     // Listing-2 fields.
     assert_eq!(doc["@type"], json!("ObservationInterface"));
-    for key in ["observation", "command", "affinity", "time", "metrics", "report"] {
+    for key in [
+        "observation",
+        "command",
+        "affinity",
+        "time",
+        "metrics",
+        "report",
+    ] {
         assert!(doc.get(key).is_some(), "missing {key}");
     }
     // The id is a UUID shape.
@@ -95,10 +99,9 @@ fn listing4_gpu_interface_shape() {
     let mut spec = pmove::hwsim::MachineSpec::csl();
     spec.gpus.push(pmove::hwsim::gpu::GpuSpec::gv100());
     let machine = pmove::hwsim::Machine::new(spec);
-    let kb = pmove::core::kb::builder::build_kb(
-        &pmove::core::probe::ProbeReport::collect(&machine),
-    )
-    .unwrap();
+    let kb =
+        pmove::core::kb::builder::build_kb(&pmove::core::probe::ProbeReport::collect(&machine))
+            .unwrap();
     let gpu = kb.by_name("gpu0").unwrap();
     let doc = pmove::jsonld::serialize::interface_to_json(gpu);
 
@@ -119,8 +122,10 @@ fn listing4_gpu_interface_shape() {
     assert_eq!(sw["DBName"], json!("nvidia_memused"));
     let hw = contents
         .iter()
-        .find(|c| c["@type"] == json!("HWTelemetry")
-            && c["SamplerName"] == json!("gpu__compute_memory_access_throughput"))
+        .find(|c| {
+            c["@type"] == json!("HWTelemetry")
+                && c["SamplerName"] == json!("gpu__compute_memory_access_throughput")
+        })
         .expect("ncu HW telemetry");
     assert_eq!(hw["PMUName"], json!("ncu"));
     assert_eq!(

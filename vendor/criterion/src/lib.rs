@@ -1,0 +1,257 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! Provides the benchmarking API surface the workspace's `harness = false`
+//! bench targets use — `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `black_box`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros.
+//! Measurements are simple wall-clock medians over a handful of batches;
+//! there is no statistical analysis, HTML report, or baseline storage.
+
+use std::fmt;
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: function name + parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a displayed parameter.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> BenchmarkId {
+        BenchmarkId { label }
+    }
+}
+
+/// Work-per-iteration declaration, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark driver. Holds global defaults for sampling.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            group_name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    group_name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare work-per-iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.group_name, id.into().label);
+        run_benchmark(&label, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one benchmark that borrows a prepared input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let label = format!("{}/{}", self.group_name, id.into().label);
+        let mut wrapped = |b: &mut Bencher| f(b, input);
+        run_benchmark(&label, self.sample_size, self.throughput, &mut wrapped);
+        self
+    }
+
+    /// End the group (upstream criterion finalizes reports here).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Calibrate the per-batch iteration count so one batch is neither
+    // trivially short nor unboundedly long.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        if b.elapsed_ns > 1_000_000 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+
+    let mut per_iter: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed_ns: 0,
+            };
+            f(&mut b);
+            b.elapsed_ns as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter[per_iter.len() / 2];
+
+    let mut line = format!("bench: {label:<40} {:>12} /iter", format_ns(median));
+    if let Some(tp) = throughput {
+        let (amount, unit) = match tp {
+            Throughput::Bytes(n) => (n as f64, "B"),
+            Throughput::Elements(n) => (n as f64, "elem"),
+        };
+        let per_sec = amount / (median / 1e9);
+        line.push_str(&format!("  ({per_sec:.3e} {unit}/s)"));
+    }
+    println!("{line}");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Collect benchmark functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_example(c: &mut Criterion) {
+        let mut group = c.benchmark_group("example");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(8));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sq", 4u32), &4u32, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(benches, bench_example);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

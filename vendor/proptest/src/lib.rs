@@ -1,0 +1,576 @@
+//! In-tree stand-in for the `proptest` crate.
+//!
+//! Provides the strategy surface the workspace's property tests use:
+//! numeric range strategies, regex-subset string strategies, tuple and
+//! `prop::collection::vec` combinators, `any::<T>()`, and the `proptest!`
+//! / `prop_assert!` macros. Cases are generated from a deterministic
+//! per-test RNG (seeded from the test name), so failures reproduce
+//! exactly across runs. Unlike upstream proptest there is no shrinking:
+//! a failing case reports its inputs via the panic message only.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! Drop-in replacement for `proptest::prelude::*`.
+    pub use crate as prop;
+    pub use crate::{any, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Per-test deterministic RNG (SplitMix64 seeded from the test name).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a label; the same label always yields the same stream.
+    pub fn deterministic(label: &str) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in label.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Unbiased rejection sampling.
+        let cap = ((1u128 << 64) / n as u128) * n as u128;
+        loop {
+            let v = self.next_u64() as u128;
+            if v < cap {
+                return (v % n as u128) as u64;
+            }
+        }
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Test-run configuration (`cases` = iterations per property).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` iterations.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. The stand-in samples directly (no value trees, no
+/// shrinking).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// Boxed/referenced strategies keep working.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                if width > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(width as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                loop {
+                    let v = self.start
+                        + (self.end - self.start) * rng.unit_f64() as $t;
+                    if v < self.end {
+                        return v;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+float_strategies!(f32, f64);
+
+/// Marker returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Full-domain strategy for simple types (`any::<i32>()` etc).
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Finite, wide-range floats; keeps property code free of NaN noise.
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+// String literals act as regex-subset strategies, like upstream proptest.
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+mod regex {
+    //! Generator for the regex subset used in strategy literals:
+    //! literal characters, `[...]` classes with ranges, and the
+    //! quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (unbounded capped at 8).
+
+    use super::TestRng;
+
+    enum Piece {
+        Literal(char),
+        Class(Vec<char>),
+    }
+
+    struct Quantified {
+        piece: Piece,
+        min: usize,
+        max: usize,
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for q in &pieces {
+            let span = q.max - q.min + 1;
+            let count = q.min + rng.below(span as u64) as usize;
+            for _ in 0..count {
+                match &q.piece {
+                    Piece::Literal(c) => out.push(*c),
+                    Piece::Class(chars) => {
+                        let idx = rng.below(chars.len() as u64) as usize;
+                        out.push(chars[idx]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn parse(pattern: &str) -> Vec<Quantified> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let piece = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed [ in strategy regex {pattern:?}"));
+                    let class = expand_class(&chars[i + 1..close]);
+                    i = close + 1;
+                    Piece::Class(class)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                    i += 1;
+                    Piece::Literal(c)
+                }
+                c => {
+                    i += 1;
+                    Piece::Literal(c)
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+            out.push(Quantified { piece, min, max });
+        }
+        out
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+        match chars.get(*i) {
+            Some('{') => {
+                let close = chars[*i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| *i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in strategy regex {pattern:?}"));
+                let body: String = chars[*i + 1..close].iter().collect();
+                *i = close + 1;
+                if let Some((lo, hi)) = body.split_once(',') {
+                    let lo = lo.trim().parse().expect("bad quantifier");
+                    let hi = hi.trim().parse().expect("bad quantifier");
+                    (lo, hi)
+                } else {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+            Some('?') => {
+                *i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn expand_class(body: &[char]) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i], body[i + 2]);
+                for c in lo..=hi {
+                    out.push(c);
+                }
+                i += 3;
+            } else {
+                out.push(body[i]);
+                i += 1;
+            }
+        }
+        assert!(!out.is_empty(), "empty character class");
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+/// A mapped strategy (see [`StrategyExt::prop_map`]).
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for MapStrategy<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Combinators available on every strategy.
+pub trait StrategyExt: Strategy + Sized {
+    /// Transform generated values.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> MapStrategy<Self, F> {
+        MapStrategy { inner: self, f }
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for [`vec`].
+    pub trait SizeBounds {
+        /// Inclusive (min, max) lengths.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeBounds for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeBounds for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl SizeBounds for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    /// Strategy producing `Vec`s of `elem`-generated values.
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Vector of values from `elem`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl SizeBounds) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { elem, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.max - self.min + 1) as u64;
+            let len = self.min + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Define property tests. Each function runs `cases` times with fresh
+/// deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Per-function expansion behind [`proptest!`]. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Property assertion; panics (with context) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_word() -> impl Strategy<Value = String> {
+        "[a-z][a-z0-9_]{0,5}"
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in 0usize..=4, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn regex_strategies_match_shape(
+            word in arb_word(),
+            pairs in prop::collection::vec(("[a-z]{1,3}", 0u32..9), 0..5),
+        ) {
+            prop_assert!(!word.is_empty() && word.len() <= 6);
+            prop_assert!(word.chars().next().unwrap().is_ascii_lowercase());
+            for (k, v) in &pairs {
+                prop_assert!((1..=3).contains(&k.len()));
+                prop_assert!(*v < 9);
+            }
+        }
+
+        #[test]
+        fn any_and_tuples(i in any::<i32>(), pair in (0u8..4, "x{1,2}")) {
+            let _ = i;
+            prop_assert!(pair.0 < 4);
+            prop_assert!(!pair.1.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::deterministic("same");
+        let mut b = crate::TestRng::deterministic("same");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! In-tree stand-in for the `rayon` crate.
+//!
+//! The workspace only uses the slice surface of the parallel-iterator
+//! prelude (`par_iter`, `par_iter_mut`, `par_windows`). Those are provided
+//! here as *sequential* iterators: the returned types are the ordinary
+//! `std::slice` iterators, so every adapter (`zip`, `map`, `sum`,
+//! `for_each`, `enumerate`) keeps working, and kernels stay deterministic.
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude::*`.
+
+    /// Shared-slice side of the parallel-iterator surface.
+    pub trait ParallelSliceExt<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_windows`.
+        fn par_windows(&self, size: usize) -> std::slice::Windows<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_chunks`.
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSliceExt<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_windows(&self, size: usize) -> std::slice::Windows<'_, T> {
+            self.windows(size)
+        }
+
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+    }
+
+    /// Mutable-slice side of the parallel-iterator surface.
+    pub trait ParallelSliceMutExt<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMutExt<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_surface_behaves_like_iterators() {
+        let a = vec![1.0, 2.0, 3.0];
+        let mut b = vec![0.0; 3];
+        b.par_iter_mut()
+            .zip(&a)
+            .for_each(|(bi, &ai)| *bi = 2.0 * ai);
+        assert_eq!(b, vec![2.0, 4.0, 6.0]);
+        let s: f64 = a.par_iter().sum();
+        assert_eq!(s, 6.0);
+        assert_eq!(a.par_windows(2).count(), 2);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (x, y) = super::join(|| 1, || 2);
+        assert_eq!(x + y, 3);
+    }
+}

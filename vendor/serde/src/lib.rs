@@ -1,0 +1,923 @@
+//! In-tree stand-in for the `serde` crate.
+//!
+//! Instead of upstream serde's visitor-based `Serializer`/`Deserializer`
+//! machinery, this crate models serialization as conversion to and from a
+//! JSON [`Value`] tree. The workspace only ever uses
+//! `#[derive(Serialize, Deserialize)]` together with `serde_json` (no
+//! hand-written impls, no alternative data formats), so the value-tree
+//! model is fully sufficient and keeps the vendored code small and
+//! auditable.
+//!
+//! The companion `serde_derive` crate generates impls of the two traits
+//! below, and the companion `serde_json` crate re-exports [`Value`],
+//! [`Map`], [`Number`], and [`Error`] plus the `json!` macro and the
+//! string conversion entry points.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON object representation: key-ordered for deterministic output.
+pub type Map<K = String, V = Value> = BTreeMap<K, V>;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (integer or float).
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with deterministic (sorted) key order.
+    Object(Map),
+}
+
+/// A JSON number: unsigned integer, negative integer, or float.
+///
+/// Integer and float representations compare as distinct classes, matching
+/// upstream `serde_json` (`1 != 1.0`).
+#[derive(Debug, Clone, Copy)]
+pub struct Number {
+    n: N,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// Wrap a float; returns `None` for NaN or infinities (not representable
+    /// in JSON).
+    pub fn from_f64(f: f64) -> Option<Number> {
+        if f.is_finite() {
+            Some(Number { n: N::Float(f) })
+        } else {
+            None
+        }
+    }
+
+    /// The number as a float (always possible; integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self.n {
+            N::PosInt(u) => u as f64,
+            N::NegInt(i) => i as f64,
+            N::Float(f) => f,
+        })
+    }
+
+    /// The number as an `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.n {
+            N::PosInt(u) => i64::try_from(u).ok(),
+            N::NegInt(i) => Some(i),
+            N::Float(_) => None,
+        }
+    }
+
+    /// The number as a `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.n {
+            N::PosInt(u) => Some(u),
+            N::NegInt(_) | N::Float(_) => None,
+        }
+    }
+
+    /// True when [`Number::as_i64`] would succeed.
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    /// True when [`Number::as_u64`] would succeed.
+    pub fn is_u64(&self) -> bool {
+        self.as_u64().is_some()
+    }
+
+    /// True when the number is stored as a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.n, N::Float(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.n, other.n) {
+            (N::PosInt(a), N::PosInt(b)) => a == b,
+            (N::NegInt(a), N::NegInt(b)) => a == b,
+            (N::Float(a), N::Float(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.n {
+            N::PosInt(u) => write!(f, "{u}"),
+            N::NegInt(i) => write!(f, "{i}"),
+            N::Float(v) => {
+                // Match serde_json's convention of keeping floats
+                // recognizable as floats ("1.0", not "1").
+                if v == v.trunc() && v.abs() < 1e16 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+macro_rules! number_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(u: $t) -> Number {
+                Number { n: N::PosInt(u as u64) }
+            }
+        }
+    )*};
+}
+
+macro_rules! number_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(i: $t) -> Number {
+                if i < 0 {
+                    Number { n: N::NegInt(i as i64) }
+                } else {
+                    Number { n: N::PosInt(i as u64) }
+                }
+            }
+        }
+    )*};
+}
+
+number_from_unsigned!(u8, u16, u32, u64, usize);
+number_from_signed!(i8, i16, i32, i64, isize);
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Error for a required field that was absent.
+    pub fn missing_field(field: &str) -> Error {
+        Error {
+            msg: format!("missing field `{field}`"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the JSON [`Value`] tree.
+pub trait Serialize {
+    /// Serialize `self` to a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Conversion out of the JSON [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialize from a value tree node.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called when a struct field is absent from the input object.
+    ///
+    /// The default is an error; `Option<T>` overrides this to yield `None`,
+    /// matching upstream serde's treatment of optional fields.
+    fn missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::missing_field(field))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value inherent API
+// ---------------------------------------------------------------------------
+
+impl Value {
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True for `Value::Bool`.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    /// True for `Value::Number`.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// True for `Value::String`.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// True for `Value::Array`.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// True for `Value::Object`.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Borrow the boolean, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Number as a float, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Number as an `i64`, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Number as a `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string contents, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array, if any.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrow the array, if any.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow the object map, if any.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrow the object map, if any.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup (non-panicking).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Mutable object member lookup (non-panicking).
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.as_object_mut().and_then(|m| m.get_mut(key))
+    }
+
+    /// Replace `self` with `Null`, returning the previous value.
+    pub fn take(&mut self) -> Value {
+        std::mem::take(self)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Auto-vivifies missing keys on objects (as upstream serde_json does).
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(m) => m.entry(key.to_string()).or_insert(Value::Null),
+            _ => panic!("cannot index non-object value with string key {key:?}"),
+        }
+    }
+}
+
+impl std::ops::Index<String> for Value {
+    type Output = Value;
+
+    fn index(&self, key: String) -> &Value {
+        &self[key.as_str()]
+    }
+}
+
+impl std::ops::IndexMut<String> for Value {
+    fn index_mut(&mut self, key: String) -> &mut Value {
+        &mut self[key.as_str()]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Value {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match self {
+            Value::Array(a) => &mut a[idx],
+            _ => panic!("cannot index non-array value with {idx}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        f.write_str(&out)
+    }
+}
+
+// Convenience comparisons against literals, mirroring upstream serde_json.
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Number(n) if n.is_f64() && n.as_f64() == Some(*other))
+    }
+}
+
+macro_rules! value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => *n == Number::from(*other),
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+
+value_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! value_from_number {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::from(v))
+            }
+        }
+    )*};
+}
+
+value_from_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Number::from_f64(v).map_or(Value::Null, Value::Number)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::from(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Value {
+        Value::Object(m)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(a: Vec<Value>) -> Value {
+        Value::Array(a)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON text emission (used by serde_json's to_string / to_string_pretty)
+// ---------------------------------------------------------------------------
+
+/// Append `v` as JSON text to `out`; `indent` of `Some(n)` pretty-prints
+/// with `n`-space indentation, `None` emits compact text.
+pub fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(n) = indent {
+        out.push('\n');
+        for _ in 0..n * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+macro_rules! serialize_via_from {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+    )*};
+}
+
+serialize_via_from!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn serialize_value(&self) -> Value {
+        // Collected through the BTreeMap-backed object, so hash order never
+        // leaks into serialized output.
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize_value(),
+            self.1.serialize_value(),
+            self.2.serialize_value(),
+        ])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize_value(),
+            self.1.serialize_value(),
+            self.2.serialize_value(),
+            self.3.serialize_value(),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Number(n) => n,
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($t)))),
+                };
+                if let Some(u) = n.as_u64() {
+                    return <$t>::try_from(u)
+                        .map_err(|_| Error::custom(concat!(stringify!($t), " out of range")));
+                }
+                if let Some(i) = n.as_i64() {
+                    return <$t>::try_from(i)
+                        .map_err(|_| Error::custom(concat!(stringify!($t), " out of range")));
+                }
+                Err(Error::custom(concat!("expected integer ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected f64"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::custom("expected f32"))
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, item)| Ok((k.clone(), V::deserialize_value(item)?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize, S> Deserialize for std::collections::HashMap<String, V, S>
+where
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, item)| Ok((k.clone(), V::deserialize_value(item)?)))
+            .collect()
+    }
+}
+
+fn tuple_slots(v: &Value, n: usize) -> Result<&[Value], Error> {
+    let a = v
+        .as_array()
+        .ok_or_else(|| Error::custom("expected tuple array"))?;
+    if a.len() != n {
+        return Err(Error::custom(format!(
+            "expected tuple of length {n}, got {}",
+            a.len()
+        )));
+    }
+    Ok(a)
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let a = tuple_slots(v, 2)?;
+        Ok((A::deserialize_value(&a[0])?, B::deserialize_value(&a[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let a = tuple_slots(v, 3)?;
+        Ok((
+            A::deserialize_value(&a[0])?,
+            B::deserialize_value(&a[1])?,
+            C::deserialize_value(&a[2])?,
+        ))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize for (A, B, C, D) {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let a = tuple_slots(v, 4)?;
+        Ok((
+            A::deserialize_value(&a[0])?,
+            B::deserialize_value(&a[1])?,
+            C::deserialize_value(&a[2])?,
+            D::deserialize_value(&a[3])?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_keep_int_float_distinction() {
+        assert_eq!(Value::from(1i64), Value::from(1u64));
+        assert_ne!(Value::from(1i64), Value::from(1.0));
+        assert_eq!(Value::from(7.5), Value::from(7.5));
+        assert_eq!(Value::from(f64::NAN), Value::Null);
+    }
+
+    #[test]
+    fn float_display_keeps_decimal_point() {
+        assert_eq!(Value::from(1.0).to_string(), "1.0");
+        assert_eq!(Value::from(7.5).to_string(), "7.5");
+        assert_eq!(Value::from(42u64).to_string(), "42");
+        assert_eq!(Value::from(-3i64).to_string(), "-3");
+    }
+
+    #[test]
+    fn index_and_auto_vivify() {
+        let mut v = Value::Null;
+        v["a"]["b"] = Value::from(5u64);
+        assert_eq!(v["a"]["b"].as_u64(), Some(5));
+        assert!(v["missing"].is_null());
+        assert_eq!(v["a"]["b"], 5u64);
+    }
+
+    #[test]
+    fn escaping_round_trip_shapes() {
+        let mut out = String::new();
+        write_value(&mut out, &Value::String("a\"b\\c\nd".to_string()), None, 0);
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn option_missing_field_yields_none() {
+        let r: Option<String> = <Option<String> as Deserialize>::missing_field("x").unwrap();
+        assert!(r.is_none());
+        let e = <String as Deserialize>::missing_field("x");
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let mut m: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        m.insert("a".into(), vec![1, 2, 3]);
+        let v = m.serialize_value();
+        let back: BTreeMap<String, Vec<u32>> = Deserialize::deserialize_value(&v).unwrap();
+        assert_eq!(m, back);
+        let t = ("x".to_string(), 2u64, 3.5f64);
+        let tv = t.serialize_value();
+        let tb: (String, u64, f64) = Deserialize::deserialize_value(&tv).unwrap();
+        assert_eq!(t, tb);
+    }
+}

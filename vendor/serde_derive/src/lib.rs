@@ -1,0 +1,494 @@
+//! In-tree stand-in for `serde_derive`.
+//!
+//! Generates impls of the value-model `serde::Serialize` /
+//! `serde::Deserialize` traits (see the vendored `serde` crate) by parsing
+//! the derive input token stream directly — no `syn`/`quote`, since those
+//! are not available offline. Supported shapes cover everything the
+//! workspace derives on:
+//!
+//! - structs with named fields (field attrs: `rename`, `default`,
+//!   `skip_serializing_if`)
+//! - tuple structs (newtype structs serialize as their inner value,
+//!   wider tuples as arrays)
+//! - unit structs
+//! - enums with unit, newtype, and tuple variants (externally tagged,
+//!   like upstream serde: `"Variant"`, `{"Variant": v}`, `{"Variant": [..]}`)
+//!
+//! Generics and struct-variant enums are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct FieldAttrs {
+    rename: Option<String>,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+impl Field {
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct TypeDef {
+    name: String,
+    body: Body,
+}
+
+/// Derive the value-model `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_serialize(&def)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive the value-model `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_deserialize(&def)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_type(input: TokenStream) -> TypeDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive: expected enum body for `{name}`, got {other:?}"),
+        },
+        kw => panic!("serde_derive: cannot derive for `{kw}` items"),
+    };
+
+    TypeDef { name, body }
+}
+
+/// Skip leading attributes and visibility, ignoring everything (container
+/// attrs are not supported and not used by the workspace).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(super)` carry a paren group.
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Collect `#[serde(...)]` attributes at the cursor into `attrs`,
+/// skipping every other attribute (doc comments etc.).
+fn take_field_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            parse_serde_attr(g.stream(), &mut attrs);
+        }
+        *i += 2;
+    }
+    attrs
+}
+
+/// If the bracket group holds `serde(...)`, fold its entries into `attrs`.
+fn parse_serde_attr(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                let key = match &inner[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    TokenTree::Punct(p) if p.as_char() == ',' => {
+                        j += 1;
+                        continue;
+                    }
+                    other => panic!("serde_derive: unexpected serde attr token {other:?}"),
+                };
+                j += 1;
+                let mut value = None;
+                if matches!(inner.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    j += 1;
+                    match inner.get(j) {
+                        Some(TokenTree::Literal(lit)) => {
+                            value = Some(lit.to_string().trim_matches('"').to_string());
+                            j += 1;
+                        }
+                        other => {
+                            panic!("serde_derive: expected string after `{key} =`, got {other:?}")
+                        }
+                    }
+                }
+                match key.as_str() {
+                    "rename" => attrs.rename = value,
+                    "default" => attrs.default = true,
+                    "skip_serializing_if" => attrs.skip_serializing_if = value,
+                    other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+                }
+            }
+        }
+        _ => {} // not a serde attribute; ignore
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_field_attrs(&tokens, &mut i);
+        // Visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(
+                tokens.get(i),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Advance past one type, stopping after the top-level `,` (or at end).
+/// Angle brackets are plain puncts in token streams, so track their depth.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for (idx, tt) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if idx + 1 == tokens.len() {
+                        trailing_comma = true;
+                    } else {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream, type_name: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _attrs = take_field_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name in `{type_name}`, got {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!(
+                    "serde_derive: struct variant `{type_name}::{name}` is not supported \
+                     by the vendored derive"
+                );
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.body {
+        Body::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                let key = f.key();
+                let insert = format!(
+                    "m.insert({key:?}.to_string(), \
+                     ::serde::Serialize::serialize_value(&self.{}));\n",
+                    f.name
+                );
+                if let Some(pred) = &f.attrs.skip_serializing_if {
+                    s.push_str(&format!("if !({pred})(&self.{}) {{ {insert} }}\n", f.name));
+                } else {
+                    s.push_str(&insert);
+                }
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         m.insert({vname:?}.to_string(), \
+                         ::serde::Serialize::serialize_value(f0));\n\
+                         ::serde::Value::Object(m)\n}}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert({vname:?}.to_string(), \
+                             ::serde::Value::Array(vec![{}]));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.body {
+        Body::NamedStruct(fields) => {
+            let mut s = format!(
+                "let m = v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"{name}: expected object\"))?;\n"
+            );
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                let key = f.key();
+                let missing = if f.attrs.default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!("::serde::Deserialize::missing_field({key:?})?")
+                };
+                s.push_str(&format!(
+                    "{}: match m.get({key:?}) {{\n\
+                     ::std::option::Option::Some(x) => \
+                     ::serde::Deserialize::deserialize_value(x)?,\n\
+                     ::std::option::Option::None => {missing},\n}},\n",
+                    f.name
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Body::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(v)?))"
+        ),
+        Body::TupleStruct(n) => {
+            let mut s = format!(
+                "let a = v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"{name}: expected array\"))?;\n\
+                 if a.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"{name}: wrong tuple length\")); }}\n"
+            );
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&a[{i}])?"))
+                .collect();
+            s.push_str(&format!(
+                "::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            ));
+            s
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize_value(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::deserialize_value(&a[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let a = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"{name}::{vname}: expected array\"))?;\n\
+                             if a.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"{name}::{vname}: wrong arity\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant {{other:?}}\"))),\n}},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (k, inner) = m.iter().next().expect(\"len checked\");\n\
+                 match k.as_str() {{\n{data_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant {{other:?}}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"{name}: expected variant string or single-key object\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
