@@ -1,0 +1,16 @@
+//! Print the storage-engine table: chunk compression ratio and modeled
+//! recovery time on Table III sampling workloads.
+
+fn main() {
+    let reports = pmove_bench::storage::run();
+    print!("{}", pmove_bench::storage::format(&reports));
+    let worst = reports
+        .iter()
+        .map(pmove_bench::storage::StorageReport::compression_ratio)
+        .fold(0.0f64, f64::max);
+    println!("\nworst compression ratio: {:.1}% of raw", 100.0 * worst);
+    if worst > 0.5 {
+        println!("compression target MISSED (chunks must be <=50% of raw)");
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`fig7`]   | Fig. 7 — live PMU events during SpMV (MKL vs Merge) |
 //! | [`fig8`]   | Fig. 8 — live-CARM during SpMV |
 //! | [`fig9`]   | Fig. 9 — live-CARM during likwid benchmarks |
+//! | [`storage`] | storage engine — chunk compression and recovery time |
 
 pub mod ablation;
 pub mod fig4;
@@ -25,6 +26,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod storage;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -101,11 +101,17 @@ pub fn run_cell(host: &str, freq: f64, n_metrics: usize) -> Row {
     run_cell_audited(host, freq, n_metrics).0
 }
 
-/// [`run_cell`] with the transport observed through `pmove-obs`: the cell's
-/// conservation counters come from the exported self-telemetry (not the
-/// transport's private stats), so the audit exercises the same numbers a
-/// self-dashboard would show.
-pub fn run_cell_audited(host: &str, freq: f64, n_metrics: usize) -> (Row, ConservationCell) {
+/// Ship one cell's samples into a caller-provided database (possibly a
+/// durable one), optionally observed through `registry`. This is the body
+/// shared by [`run_cell_audited`] and the storage-engine bench, which
+/// replays the same workload over the WAL/chunk store.
+pub fn run_cell_into(
+    db: &Database,
+    registry: Option<std::sync::Arc<Registry>>,
+    host: &str,
+    freq: f64,
+    n_metrics: usize,
+) -> Row {
     let machine = Machine::preset(host).expect("known host");
     let events = busy_metrics(&machine, n_metrics);
     let refs: Vec<&str> = events.iter().map(String::as_str).collect();
@@ -114,15 +120,15 @@ pub fn run_cell_audited(host: &str, freq: f64, n_metrics: usize) -> (Row, Conser
     let exec = ExecModel::new(machine.spec.clone()).run(&busy_kernel(&machine), 0.0);
     agent.attach(exec);
 
-    let registry = Registry::shared();
-    let db = Database::new("host");
     let mut shipper = Shipper::new(
-        &db,
+        db,
         LinkSpec::mbit_100(),
         1.0 / freq,
         &[host, &format!("t3-{freq}-{n_metrics}")],
-    )
-    .with_obs(registry.clone());
+    );
+    if let Some(reg) = registry {
+        shipper = shipper.with_obs(reg);
+    }
     let mut pmcd = Pmcd::new();
     pmcd.set_tag("tag", format!("table3-{host}-{freq}-{n_metrics}"));
     pmcd.register(Box::new(agent));
@@ -132,6 +138,24 @@ pub fn run_cell_audited(host: &str, freq: f64, n_metrics: usize) -> (Row, Conser
         .collect();
     let config = SamplingConfig::new(metrics, freq, 0.0, DURATION_S);
     let report = SamplingLoop::run(&config, &mut pmcd, &mut shipper);
+    Row {
+        host: host.to_string(),
+        freq,
+        n_metrics,
+        expected: report.expected_values,
+        inserted: report.transport.values_inserted + report.transport.values_zeroed,
+        zeros: report.transport.values_zeroed,
+    }
+}
+
+/// [`run_cell`] with the transport observed through `pmove-obs`: the cell's
+/// conservation counters come from the exported self-telemetry (not the
+/// transport's private stats), so the audit exercises the same numbers a
+/// self-dashboard would show.
+pub fn run_cell_audited(host: &str, freq: f64, n_metrics: usize) -> (Row, ConservationCell) {
+    let registry = Registry::shared();
+    let db = Database::new("host");
+    let row = run_cell_into(&db, Some(registry.clone()), host, freq, n_metrics);
 
     let snap = registry.snapshot();
     let cell = ConservationCell {
@@ -145,14 +169,6 @@ pub fn run_cell_audited(host: &str, freq: f64, n_metrics: usize) -> (Row, Conser
             .counter("pcp.transport.values_zeroed", &[])
             .unwrap_or(0),
         lost: snap.counter("pcp.transport.values_lost", &[]).unwrap_or(0),
-    };
-    let row = Row {
-        host: host.to_string(),
-        freq,
-        n_metrics,
-        expected: report.expected_values,
-        inserted: report.transport.values_inserted + report.transport.values_zeroed,
-        zeros: report.transport.values_zeroed,
     };
     (row, cell)
 }

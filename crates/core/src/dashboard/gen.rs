@@ -131,6 +131,31 @@ pub fn self_dashboard(kb: &KnowledgeBase, snap: &pmove_obs::Snapshot) -> Dashboa
         d = d.panel(key.name.clone(), targets);
     }
 
+    // Storage engine: WAL, compaction, and docdb journal counters, when
+    // the daemon runs over durable storage.
+    let mut seen_storage = Vec::new();
+    let storage_targets: Vec<Target> = snap
+        .counters
+        .iter()
+        .filter(|(key, _)| {
+            key.name.starts_with("wal.")
+                || key.name.starts_with("compaction.")
+                || key.name.starts_with("docdb.journal.")
+        })
+        .filter(|(key, _)| {
+            if seen_storage.contains(&key.name) {
+                false
+            } else {
+                seen_storage.push(key.name.clone());
+                true
+            }
+        })
+        .map(|(key, _)| target(&format!("{SELF_PREFIX}{}", key.name), "value"))
+        .collect();
+    if !storage_targets.is_empty() {
+        d = d.panel("storage engine", storage_targets);
+    }
+
     // Span timings: daemon boot steps get their own panel.
     let step_targets: Vec<Target> = snap
         .spans
@@ -279,6 +304,39 @@ mod tests {
         for t in loss.targets.iter().chain(steps.targets.iter()) {
             assert!(ms.contains(&t.measurement), "missing {}", t.measurement);
         }
+    }
+
+    #[test]
+    fn self_dashboard_adds_storage_panel_for_durable_daemons() {
+        use pmove_tsdb::store::MemDisk;
+        use std::sync::Arc;
+        let mut d = crate::telemetry::daemon::PMoveDaemon::for_preset_durable(
+            "icl",
+            Arc::new(MemDisk::new(3)),
+        )
+        .unwrap();
+        d.monitor(2.0, 2.0);
+        let dash = d.self_dashboard();
+        let storage = dash
+            .panels
+            .iter()
+            .find(|p| p.title == "storage engine")
+            .expect("durable daemon exposes a storage panel");
+        let ms: Vec<&str> = storage
+            .targets
+            .iter()
+            .map(|t| t.measurement.as_str())
+            .collect();
+        assert!(ms.contains(&"pmove.self.wal.records_appended"));
+        assert!(ms.contains(&"pmove.self.wal.commits"));
+        assert!(ms.contains(&"pmove.self.docdb.journal.records_appended"));
+        // Memory-only daemons have no storage panel.
+        let d0 = crate::telemetry::daemon::PMoveDaemon::for_preset("icl").unwrap();
+        assert!(d0
+            .self_dashboard()
+            .panels
+            .iter()
+            .all(|p| p.title != "storage engine"));
     }
 
     #[test]

@@ -45,6 +45,41 @@ pub fn insert_kb(db: &Database, kb: &KnowledgeBase) -> Result<usize, PmoveError>
     Ok(inserted)
 }
 
+/// [`insert_kb`] against a journaled database: every mutation is framed
+/// through the WAL so the KB collections survive a daemon restart.
+pub fn insert_kb_durable(
+    db: &pmove_docdb::DurableDatabase,
+    kb: &KnowledgeBase,
+) -> Result<usize, PmoveError> {
+    db.delete_many(KB_COLLECTION, &json!({"machine": kb.machine_key}))?;
+    let mut inserted = 0;
+    for iface in &kb.interfaces {
+        let mut doc = interface_to_json(iface);
+        doc["machine"] = json!(kb.machine_key);
+        doc["pmu"] = json!(kb.pmu_name);
+        doc["_id"] = json!(format!("{}::{}", kb.machine_key, iface.id));
+        db.insert_one(KB_COLLECTION, doc)?;
+        inserted += 1;
+    }
+    for o in &kb.observations {
+        let mut doc = o.to_json();
+        doc["_id"] = json!(format!("{}::{}", kb.machine_key, o.id));
+        match db.insert_one(OBS_COLLECTION, doc) {
+            Ok(_) | Err(pmove_docdb::DocDbError::DuplicateId(_)) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    for b in &kb.benchmarks {
+        let mut doc = b.to_json();
+        doc["_id"] = json!(format!("{}::{}", kb.machine_key, b.id));
+        match db.insert_one(BENCH_COLLECTION, doc) {
+            Ok(_) | Err(pmove_docdb::DocDbError::DuplicateId(_)) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(inserted)
+}
+
 /// Load the component interfaces of one machine back from the store.
 pub fn load_interfaces(
     db: &Database,

@@ -130,7 +130,10 @@ impl Cluster {
                     d.ts.add_retention_policy(RetentionPolicy::keep("cluster", keep_ns));
                 }
                 let now_ns = (d.now_s * 1e9) as i64;
-                (d.kb.machine_key.clone(), d.ts.enforce_retention(now_ns))
+                let removed =
+                    d.ts.enforce_retention(now_ns)
+                        .expect("in-memory retention enforcement cannot fail");
+                (d.kb.machine_key.clone(), removed)
             })
             .collect();
         let total: u64 = removed.iter().map(|(_, n)| *n as u64).sum();

@@ -27,6 +27,17 @@ fn s_to_ns(s: f64) -> u64 {
     (s * 1e9).round().max(0.0) as u64
 }
 
+/// What boot step ④ recovered from the durable stores.
+#[derive(Debug, Clone, Copy)]
+pub struct BootRecovery {
+    /// Time-series store recovery (chunk load + WAL replay).
+    pub ts: pmove_tsdb::store::RecoveryReport,
+    /// Document-database journal replay.
+    pub doc: pmove_docdb::JournalReport,
+    /// Modeled recovery time in nanoseconds (the step ④ span length).
+    pub modeled_ns: u64,
+}
+
 /// The daemon.
 pub struct PMoveDaemon {
     /// The target machine (host ≠ target in the paper; the daemon holds a
@@ -39,7 +50,12 @@ pub struct PMoveDaemon {
     /// Host time-series database.
     pub ts: pmove_tsdb::Database,
     /// Host document database.
-    pub doc: pmove_docdb::Database,
+    pub doc: Arc<pmove_docdb::Database>,
+    /// Journal wrapper around `doc` when the daemon is durable; KB
+    /// mutations route through it so they survive restarts.
+    pub doc_journal: Option<pmove_docdb::DurableDatabase>,
+    /// Step ④ recovery outcome; `None` on memory-only daemons.
+    pub recovery: Option<BootRecovery>,
     /// Observation-id factory.
     pub ids: IdFactory,
     /// Virtual clock (seconds since daemon start).
@@ -60,6 +76,30 @@ const STEP1_PER_COMPONENT_NS: u64 = 2_500;
 const STEP2_PER_INTERFACE_NS: u64 = 8_000;
 const STEP3_PER_DOC_NS: u64 = 12_000;
 
+/// Steps ⓪–②: environment, probe, KB generation. Returns the KB and the
+/// boot-timeline position after step ②.
+fn boot_steps_0_to_2(
+    machine: &Machine,
+    env: &DbParams,
+    obs: &Registry,
+) -> Result<(KnowledgeBase, u64), PmoveError> {
+    let mut boot_ns = 0u64; // ⓪ environment
+    obs.record_span("daemon.step0.environment", boot_ns, boot_ns + STEP0_ENV_NS);
+    boot_ns += STEP0_ENV_NS;
+
+    let report = ProbeReport::collect(machine); // ①
+    let probe_ns = report.components().len() as u64 * STEP1_PER_COMPONENT_NS;
+    obs.record_span("daemon.step1.probe", boot_ns, boot_ns + probe_ns);
+    boot_ns += probe_ns;
+
+    let mut kb = builder::build_kb_observed(&report, Some(obs))?; // ②
+    kb.db = env.clone();
+    let gen_ns = kb.len() as u64 * STEP2_PER_INTERFACE_NS;
+    obs.record_span("daemon.step2.kb_generation", boot_ns, boot_ns + gen_ns);
+    boot_ns += gen_ns;
+    Ok((kb, boot_ns))
+}
+
 impl PMoveDaemon {
     /// Steps ⓪–③: environment, probe, KB generation, KB insertion.
     ///
@@ -69,23 +109,10 @@ impl PMoveDaemon {
     /// timeline does not advance the daemon clock (`now_s` stays 0).
     pub fn new(machine: Machine, env: DbParams) -> Result<Self, PmoveError> {
         let obs = Registry::shared();
-        let mut boot_ns = 0u64; // ⓪ environment
-        obs.record_span("daemon.step0.environment", boot_ns, boot_ns + STEP0_ENV_NS);
-        boot_ns += STEP0_ENV_NS;
-
-        let report = ProbeReport::collect(&machine); // ①
-        let probe_ns = report.components().len() as u64 * STEP1_PER_COMPONENT_NS;
-        obs.record_span("daemon.step1.probe", boot_ns, boot_ns + probe_ns);
-        boot_ns += probe_ns;
-
-        let mut kb = builder::build_kb_observed(&report, Some(&obs))?; // ②
-        kb.db = env.clone();
-        let gen_ns = kb.len() as u64 * STEP2_PER_INTERFACE_NS;
-        obs.record_span("daemon.step2.kb_generation", boot_ns, boot_ns + gen_ns);
-        boot_ns += gen_ns;
+        let (kb, boot_ns) = boot_steps_0_to_2(&machine, &env, &obs)?;
 
         let ts = pmove_tsdb::Database::with_obs(&env.influx_db, obs.clone());
-        let doc = pmove_docdb::Database::with_obs(&env.mongo_db, obs.clone());
+        let doc = Arc::new(pmove_docdb::Database::with_obs(&env.mongo_db, obs.clone()));
         doc.collection(store::KB_COLLECTION).create_index("@type");
         let inserted = store::insert_kb(&doc, &kb)?; // ③
         let insert_ns = inserted as u64 * STEP3_PER_DOC_NS;
@@ -98,6 +125,66 @@ impl PMoveDaemon {
             layer: builtin_layer(),
             ts,
             doc,
+            doc_journal: None,
+            recovery: None,
+            ids,
+            now_s: 0.0,
+            background_busy: Vec::new(),
+            obs,
+        })
+    }
+
+    /// [`PMoveDaemon::new`] over durable storage: the time-series database
+    /// opens its WAL/chunk store and the document database replays its
+    /// journal from `vfs`, then steps ⓪–③ run as usual (step ③ mutations
+    /// are journaled). The replay is stamped as a fourth boot step,
+    /// `daemon.step4.recovery`, whose modeled duration is the disk time to
+    /// re-read the persisted state.
+    pub fn new_durable(
+        machine: Machine,
+        env: DbParams,
+        vfs: Arc<dyn pmove_tsdb::store::Vfs>,
+    ) -> Result<Self, PmoveError> {
+        let obs = Registry::shared();
+        let (kb, boot_ns) = boot_steps_0_to_2(&machine, &env, &obs)?;
+
+        let (ts, ts_rec) = pmove_tsdb::Database::open_with_obs(
+            &env.influx_db,
+            vfs.clone(),
+            pmove_tsdb::store::StoreOptions::default(),
+            obs.clone(),
+        )?;
+        let (doc_journal, doc_rec) =
+            pmove_docdb::DurableDatabase::open_with_obs(&env.mongo_db, vfs, obs.clone())?;
+        let doc = doc_journal.shared();
+        // Indexes are rebuilt on every boot, so they are not journaled.
+        doc.collection(store::KB_COLLECTION).create_index("@type");
+        let inserted = store::insert_kb_durable(&doc_journal, &kb)?; // ③
+        let insert_ns = inserted as u64 * STEP3_PER_DOC_NS;
+        obs.record_span("daemon.step3.kb_insert", boot_ns, boot_ns + insert_ns);
+        let boot_ns = boot_ns + insert_ns;
+
+        // ④ recovery: replaying WAL + journal over the chunk set.
+        let recovery = BootRecovery {
+            ts: ts_rec,
+            doc: doc_rec,
+            modeled_ns: ts_rec.modeled_ns + doc_rec.modeled_ns,
+        };
+        obs.record_span(
+            "daemon.step4.recovery",
+            boot_ns,
+            boot_ns + recovery.modeled_ns,
+        );
+
+        let ids = IdFactory::new(machine.key());
+        Ok(PMoveDaemon {
+            machine,
+            kb,
+            layer: builtin_layer(),
+            ts,
+            doc,
+            doc_journal: Some(doc_journal),
+            recovery: Some(recovery),
             ids,
             now_s: 0.0,
             background_busy: Vec::new(),
@@ -118,9 +205,27 @@ impl PMoveDaemon {
         Self::new(machine, DbParams::default())
     }
 
+    /// Convenience: durable daemon for a preset machine with default env.
+    pub fn for_preset_durable(
+        key: &str,
+        vfs: Arc<dyn pmove_tsdb::store::Vfs>,
+    ) -> Result<Self, PmoveError> {
+        let machine = Machine::preset(key)
+            .ok_or_else(|| PmoveError::BadProbeReport(format!("unknown preset {key}")))?;
+        Self::new_durable(machine, DbParams::default(), vfs)
+    }
+
+    /// True when both databases persist to a VFS.
+    pub fn is_durable(&self) -> bool {
+        self.doc_journal.is_some() && self.ts.is_durable()
+    }
+
     /// Re-insert the KB (step ③ re-occurs whenever the KB changes).
     pub fn sync_kb(&self) -> Result<usize, PmoveError> {
-        store::insert_kb(&self.doc, &self.kb)
+        match &self.doc_journal {
+            Some(journal) => store::insert_kb_durable(journal, &self.kb),
+            None => store::insert_kb(&self.doc, &self.kb),
+        }
     }
 
     /// Scenario A: monitor system state for `duration_s` at `freq_hz`.
@@ -381,6 +486,48 @@ mod tests {
         // The abstraction layer knows this PMU.
         assert!(d.layer.pmu("icl").is_some());
         assert!(PMoveDaemon::for_preset("vax").is_err());
+    }
+
+    #[test]
+    fn durable_daemon_recovers_state_across_restarts() {
+        use pmove_tsdb::store::{MemDisk, Vfs};
+        let disk = Arc::new(MemDisk::new(11));
+        let vfs: Arc<dyn Vfs> = disk.clone();
+
+        let mut d = PMoveDaemon::for_preset_durable("icl", vfs.clone()).unwrap();
+        assert!(d.is_durable());
+        let rec = d.recovery.expect("durable boot reports recovery");
+        assert_eq!(rec.ts.chunks_loaded, 0);
+        assert_eq!(rec.ts.wal_rows, 0);
+        assert_eq!(rec.doc.records_replayed, 0);
+        d.monitor(5.0, 2.0);
+        let rows = d.ts.total_rows();
+        let kb_len = d.kb.len();
+        assert!(rows > 0);
+        drop(d);
+
+        // Power-cycle: volatile state is gone, the daemon reboots from
+        // the WAL/journal alone.
+        disk.restart();
+        let d2 = PMoveDaemon::for_preset_durable("icl", vfs).unwrap();
+        let rec2 = d2.recovery.unwrap();
+        assert!(rec2.ts.wal_rows > 0 || rec2.ts.chunks_loaded > 0);
+        assert!(rec2.doc.records_replayed > 0);
+        assert!(rec2.modeled_ns > 0);
+        assert_eq!(d2.ts.total_rows(), rows, "telemetry survives the restart");
+        assert_eq!(d2.doc.collection(store::KB_COLLECTION).len(), kb_len);
+        // Step ④ is stamped right after step ③ on the boot timeline.
+        let snap = d2.obs.snapshot();
+        let s3 = snap.span("daemon.step3.kb_insert").unwrap();
+        let s4 = snap.span("daemon.step4.recovery").unwrap();
+        assert_eq!(s3.last_end_ns, s4.last_start_ns);
+        assert!(s4.last_end_ns > s4.last_start_ns);
+        // Recovered series answer queries like before the crash.
+        let r = d2
+            .ts
+            .query("SELECT mean(\"value\") FROM \"kernel_all_load\"")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
     }
 
     #[test]

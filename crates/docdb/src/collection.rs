@@ -117,6 +117,12 @@ impl Collection {
         &self.name
     }
 
+    /// Raise the auto-`_id` counter to at least `min`, so documents
+    /// restored from a journal never collide with freshly assigned ids.
+    pub(crate) fn bump_next_id(&self, min: u64) {
+        self.next_id.fetch_max(min, Ordering::Relaxed);
+    }
+
     /// Number of live documents.
     pub fn len(&self) -> usize {
         self.inner.read().live

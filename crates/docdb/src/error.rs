@@ -13,6 +13,14 @@ pub enum DocDbError {
     BadUpdate(String),
     /// `_id` collision on insert.
     DuplicateId(String),
+    /// The durable journal failed (disk error, crash, corruption).
+    Storage(String),
+}
+
+impl From<pmove_store::StoreError> for DocDbError {
+    fn from(e: pmove_store::StoreError) -> Self {
+        DocDbError::Storage(e.to_string())
+    }
 }
 
 impl fmt::Display for DocDbError {
@@ -22,6 +30,7 @@ impl fmt::Display for DocDbError {
             DocDbError::BadFilter(m) => write!(f, "bad filter: {m}"),
             DocDbError::BadUpdate(m) => write!(f, "bad update: {m}"),
             DocDbError::DuplicateId(id) => write!(f, "duplicate _id: {id}"),
+            DocDbError::Storage(m) => write!(f, "journal storage error: {m}"),
         }
     }
 }

@@ -30,11 +30,13 @@ pub mod document;
 pub mod error;
 pub mod filter;
 pub mod index;
+pub mod journal;
 pub mod update;
 
 pub use collection::{Collection, FindOptions};
 pub use database::Database;
 pub use error::DocDbError;
+pub use journal::{DurableDatabase, JournalReport};
 
 /// Convenience macro building a `serde_json::Value` document.
 #[macro_export]

@@ -1,0 +1,342 @@
+//! Immutable TSM-style chunk files.
+//!
+//! A chunk is the durable, compressed form of a batch of rows: one block
+//! per (series, field, value-type), timestamps delta-of-delta encoded,
+//! float values Gorilla XOR compressed, the whole file sealed with a
+//! trailing CRC32. Within a chunk, duplicate (series, field, timestamp)
+//! entries are resolved last-write-wins at build time, so a chunk never
+//! carries two values for the same cell.
+//!
+//! Layout:
+//!
+//! ```text
+//! "PMCHUNK1" | seq u64 LE | block_count u32 LE | blocks... | crc32 u32 LE
+//! block: series(varint len + bytes) | field(varint len + bytes)
+//!        | type u8 | count uvarint | min_ts ivarint | max_ts ivarint
+//!        | ts_len uvarint | ts_bytes | val_len uvarint | val_bytes
+//! ```
+//!
+//! Everything is a deterministic function of the input rows (grouping
+//! walks a `BTreeMap`), so two same-seed runs emit byte-identical files.
+
+use crate::crc::crc32;
+use crate::encode::{
+    decode_timestamps, decode_values, encode_timestamps, encode_values, get_ivarint, get_uvarint,
+    put_ivarint, put_uvarint,
+};
+use crate::error::{StoreError, StoreResult};
+use crate::row::{ColumnValue, RowRecord};
+use crate::vfs::Vfs;
+use std::collections::BTreeMap;
+
+/// File magic for chunk files.
+pub const CHUNK_MAGIC: &[u8; 8] = b"PMCHUNK1";
+
+/// File name for a chunk sequence number.
+pub fn chunk_name(seq: u64) -> String {
+    format!("chunk-{seq:08}.tsm")
+}
+
+/// Parse a chunk sequence number back out of a file name.
+pub fn parse_chunk_name(name: &str) -> Option<u64> {
+    name.strip_prefix("chunk-")?
+        .strip_suffix(".tsm")?
+        .parse()
+        .ok()
+}
+
+/// Summary of one written chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkInfo {
+    /// Chunk sequence number (also encoded in the file name).
+    pub seq: u64,
+    /// Blocks written.
+    pub blocks: usize,
+    /// Rows stored (after in-chunk last-write-wins dedup).
+    pub rows: usize,
+    /// Rows discarded by in-chunk dedup.
+    pub rows_deduped: usize,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Raw in-memory footprint of the stored rows (compression baseline).
+    pub raw_bytes: u64,
+}
+
+/// Build and persist a chunk from `rows` (in write order — later entries
+/// win duplicate cells). Returns `None` when `rows` is empty.
+pub fn write_chunk(vfs: &dyn Vfs, seq: u64, rows: &[RowRecord]) -> StoreResult<Option<ChunkInfo>> {
+    if rows.is_empty() {
+        return Ok(None);
+    }
+    // Last-write-wins per (series, field, ts) cell first — the winner's
+    // type decides its block, so a cell rewritten with a new type cannot
+    // survive as two blocks with an order-dependent reader.
+    let mut cells: BTreeMap<(String, String, i64), ColumnValue> = BTreeMap::new();
+    for r in rows {
+        cells.insert((r.series.clone(), r.field.clone(), r.ts), r.value.clone());
+    }
+    // (series, field, type) -> ts -> value, in canonical BTreeMap order.
+    let mut groups: BTreeMap<(String, String, u8), BTreeMap<i64, ColumnValue>> = BTreeMap::new();
+    for ((series, field, ts), value) in cells {
+        groups
+            .entry((series, field, value.type_tag()))
+            .or_default()
+            .insert(ts, value);
+    }
+    let mut body = Vec::new();
+    body.extend_from_slice(CHUNK_MAGIC);
+    body.extend_from_slice(&seq.to_le_bytes());
+    body.extend_from_slice(&(groups.len() as u32).to_le_bytes());
+    let mut kept = 0usize;
+    let mut raw_bytes = 0u64;
+    for ((series, field, tag), cells) in &groups {
+        let ts: Vec<i64> = cells.keys().copied().collect();
+        let values: Vec<ColumnValue> = cells.values().cloned().collect();
+        kept += ts.len();
+        for v in &values {
+            raw_bytes += RowRecord::new("", "", 0, v.clone()).raw_footprint() as u64;
+        }
+        let ts_bytes = encode_timestamps(&ts);
+        let val_bytes = encode_values(*tag, &values);
+        put_uvarint(&mut body, series.len() as u64);
+        body.extend_from_slice(series.as_bytes());
+        put_uvarint(&mut body, field.len() as u64);
+        body.extend_from_slice(field.as_bytes());
+        body.push(*tag);
+        put_uvarint(&mut body, ts.len() as u64);
+        put_ivarint(&mut body, ts[0]);
+        put_ivarint(&mut body, *ts.last().unwrap());
+        put_uvarint(&mut body, ts_bytes.len() as u64);
+        body.extend_from_slice(&ts_bytes);
+        put_uvarint(&mut body, val_bytes.len() as u64);
+        body.extend_from_slice(&val_bytes);
+    }
+    body.extend_from_slice(&crc32(&body[..]).to_le_bytes());
+    let mut f = vfs.create(&chunk_name(seq))?;
+    f.append(&body)?;
+    f.sync()?;
+    Ok(Some(ChunkInfo {
+        seq,
+        blocks: groups.len(),
+        rows: kept,
+        rows_deduped: rows.len() - kept,
+        bytes: body.len() as u64,
+        raw_bytes,
+    }))
+}
+
+/// Read and validate the chunk file `name`; returns its sequence number
+/// and rows (block order, timestamps ascending within a block). Any
+/// structural damage — bad magic, bad CRC, truncated block — is an error;
+/// recovery treats such chunks as absent.
+pub fn read_chunk(vfs: &dyn Vfs, name: &str) -> StoreResult<(u64, Vec<RowRecord>)> {
+    let data = vfs.read(name)?;
+    if data.len() < CHUNK_MAGIC.len() + 8 + 4 + 4 {
+        return Err(StoreError::Corrupt(format!("chunk {name}: too short")));
+    }
+    if &data[..8] != CHUNK_MAGIC {
+        return Err(StoreError::Corrupt(format!("chunk {name}: bad magic")));
+    }
+    let body_end = data.len() - 4;
+    let stored_crc = u32::from_le_bytes(data[body_end..].try_into().unwrap());
+    if crc32(&data[..body_end]) != stored_crc {
+        return Err(StoreError::Corrupt(format!("chunk {name}: bad crc")));
+    }
+    let seq = u64::from_le_bytes(data[8..16].try_into().unwrap());
+    let block_count = u32::from_le_bytes(data[16..20].try_into().unwrap());
+    let mut pos = 20usize;
+    let mut rows = Vec::new();
+    let read_str = |data: &[u8], pos: &mut usize| -> StoreResult<String> {
+        let len = get_uvarint(data, pos)? as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| StoreError::Decode("block key ran off the end".into()))?;
+        let s = std::str::from_utf8(&data[*pos..end])
+            .map_err(|_| StoreError::Decode("block key not UTF-8".into()))?
+            .to_string();
+        *pos = end;
+        Ok(s)
+    };
+    for _ in 0..block_count {
+        let series = read_str(&data[..body_end], &mut pos)?;
+        let field = read_str(&data[..body_end], &mut pos)?;
+        let tag = *data
+            .get(pos)
+            .ok_or_else(|| StoreError::Decode("missing type tag".into()))?;
+        ColumnValue::check_tag(tag)?;
+        pos += 1;
+        let count = get_uvarint(&data[..body_end], &mut pos)? as usize;
+        let _min_ts = get_ivarint(&data[..body_end], &mut pos)?;
+        let _max_ts = get_ivarint(&data[..body_end], &mut pos)?;
+        let ts_len = get_uvarint(&data[..body_end], &mut pos)? as usize;
+        let ts_end = pos
+            .checked_add(ts_len)
+            .filter(|&e| e <= body_end)
+            .ok_or_else(|| StoreError::Decode("timestamp bytes ran off the end".into()))?;
+        let ts = decode_timestamps(&data[pos..ts_end], count)?;
+        pos = ts_end;
+        let val_len = get_uvarint(&data[..body_end], &mut pos)? as usize;
+        let val_end = pos
+            .checked_add(val_len)
+            .filter(|&e| e <= body_end)
+            .ok_or_else(|| StoreError::Decode("value bytes ran off the end".into()))?;
+        let values = decode_values(tag, &data[pos..val_end], count)?;
+        pos = val_end;
+        for (t, v) in ts.into_iter().zip(values) {
+            rows.push(RowRecord {
+                series: series.clone(),
+                field: field.clone(),
+                ts: t,
+                value: v,
+            });
+        }
+    }
+    Ok((seq, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memdisk::MemDisk;
+
+    fn rows() -> Vec<RowRecord> {
+        let mut out = Vec::new();
+        for i in 0..100i64 {
+            out.push(RowRecord::new(
+                "cpu,host=a",
+                "_cpu0",
+                i * 500,
+                ColumnValue::F64(20.0 + i as f64 * 0.1),
+            ));
+            out.push(RowRecord::new(
+                "cpu,host=a",
+                "_cpu1",
+                i * 500,
+                ColumnValue::I64(i),
+            ));
+        }
+        out.push(RowRecord::new("m,host=b", "ok", 1, ColumnValue::Bool(true)));
+        out.push(RowRecord::new(
+            "m,host=b",
+            "note",
+            2,
+            ColumnValue::Str("hello".into()),
+        ));
+        out
+    }
+
+    #[test]
+    fn chunk_roundtrip_preserves_rows() {
+        let disk = MemDisk::new(1);
+        let info = write_chunk(&disk, 3, &rows()).unwrap().unwrap();
+        assert_eq!(info.seq, 3);
+        assert_eq!(info.rows, 202);
+        assert_eq!(info.blocks, 4);
+        let (seq, back) = read_chunk(&disk, &chunk_name(3)).unwrap();
+        assert_eq!(seq, 3);
+        assert_eq!(back.len(), 202);
+        // Same cells, independent of block ordering.
+        let key = |r: &RowRecord| (r.series.clone(), r.field.clone(), r.ts);
+        let mut a: Vec<_> = rows().iter().map(|r| (key(r), r.value.clone())).collect();
+        let mut b: Vec<_> = back.iter().map(|r| (key(r), r.value.clone())).collect();
+        a.sort_by(|x, y| x.0.cmp(&y.0));
+        b.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunk_compresses_below_half_raw_footprint() {
+        let disk = MemDisk::new(2);
+        let info = write_chunk(&disk, 0, &rows()).unwrap().unwrap();
+        assert!(
+            (info.bytes as f64) < 0.5 * info.raw_bytes as f64,
+            "chunk {} B vs raw {} B",
+            info.bytes,
+            info.raw_bytes
+        );
+    }
+
+    #[test]
+    fn duplicate_cells_resolve_last_write_wins() {
+        let disk = MemDisk::new(3);
+        let dup = vec![
+            RowRecord::new("s", "f", 5, ColumnValue::F64(1.0)),
+            RowRecord::new("s", "f", 5, ColumnValue::F64(2.0)),
+        ];
+        let info = write_chunk(&disk, 0, &dup).unwrap().unwrap();
+        assert_eq!(info.rows, 1);
+        assert_eq!(info.rows_deduped, 1);
+        let (_, back) = read_chunk(&disk, &chunk_name(0)).unwrap();
+        assert_eq!(
+            back,
+            vec![RowRecord::new("s", "f", 5, ColumnValue::F64(2.0))]
+        );
+    }
+
+    #[test]
+    fn lww_holds_when_a_cell_changes_type() {
+        let disk = MemDisk::new(7);
+        // An i64 rewritten as f64: block order (f64 sorts first) must not
+        // resurrect the older value.
+        let dup = vec![
+            RowRecord::new("s", "f", 5, ColumnValue::I64(1)),
+            RowRecord::new("s", "f", 5, ColumnValue::F64(2.0)),
+        ];
+        write_chunk(&disk, 0, &dup).unwrap().unwrap();
+        let (_, back) = read_chunk(&disk, &chunk_name(0)).unwrap();
+        assert_eq!(
+            back,
+            vec![RowRecord::new("s", "f", 5, ColumnValue::F64(2.0))]
+        );
+    }
+
+    #[test]
+    fn empty_input_writes_nothing() {
+        let disk = MemDisk::new(4);
+        assert_eq!(write_chunk(&disk, 0, &[]).unwrap(), None);
+        assert!(!disk.exists(&chunk_name(0)).unwrap());
+    }
+
+    #[test]
+    fn corrupt_chunks_are_rejected() {
+        let disk = MemDisk::new(5);
+        write_chunk(&disk, 1, &rows()).unwrap();
+        let name = chunk_name(1);
+        let mut data = disk.read(&name).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x10;
+        let mut f = disk.create(&name).unwrap();
+        f.append(&data).unwrap();
+        f.sync().unwrap();
+        assert!(matches!(
+            read_chunk(&disk, &name),
+            Err(StoreError::Corrupt(_))
+        ));
+        // Truncated file.
+        let mut f = disk.create(&name).unwrap();
+        f.append(&data[..10]).unwrap();
+        f.sync().unwrap();
+        assert!(read_chunk(&disk, &name).is_err());
+    }
+
+    #[test]
+    fn chunk_files_are_byte_identical_across_runs() {
+        let a = MemDisk::new(6);
+        let b = MemDisk::new(99); // different disk seed must not matter
+        write_chunk(&a, 2, &rows()).unwrap();
+        write_chunk(&b, 2, &rows()).unwrap();
+        assert_eq!(
+            a.read(&chunk_name(2)).unwrap(),
+            b.read(&chunk_name(2)).unwrap()
+        );
+    }
+
+    #[test]
+    fn chunk_names_roundtrip() {
+        assert_eq!(chunk_name(7), "chunk-00000007.tsm");
+        assert_eq!(parse_chunk_name("chunk-00000007.tsm"), Some(7));
+        assert_eq!(parse_chunk_name("wal.log"), None);
+        assert_eq!(parse_chunk_name("chunk-x.tsm"), None);
+    }
+}

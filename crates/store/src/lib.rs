@@ -1,0 +1,45 @@
+//! # pmove-store — durable storage engine
+//!
+//! The persistence layer under the P-MoVE stand-in databases: an
+//! append-only write-ahead log with CRC-framed records and group commit,
+//! immutable TSM-style chunks (delta-of-delta timestamps, Gorilla XOR
+//! floats), size-tiered compaction with last-write-wins dedup and
+//! retention-cutoff drops, and crash recovery that tolerates torn tails
+//! and bit flips.
+//!
+//! Every byte goes through the [`vfs::Vfs`] abstraction, with two
+//! implementations: [`vfs::StdFs`] over the real filesystem, and
+//! [`memdisk::MemDisk`], a seeded fault-injecting in-memory disk layered
+//! on the `hwsim` block-device model. The latter is what makes the
+//! crash-recovery property (`tests/crash_recovery.rs`) deterministic:
+//! for any seeded fault schedule, reopening the store recovers exactly a
+//! prefix of the offered writes that covers every acknowledged one.
+//!
+//! Layering, bottom to top:
+//!
+//! - [`crc`] / [`encode`] — checksums, varints, bit-level codecs
+//! - [`vfs`] / [`memdisk`] — where bytes live and how they fail
+//! - [`wal`] — durability of recent writes
+//! - [`chunk`] — compressed immutable storage of old writes
+//! - [`store`] — the engine tying them together ([`store::TsStore`])
+
+pub mod chunk;
+pub mod crc;
+pub mod encode;
+pub mod error;
+pub mod memdisk;
+pub mod row;
+pub mod store;
+pub mod vfs;
+pub mod wal;
+
+pub use chunk::{chunk_name, parse_chunk_name, ChunkInfo};
+pub use error::{StoreError, StoreResult};
+pub use memdisk::{FaultMode, FaultPlan, MemDisk};
+pub use row::{ColumnValue, RowRecord};
+pub use store::{
+    decode_row_batch, encode_row_batch, CompactionReport, RecoveryReport, StoreObs, StoreOptions,
+    TsStore,
+};
+pub use vfs::{StdFs, Vfs, VirtualFile};
+pub use wal::{CommitInfo, Wal, WalReplay};

@@ -1,0 +1,435 @@
+//! Deterministic fault-injecting in-memory disk.
+//!
+//! `MemDisk` models the failure behaviour that matters to a WAL: a crash
+//! can lose everything since the last sync (clean stop), persist only a
+//! prefix of the bytes in flight (torn tail), or corrupt already-durable
+//! bytes (bit flip — the model for latent media errors surfacing across
+//! a restart). Which fault fires, where it lands, and how many bytes
+//! survive are all derived from a caller-supplied seed, so every
+//! crash-recovery property case replays exactly.
+//!
+//! Durability accounting is layered on the `hwsim` block-device model:
+//! every sync charges the configured [`DiskSpec`] with the bytes made
+//! durable, giving the store deterministic modeled commit latencies.
+
+use crate::error::{StoreError, StoreResult};
+use crate::vfs::{Vfs, VirtualFile};
+use parking_lot::Mutex;
+use pmove_hwsim::disk::{DiskSpec, DiskUsage};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Block size charged to the disk model per sync.
+const SYNC_BLOCK_SIZE: usize = 8192;
+
+/// What a scheduled crash does to the bytes in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Drop every unsynced byte; durable data is untouched.
+    CleanStop,
+    /// Persist a seed-chosen prefix of the unsynced bytes of the file
+    /// being synced, drop the rest (a torn tail).
+    TornTail,
+    /// Persist a prefix like [`FaultMode::TornTail`], then flip one
+    /// seed-chosen bit of the target file's durable bytes.
+    BitFlip,
+}
+
+/// A scheduled crash: fire at the Nth write/sync operation.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// 1-based index of the append/sync operation that crashes.
+    pub crash_at_op: u64,
+    /// Damage model applied at the crash point.
+    pub mode: FaultMode,
+}
+
+struct FileBuf {
+    durable: Vec<u8>,
+    volatile: Vec<u8>,
+}
+
+struct Inner {
+    files: BTreeMap<String, FileBuf>,
+    spec: DiskSpec,
+    usage: DiskUsage,
+    plan: Option<FaultPlan>,
+    ops_done: u64,
+    crashed: bool,
+    faults_fired: u32,
+    rng: u64,
+}
+
+impl Inner {
+    fn rng_next(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn check_live(&self) -> StoreResult<()> {
+        if self.crashed {
+            Err(StoreError::DiskCrashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Count one write/sync op; returns true when this op crashes.
+    fn tick(&mut self) -> bool {
+        self.ops_done += 1;
+        matches!(self.plan, Some(p) if p.crash_at_op == self.ops_done)
+    }
+
+    /// Apply the scheduled fault during an operation on `target`.
+    fn crash(&mut self, target: &str) {
+        let mode = self.plan.expect("crash without plan").mode;
+        self.crashed = true;
+        self.faults_fired += 1;
+        if matches!(mode, FaultMode::TornTail | FaultMode::BitFlip) {
+            let r = self.rng_next();
+            if let Some(f) = self.files.get_mut(target) {
+                // r ∈ [0, len]: anything from nothing to all in-flight
+                // bytes may have reached the platter.
+                let keep = if f.volatile.is_empty() {
+                    0
+                } else {
+                    (r % (f.volatile.len() as u64 + 1)) as usize
+                };
+                let torn: Vec<u8> = f.volatile[..keep].to_vec();
+                f.durable.extend_from_slice(&torn);
+            }
+        }
+        if mode == FaultMode::BitFlip {
+            let (offset, bit) = {
+                let len = self.files.get(target).map(|f| f.durable.len()).unwrap_or(0);
+                if len == 0 {
+                    (None, 0)
+                } else {
+                    let off = (self.rng_next() % len as u64) as usize;
+                    let bit = (self.rng_next() % 8) as u8;
+                    (Some(off), bit)
+                }
+            };
+            if let (Some(off), Some(f)) = (offset, self.files.get_mut(target)) {
+                f.durable[off] ^= 1 << bit;
+            }
+        }
+        for f in self.files.values_mut() {
+            f.volatile.clear();
+        }
+    }
+}
+
+/// The shared fault-injecting disk; clones are handles to the same disk.
+#[derive(Clone)]
+pub struct MemDisk {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl MemDisk {
+    /// Fresh disk with a deterministic fault/placement RNG seeded from
+    /// `seed`, modeled as the paper's SATA target.
+    pub fn new(seed: u64) -> MemDisk {
+        MemDisk::with_spec(seed, DiskSpec::sata("memdisk"))
+    }
+
+    /// [`MemDisk::new`] with an explicit block-device model.
+    pub fn with_spec(seed: u64, spec: DiskSpec) -> MemDisk {
+        MemDisk {
+            inner: Arc::new(Mutex::new(Inner {
+                files: BTreeMap::new(),
+                spec,
+                usage: DiskUsage::default(),
+                plan: None,
+                ops_done: 0,
+                crashed: false,
+                faults_fired: 0,
+                rng: seed ^ 0xA076_1D64_78BD_642F,
+            })),
+        }
+    }
+
+    /// Schedule a crash; replaces any previous plan.
+    pub fn schedule_fault(&self, plan: FaultPlan) {
+        self.inner.lock().plan = Some(plan);
+    }
+
+    /// Simulate power-on after a crash: unsynced bytes are gone, the
+    /// pending fault plan is cleared, and operations succeed again.
+    pub fn restart(&self) {
+        let mut inner = self.inner.lock();
+        for f in inner.files.values_mut() {
+            f.volatile.clear();
+        }
+        inner.crashed = false;
+        inner.plan = None;
+    }
+
+    /// Has a scheduled fault fired?
+    pub fn crashed(&self) -> bool {
+        self.inner.lock().crashed
+    }
+
+    /// Number of faults that have fired over the disk's lifetime.
+    pub fn faults_fired(&self) -> u32 {
+        self.inner.lock().faults_fired
+    }
+
+    /// Write/sync operations performed so far (the fault-op index space).
+    pub fn ops_done(&self) -> u64 {
+        self.inner.lock().ops_done
+    }
+
+    /// Cumulative modeled disk accounting.
+    pub fn usage(&self) -> DiskUsage {
+        self.inner.lock().usage
+    }
+
+    /// Total durable bytes across all files.
+    pub fn durable_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.files.values().map(|f| f.durable.len() as u64).sum()
+    }
+}
+
+struct MemFile {
+    inner: Arc<Mutex<Inner>>,
+    name: String,
+}
+
+impl VirtualFile for MemFile {
+    fn append(&mut self, data: &[u8]) -> StoreResult<()> {
+        let mut inner = self.inner.lock();
+        inner.check_live()?;
+        if inner.tick() {
+            inner.crash(&self.name);
+            return Err(StoreError::DiskCrashed);
+        }
+        inner
+            .files
+            .get_mut(&self.name)
+            .ok_or_else(|| StoreError::Io(format!("file removed under writer: {}", self.name)))?
+            .volatile
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> StoreResult<()> {
+        let mut inner = self.inner.lock();
+        inner.check_live()?;
+        if inner.tick() {
+            inner.crash(&self.name);
+            return Err(StoreError::DiskCrashed);
+        }
+        let pending = {
+            let f = inner.files.get_mut(&self.name).ok_or_else(|| {
+                StoreError::Io(format!("file removed under writer: {}", self.name))
+            })?;
+            let pending = std::mem::take(&mut f.volatile);
+            f.durable.extend_from_slice(&pending);
+            pending.len() as u64
+        };
+        if pending > 0 {
+            let spec = inner.spec.clone();
+            inner.usage.record_write(&spec, pending, SYNC_BLOCK_SIZE);
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> StoreResult<u64> {
+        let inner = self.inner.lock();
+        inner.check_live()?;
+        let f = inner
+            .files
+            .get(&self.name)
+            .ok_or_else(|| StoreError::Io(format!("no such file: {}", self.name)))?;
+        Ok((f.durable.len() + f.volatile.len()) as u64)
+    }
+}
+
+impl Vfs for MemDisk {
+    fn open_append(&self, name: &str) -> StoreResult<Box<dyn VirtualFile>> {
+        let mut inner = self.inner.lock();
+        inner.check_live()?;
+        inner.files.entry(name.to_string()).or_insert(FileBuf {
+            durable: Vec::new(),
+            volatile: Vec::new(),
+        });
+        Ok(Box::new(MemFile {
+            inner: self.inner.clone(),
+            name: name.to_string(),
+        }))
+    }
+
+    fn create(&self, name: &str) -> StoreResult<Box<dyn VirtualFile>> {
+        let mut inner = self.inner.lock();
+        inner.check_live()?;
+        // Truncation mutates the platter, so it participates in the
+        // fault-op index space; a crash here leaves the old content.
+        if inner.tick() {
+            inner.crash(name);
+            return Err(StoreError::DiskCrashed);
+        }
+        inner.files.insert(
+            name.to_string(),
+            FileBuf {
+                durable: Vec::new(),
+                volatile: Vec::new(),
+            },
+        );
+        Ok(Box::new(MemFile {
+            inner: self.inner.clone(),
+            name: name.to_string(),
+        }))
+    }
+
+    fn read(&self, name: &str) -> StoreResult<Vec<u8>> {
+        let inner = self.inner.lock();
+        inner.check_live()?;
+        let f = inner
+            .files
+            .get(name)
+            .ok_or_else(|| StoreError::Io(format!("no such file: {name}")))?;
+        let mut out = f.durable.clone();
+        out.extend_from_slice(&f.volatile);
+        Ok(out)
+    }
+
+    fn list(&self) -> StoreResult<Vec<String>> {
+        let inner = self.inner.lock();
+        inner.check_live()?;
+        Ok(inner.files.keys().cloned().collect())
+    }
+
+    fn remove(&self, name: &str) -> StoreResult<()> {
+        let mut inner = self.inner.lock();
+        inner.check_live()?;
+        inner.files.remove(name);
+        Ok(())
+    }
+
+    fn exists(&self, name: &str) -> StoreResult<bool> {
+        let inner = self.inner.lock();
+        inner.check_live()?;
+        Ok(inner.files.contains_key(name))
+    }
+
+    fn disk_spec(&self) -> DiskSpec {
+        self.inner.lock().spec.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_sync_read_roundtrip() {
+        let disk = MemDisk::new(1);
+        let mut f = disk.create("wal").unwrap();
+        f.append(b"abc").unwrap();
+        f.sync().unwrap();
+        f.append(b"def").unwrap();
+        // Unsynced bytes are visible to live reads...
+        assert_eq!(disk.read("wal").unwrap(), b"abcdef");
+        // ...but only synced bytes are durable.
+        assert_eq!(disk.durable_bytes(), 3);
+        assert!(disk.usage().bytes_written == 3);
+    }
+
+    #[test]
+    fn clean_stop_loses_unsynced_only() {
+        let disk = MemDisk::new(2);
+        let mut f = disk.create("wal").unwrap();
+        f.append(b"durable").unwrap();
+        f.sync().unwrap();
+        disk.schedule_fault(FaultPlan {
+            crash_at_op: disk.ops_done() + 2, // the sync below
+            mode: FaultMode::CleanStop,
+        });
+        f.append(b" lost").unwrap();
+        assert_eq!(f.sync().unwrap_err(), StoreError::DiskCrashed);
+        assert!(disk.crashed());
+        // Everything errors until restart.
+        assert!(disk.read("wal").is_err());
+        disk.restart();
+        assert_eq!(disk.read("wal").unwrap(), b"durable");
+    }
+
+    #[test]
+    fn torn_tail_persists_a_prefix() {
+        let disk = MemDisk::new(3);
+        let mut f = disk.create("wal").unwrap();
+        f.append(b"base").unwrap();
+        f.sync().unwrap();
+        disk.schedule_fault(FaultPlan {
+            crash_at_op: disk.ops_done() + 2,
+            mode: FaultMode::TornTail,
+        });
+        f.append(b"0123456789").unwrap();
+        assert!(f.sync().is_err());
+        disk.restart();
+        let got = disk.read("wal").unwrap();
+        assert!(got.starts_with(b"base"));
+        assert!(got.len() <= 14);
+        assert_eq!(&got[4..], &b"0123456789"[..got.len() - 4]);
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_bit() {
+        let disk = MemDisk::new(4);
+        let mut f = disk.create("wal").unwrap();
+        let clean = vec![0u8; 64];
+        f.append(&clean).unwrap();
+        f.sync().unwrap();
+        disk.schedule_fault(FaultPlan {
+            crash_at_op: disk.ops_done() + 1,
+            mode: FaultMode::BitFlip,
+        });
+        assert!(f.append(b"").is_err());
+        disk.restart();
+        let got = disk.read("wal").unwrap();
+        let flipped: u32 = got
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let run = |seed: u64| {
+            let disk = MemDisk::new(seed);
+            let mut f = disk.create("wal").unwrap();
+            f.append(b"base").unwrap();
+            f.sync().unwrap();
+            disk.schedule_fault(FaultPlan {
+                crash_at_op: disk.ops_done() + 2,
+                mode: FaultMode::TornTail,
+            });
+            f.append(b"abcdefghijklmnop").unwrap();
+            let _ = f.sync();
+            disk.restart();
+            disk.read("wal").unwrap()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn create_truncates_and_list_is_sorted() {
+        let disk = MemDisk::new(5);
+        let mut f = disk.create("b").unwrap();
+        f.append(b"x").unwrap();
+        f.sync().unwrap();
+        disk.create("b").unwrap();
+        assert_eq!(disk.read("b").unwrap(), b"");
+        disk.create("a").unwrap();
+        assert_eq!(disk.list().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        disk.remove("a").unwrap();
+        assert!(!disk.exists("a").unwrap());
+    }
+}

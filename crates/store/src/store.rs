@@ -1,0 +1,771 @@
+//! The storage engine: WAL + memtable + immutable chunks + compaction.
+//!
+//! Write path: [`TsStore::append`] stages rows and frames them into the
+//! WAL buffer; [`TsStore::commit`] group-commits the buffer (one append,
+//! one sync) and only then moves the staged rows into the memtable — a
+//! row is *acknowledged* exactly when its commit returns `Ok`. When the
+//! memtable crosses `flush_threshold_rows` it is frozen into a compressed
+//! chunk ([`crate::chunk`]) and the WAL is truncated. Size-tiered
+//! compaction merges chunk sets last-write-wins and drops rows older than
+//! the retention cutoff, which is how `RetentionPolicy` finally reaches
+//! disk.
+//!
+//! Crash recovery ([`TsStore::open`]) replays newest chunks first, then
+//! overlays the WAL rows. The ordering of flush (chunk synced *before*
+//! WAL reset) means a crash between the two leaves rows in both places;
+//! the last-write-wins merge in [`TsStore::scan`] makes that harmless.
+//!
+//! All modeled latencies come from the [`Vfs`]'s [`DiskSpec`] — never the
+//! wall clock — so the `pmove.self.wal.*` / `pmove.self.compaction.*`
+//! telemetry is bit-reproducible across runs and hosts.
+
+use crate::chunk::{chunk_name, parse_chunk_name, read_chunk, write_chunk, ChunkInfo};
+use crate::encode::{get_ivarint, get_uvarint, put_ivarint, put_uvarint};
+use crate::error::{StoreError, StoreResult};
+use crate::row::{ColumnValue, RowRecord};
+use crate::vfs::Vfs;
+use crate::wal::{CommitInfo, Wal};
+use pmove_hwsim::disk::DiskSpec;
+use pmove_obs::{latency_buckets, Counter, Histogram, Registry};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// WAL file name inside the store's [`Vfs`] namespace.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Block size assumed for modeled I/O latency (the group-commit write).
+const IO_BLOCK_SIZE: usize = 8192;
+
+/// Tuning knobs for the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Memtable rows that trigger an automatic flush on commit.
+    pub flush_threshold_rows: usize,
+    /// Chunk-file count that triggers an automatic compaction on flush.
+    pub compact_min_chunks: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            flush_threshold_rows: 4096,
+            compact_min_chunks: 4,
+        }
+    }
+}
+
+/// What [`TsStore::open`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Valid chunk files loaded.
+    pub chunks_loaded: usize,
+    /// Chunk files skipped for structural corruption.
+    pub chunks_skipped: usize,
+    /// Rows replayed from the WAL into the memtable.
+    pub wal_rows: u64,
+    /// WAL tail bytes discarded as torn/corrupt.
+    pub wal_bytes_dropped: u64,
+    /// Modeled time to re-read the persisted state, in nanoseconds.
+    pub modeled_ns: u64,
+}
+
+/// Outcome of one compaction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Chunk files merged.
+    pub chunks_in: usize,
+    /// Rows read from those chunks.
+    pub rows_in: u64,
+    /// Rows surviving into the output chunk.
+    pub rows_out: u64,
+    /// Rows dropped because a newer chunk rewrote the same cell.
+    pub rows_dropped_lww: u64,
+    /// Rows dropped by the retention cutoff.
+    pub rows_dropped_retention: u64,
+    /// Total bytes of the input chunks.
+    pub bytes_before: u64,
+    /// Bytes of the output chunk (0 when everything was dropped).
+    pub bytes_after: u64,
+    /// Modeled wall time of the run, in nanoseconds.
+    pub modeled_ns: u64,
+}
+
+/// Metric handles for the engine, exported under `pmove.self.wal.*` and
+/// `pmove.self.compaction.*` by the tsdb self-telemetry exporter.
+pub struct StoreObs {
+    wal_records_appended: Arc<Counter>,
+    wal_commits: Arc<Counter>,
+    wal_bytes_committed: Arc<Counter>,
+    wal_records_replayed: Arc<Counter>,
+    wal_resets: Arc<Counter>,
+    wal_commit_ns: Arc<Histogram>,
+    compaction_snapshots: Arc<Counter>,
+    compaction_runs: Arc<Counter>,
+    compaction_rows_in: Arc<Counter>,
+    compaction_rows_out: Arc<Counter>,
+    compaction_rows_dropped_lww: Arc<Counter>,
+    compaction_rows_dropped_retention: Arc<Counter>,
+    compaction_bytes_before: Arc<Counter>,
+    compaction_bytes_after: Arc<Counter>,
+    compaction_flush_ns: Arc<Histogram>,
+    compaction_compact_ns: Arc<Histogram>,
+}
+
+impl StoreObs {
+    /// Create the handle set against `registry` for database `db`.
+    pub fn new(registry: &Registry, db: &str) -> StoreObs {
+        let l: &[(&str, &str)] = &[("db", db)];
+        StoreObs {
+            wal_records_appended: registry.counter("wal.records_appended", l),
+            wal_commits: registry.counter("wal.commits", l),
+            wal_bytes_committed: registry.counter("wal.bytes_committed", l),
+            wal_records_replayed: registry.counter("wal.records_replayed", l),
+            wal_resets: registry.counter("wal.resets", l),
+            wal_commit_ns: registry.histogram("wal.commit_ns", l, latency_buckets()),
+            compaction_snapshots: registry.counter("compaction.snapshots", l),
+            compaction_runs: registry.counter("compaction.runs", l),
+            compaction_rows_in: registry.counter("compaction.rows_in", l),
+            compaction_rows_out: registry.counter("compaction.rows_out", l),
+            compaction_rows_dropped_lww: registry.counter("compaction.rows_dropped_lww", l),
+            compaction_rows_dropped_retention: registry
+                .counter("compaction.rows_dropped_retention", l),
+            compaction_bytes_before: registry.counter("compaction.bytes_before", l),
+            compaction_bytes_after: registry.counter("compaction.bytes_after", l),
+            compaction_flush_ns: registry.histogram("compaction.flush_ns", l, latency_buckets()),
+            compaction_compact_ns: registry.histogram(
+                "compaction.compact_ns",
+                l,
+                latency_buckets(),
+            ),
+        }
+    }
+}
+
+// --------------------------------------------------------- WAL payloads
+
+/// Encode a row batch into one WAL record payload.
+pub fn encode_row_batch(rows: &[RowRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, rows.len() as u64);
+    for r in rows {
+        put_uvarint(&mut out, r.series.len() as u64);
+        out.extend_from_slice(r.series.as_bytes());
+        put_uvarint(&mut out, r.field.len() as u64);
+        out.extend_from_slice(r.field.as_bytes());
+        put_ivarint(&mut out, r.ts);
+        out.push(r.value.type_tag());
+        match &r.value {
+            ColumnValue::F64(v) => out.extend_from_slice(&v.to_bits().to_le_bytes()),
+            ColumnValue::I64(v) => put_ivarint(&mut out, *v),
+            ColumnValue::Bool(v) => out.push(*v as u8),
+            ColumnValue::Str(s) => {
+                put_uvarint(&mut out, s.len() as u64);
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Decode a WAL record payload back into rows.
+pub fn decode_row_batch(data: &[u8]) -> StoreResult<Vec<RowRecord>> {
+    let mut pos = 0usize;
+    let read_str = |pos: &mut usize| -> StoreResult<String> {
+        let len = get_uvarint(data, pos)? as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| StoreError::Decode("wal string ran off the end".into()))?;
+        let s = std::str::from_utf8(&data[*pos..end])
+            .map_err(|_| StoreError::Decode("wal string not UTF-8".into()))?
+            .to_string();
+        *pos = end;
+        Ok(s)
+    };
+    let count = get_uvarint(data, &mut pos)? as usize;
+    let mut rows = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let series = read_str(&mut pos)?;
+        let field = read_str(&mut pos)?;
+        let ts = get_ivarint(data, &mut pos)?;
+        let tag = *data
+            .get(pos)
+            .ok_or_else(|| StoreError::Decode("wal row missing type tag".into()))?;
+        pos += 1;
+        let value = match tag {
+            0 => {
+                let end = pos + 8;
+                if end > data.len() {
+                    return Err(StoreError::Decode("wal f64 truncated".into()));
+                }
+                let bits = u64::from_le_bytes(data[pos..end].try_into().unwrap());
+                pos = end;
+                ColumnValue::F64(f64::from_bits(bits))
+            }
+            1 => ColumnValue::I64(get_ivarint(data, &mut pos)?),
+            2 => {
+                let b = *data
+                    .get(pos)
+                    .ok_or_else(|| StoreError::Decode("wal bool truncated".into()))?;
+                pos += 1;
+                ColumnValue::Bool(b != 0)
+            }
+            3 => ColumnValue::Str(read_str(&mut pos)?),
+            t => return Err(StoreError::Decode(format!("wal row bad type tag {t}"))),
+        };
+        rows.push(RowRecord {
+            series,
+            field,
+            ts,
+            value,
+        });
+    }
+    Ok(rows)
+}
+
+// ----------------------------------------------------------------- store
+
+/// The durable time-series store.
+pub struct TsStore {
+    vfs: Arc<dyn Vfs>,
+    opts: StoreOptions,
+    spec: DiskSpec,
+    wal: Wal,
+    /// Rows framed into the WAL buffer but not yet acknowledged.
+    staged: Vec<RowRecord>,
+    /// Acknowledged rows awaiting a flush.
+    memtable: Vec<RowRecord>,
+    /// Sequence numbers of live (valid) chunk files, ascending.
+    chunk_seqs: Vec<u64>,
+    next_seq: u64,
+    obs: Option<StoreObs>,
+}
+
+impl TsStore {
+    /// Open the store in `vfs`, recovering persisted state: valid chunks
+    /// are indexed, corrupt ones skipped, and surviving WAL records are
+    /// replayed into the memtable.
+    pub fn open(vfs: Arc<dyn Vfs>, opts: StoreOptions) -> StoreResult<(TsStore, RecoveryReport)> {
+        Self::open_with_obs(vfs, opts, None)
+    }
+
+    /// [`TsStore::open`] with metric handles attached.
+    pub fn open_with_obs(
+        vfs: Arc<dyn Vfs>,
+        opts: StoreOptions,
+        obs: Option<StoreObs>,
+    ) -> StoreResult<(TsStore, RecoveryReport)> {
+        let spec = vfs.disk_spec();
+        let mut report = RecoveryReport::default();
+        let mut chunk_seqs = Vec::new();
+        let mut next_seq = 0u64;
+        let mut bytes_read = 0u64;
+        for name in vfs.list()? {
+            let Some(seq) = parse_chunk_name(&name) else {
+                continue;
+            };
+            // Even a corrupt chunk reserves its sequence number, so a new
+            // chunk never collides with a damaged file.
+            next_seq = next_seq.max(seq + 1);
+            match read_chunk(vfs.as_ref(), &name) {
+                Ok(_) => {
+                    bytes_read += vfs.read(&name)?.len() as u64;
+                    chunk_seqs.push(seq);
+                    report.chunks_loaded += 1;
+                }
+                Err(StoreError::DiskCrashed) => return Err(StoreError::DiskCrashed),
+                Err(_) => report.chunks_skipped += 1,
+            }
+        }
+        chunk_seqs.sort_unstable();
+        let (wal, payloads, replay) = Wal::open(vfs.clone(), WAL_FILE)?;
+        let mut memtable = Vec::new();
+        for payload in &payloads {
+            bytes_read += payload.len() as u64 + 8;
+            // A payload that deframes but does not decode is treated like
+            // a CRC failure: it and everything after it are discarded
+            // (decode errors past the CRC can only come from a bit flip).
+            match decode_row_batch(payload) {
+                Ok(rows) => memtable.extend(rows),
+                Err(_) => break,
+            }
+        }
+        report.wal_rows = memtable.len() as u64;
+        report.wal_bytes_dropped = replay.bytes_dropped;
+        report.modeled_ns = (spec.write_time(bytes_read, IO_BLOCK_SIZE) * 1e9) as u64;
+        if let Some(obs) = &obs {
+            obs.wal_records_replayed.add(replay.records);
+        }
+        Ok((
+            TsStore {
+                vfs,
+                opts,
+                spec,
+                wal,
+                staged: Vec::new(),
+                memtable,
+                chunk_seqs,
+                next_seq,
+                obs,
+            },
+            report,
+        ))
+    }
+
+    /// Stage `rows` and frame them as one WAL record. Not durable — and
+    /// not visible to [`TsStore::scan`] — until [`TsStore::commit`].
+    pub fn append(&mut self, rows: &[RowRecord]) {
+        if rows.is_empty() {
+            return;
+        }
+        self.wal.append(&encode_row_batch(rows));
+        self.staged.extend_from_slice(rows);
+        if let Some(obs) = &self.obs {
+            obs.wal_records_appended.add(rows.len() as u64);
+        }
+    }
+
+    /// Group-commit every staged record; on success the rows are
+    /// acknowledged and enter the memtable (flushing if over threshold).
+    pub fn commit(&mut self) -> StoreResult<CommitInfo> {
+        let info = self.wal.commit()?;
+        self.memtable.append(&mut self.staged);
+        if let Some(obs) = &self.obs {
+            if info.records > 0 {
+                obs.wal_commits.inc();
+                obs.wal_bytes_committed.add(info.bytes);
+                obs.wal_commit_ns
+                    .record((self.spec.write_time(info.bytes, IO_BLOCK_SIZE) * 1e9) as u64);
+            }
+        }
+        if self.memtable.len() >= self.opts.flush_threshold_rows {
+            self.flush()?;
+        }
+        Ok(info)
+    }
+
+    /// Freeze the memtable into a new immutable chunk and truncate the
+    /// WAL. The chunk is written and synced *before* the reset, so a
+    /// crash in between duplicates rows instead of losing them.
+    pub fn flush(&mut self) -> StoreResult<Option<ChunkInfo>> {
+        if self.memtable.is_empty() {
+            return Ok(None);
+        }
+        let seq = self.next_seq;
+        let info = write_chunk(self.vfs.as_ref(), seq, &self.memtable)?
+            .expect("non-empty memtable produces a chunk");
+        self.wal.reset()?;
+        self.memtable.clear();
+        self.chunk_seqs.push(seq);
+        self.next_seq += 1;
+        if let Some(obs) = &self.obs {
+            obs.compaction_snapshots.inc();
+            obs.wal_resets.inc();
+            obs.compaction_flush_ns
+                .record((self.spec.write_time(info.bytes, IO_BLOCK_SIZE) * 1e9) as u64);
+        }
+        if self.chunk_seqs.len() >= self.opts.compact_min_chunks {
+            self.compact(None)?;
+        }
+        Ok(Some(info))
+    }
+
+    /// Merge every live chunk into one, newest write winning duplicate
+    /// cells, dropping rows with `ts < retention_cutoff` when a cutoff is
+    /// given. No-op (`None`) when fewer than two chunks exist and no
+    /// cutoff was requested.
+    pub fn compact(
+        &mut self,
+        retention_cutoff: Option<i64>,
+    ) -> StoreResult<Option<CompactionReport>> {
+        if self.chunk_seqs.is_empty() || (self.chunk_seqs.len() < 2 && retention_cutoff.is_none()) {
+            return Ok(None);
+        }
+        let chunks_in = self.chunk_seqs.len();
+        let mut merged: BTreeMap<(String, String, i64), ColumnValue> = BTreeMap::new();
+        let mut rows_in = 0u64;
+        let mut bytes_before = 0u64;
+        let mut dropped_retention = 0u64;
+        for &seq in &self.chunk_seqs {
+            let name = chunk_name(seq);
+            bytes_before += self.vfs.read(&name)?.len() as u64;
+            let (_, rows) = read_chunk(self.vfs.as_ref(), &name)?;
+            rows_in += rows.len() as u64;
+            for r in rows {
+                if matches!(retention_cutoff, Some(cut) if r.ts < cut) {
+                    dropped_retention += 1;
+                    // A newer chunk may have rewritten this cell inside
+                    // the window; the overwrite below still applies.
+                    merged.remove(&(r.series.clone(), r.field.clone(), r.ts));
+                    continue;
+                }
+                merged.insert((r.series, r.field, r.ts), r.value);
+            }
+        }
+        let rows_out = merged.len() as u64;
+        let dropped_lww = rows_in - rows_out - dropped_retention;
+        let out_rows: Vec<RowRecord> = merged
+            .into_iter()
+            .map(|((series, field, ts), value)| RowRecord {
+                series,
+                field,
+                ts,
+                value,
+            })
+            .collect();
+        let seq = self.next_seq;
+        let written = write_chunk(self.vfs.as_ref(), seq, &out_rows)?;
+        // Only after the merged chunk is durable do the inputs go away.
+        for &old in &self.chunk_seqs {
+            self.vfs.remove(&chunk_name(old))?;
+        }
+        self.chunk_seqs.clear();
+        let bytes_after = match &written {
+            Some(info) => {
+                self.chunk_seqs.push(seq);
+                self.next_seq += 1;
+                info.bytes
+            }
+            None => 0,
+        };
+        let report = CompactionReport {
+            chunks_in,
+            rows_in,
+            rows_out,
+            rows_dropped_lww: dropped_lww,
+            rows_dropped_retention: dropped_retention,
+            bytes_before,
+            bytes_after,
+            modeled_ns: (self
+                .spec
+                .write_time(bytes_before + bytes_after, IO_BLOCK_SIZE)
+                * 1e9) as u64,
+        };
+        if let Some(obs) = &self.obs {
+            obs.compaction_runs.inc();
+            obs.compaction_rows_in.add(report.rows_in);
+            obs.compaction_rows_out.add(report.rows_out);
+            obs.compaction_rows_dropped_lww.add(report.rows_dropped_lww);
+            obs.compaction_rows_dropped_retention
+                .add(report.rows_dropped_retention);
+            obs.compaction_bytes_before.add(report.bytes_before);
+            obs.compaction_bytes_after.add(report.bytes_after);
+            obs.compaction_compact_ns.record(report.modeled_ns);
+        }
+        Ok(Some(report))
+    }
+
+    /// Drop every durable row older than `cutoff` (used by retention
+    /// enforcement); compacts regardless of chunk count.
+    pub fn enforce_retention(&mut self, cutoff: i64) -> StoreResult<Option<CompactionReport>> {
+        self.memtable.retain(|r| r.ts >= cutoff);
+        self.compact(Some(cutoff))
+    }
+
+    /// Merged, deduplicated view of every *acknowledged* row: chunks in
+    /// sequence order, memtable on top, last write winning each
+    /// (series, field, timestamp) cell. Staged-but-uncommitted rows are
+    /// invisible, matching the acknowledgement contract.
+    pub fn scan(&self) -> StoreResult<Vec<RowRecord>> {
+        let mut merged: BTreeMap<(String, String, i64), ColumnValue> = BTreeMap::new();
+        for &seq in &self.chunk_seqs {
+            let (_, rows) = read_chunk(self.vfs.as_ref(), &chunk_name(seq))?;
+            for r in rows {
+                merged.insert((r.series, r.field, r.ts), r.value);
+            }
+        }
+        for r in &self.memtable {
+            merged.insert((r.series.clone(), r.field.clone(), r.ts), r.value.clone());
+        }
+        Ok(merged
+            .into_iter()
+            .map(|((series, field, ts), value)| RowRecord {
+                series,
+                field,
+                ts,
+                value,
+            })
+            .collect())
+    }
+
+    /// Acknowledged rows not yet flushed to a chunk.
+    pub fn memtable_rows(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Rows staged for the next commit.
+    pub fn staged_rows(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Live chunk files.
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_seqs.len()
+    }
+
+    /// Sequence numbers of the live chunks, ascending.
+    pub fn chunk_seqs(&self) -> &[u64] {
+        &self.chunk_seqs
+    }
+
+    /// Bytes currently occupied by the WAL file.
+    pub fn wal_size(&self) -> StoreResult<u64> {
+        self.wal.size()
+    }
+
+    /// The underlying virtual filesystem.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
+    }
+}
+
+impl std::fmt::Debug for TsStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TsStore")
+            .field("chunks", &self.chunk_seqs)
+            .field("memtable_rows", &self.memtable.len())
+            .field("staged_rows", &self.staged.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memdisk::{FaultMode, FaultPlan, MemDisk};
+
+    fn row(series: &str, field: &str, ts: i64, v: f64) -> RowRecord {
+        RowRecord::new(series, field, ts, ColumnValue::F64(v))
+    }
+
+    fn small_opts() -> StoreOptions {
+        StoreOptions {
+            flush_threshold_rows: 8,
+            compact_min_chunks: 100, // keep compaction manual in tests
+        }
+    }
+
+    #[test]
+    fn row_batch_roundtrip() {
+        let rows = vec![
+            row("cpu,host=a", "_cpu0", 10, 1.5),
+            RowRecord::new("m", "i", 11, ColumnValue::I64(-4)),
+            RowRecord::new("m", "b", 12, ColumnValue::Bool(true)),
+            RowRecord::new("m", "s", 13, ColumnValue::Str("x=y".into())),
+        ];
+        let enc = encode_row_batch(&rows);
+        assert_eq!(decode_row_batch(&enc).unwrap(), rows);
+        assert!(decode_row_batch(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn append_commit_scan_reopen() {
+        let vfs: Arc<dyn Vfs> = Arc::new(MemDisk::new(100));
+        let (mut store, report) = TsStore::open(vfs.clone(), small_opts()).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        store.append(&[row("s", "f", 1, 1.0), row("s", "f", 2, 2.0)]);
+        // Staged rows are invisible until commit.
+        assert!(store.scan().unwrap().is_empty());
+        store.commit().unwrap();
+        assert_eq!(store.scan().unwrap().len(), 2);
+        drop(store);
+        let (store, report) = TsStore::open(vfs, small_opts()).unwrap();
+        assert_eq!(report.wal_rows, 2);
+        assert_eq!(
+            store.scan().unwrap(),
+            vec![row("s", "f", 1, 1.0), row("s", "f", 2, 2.0)]
+        );
+    }
+
+    #[test]
+    fn threshold_flush_truncates_wal_and_keeps_rows() {
+        let vfs: Arc<dyn Vfs> = Arc::new(MemDisk::new(101));
+        let (mut store, _) = TsStore::open(vfs.clone(), small_opts()).unwrap();
+        let rows: Vec<RowRecord> = (0..10).map(|i| row("s", "f", i, i as f64)).collect();
+        store.append(&rows);
+        store.commit().unwrap();
+        assert_eq!(store.chunk_count(), 1);
+        assert_eq!(store.memtable_rows(), 0);
+        assert_eq!(store.wal_size().unwrap(), 0);
+        assert_eq!(store.scan().unwrap().len(), 10);
+        // Reopen sees only the chunk.
+        drop(store);
+        let (store, report) = TsStore::open(vfs, small_opts()).unwrap();
+        assert_eq!(report.chunks_loaded, 1);
+        assert_eq!(report.wal_rows, 0);
+        assert_eq!(store.scan().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn compaction_merges_lww_and_enforces_retention() {
+        let vfs: Arc<dyn Vfs> = Arc::new(MemDisk::new(102));
+        let (mut store, _) = TsStore::open(vfs.clone(), small_opts()).unwrap();
+        store.append(&[row("s", "f", 1, 1.0), row("s", "f", 5, 5.0)]);
+        store.commit().unwrap();
+        store.flush().unwrap();
+        store.append(&[row("s", "f", 5, 50.0), row("s", "f", 9, 9.0)]);
+        store.commit().unwrap();
+        store.flush().unwrap();
+        assert_eq!(store.chunk_count(), 2);
+        let report = store.compact(Some(2)).unwrap().unwrap();
+        assert_eq!(report.rows_in, 4);
+        assert_eq!(report.rows_dropped_retention, 1); // ts=1
+        assert_eq!(report.rows_dropped_lww, 1); // older ts=5
+        assert_eq!(report.rows_out, 2);
+        assert_eq!(store.chunk_count(), 1);
+        assert_eq!(
+            store.scan().unwrap(),
+            vec![row("s", "f", 5, 50.0), row("s", "f", 9, 9.0)]
+        );
+        // Old chunk files are gone from disk.
+        let names = vfs.list().unwrap();
+        assert_eq!(names.iter().filter(|n| n.starts_with("chunk-")).count(), 1);
+    }
+
+    #[test]
+    fn retention_prunes_memtable_and_disk() {
+        let vfs: Arc<dyn Vfs> = Arc::new(MemDisk::new(103));
+        let (mut store, _) = TsStore::open(vfs, small_opts()).unwrap();
+        store.append(&[row("s", "old", 1, 1.0), row("s", "new", 100, 2.0)]);
+        store.commit().unwrap();
+        store.flush().unwrap();
+        store.append(&[row("s", "mem_old", 2, 3.0), row("s", "mem_new", 200, 4.0)]);
+        store.commit().unwrap();
+        store.enforce_retention(50).unwrap();
+        let left = store.scan().unwrap();
+        let fields: Vec<&str> = left.iter().map(|r| r.field.as_str()).collect();
+        assert_eq!(fields, vec!["mem_new", "new"]);
+    }
+
+    #[test]
+    fn compact_drop_everything_leaves_no_chunks() {
+        let vfs: Arc<dyn Vfs> = Arc::new(MemDisk::new(104));
+        let (mut store, _) = TsStore::open(vfs, small_opts()).unwrap();
+        store.append(&[row("s", "f", 1, 1.0)]);
+        store.commit().unwrap();
+        store.flush().unwrap();
+        let report = store.enforce_retention(10).unwrap().unwrap();
+        assert_eq!(report.rows_out, 0);
+        assert_eq!(report.bytes_after, 0);
+        assert_eq!(store.chunk_count(), 0);
+        assert!(store.scan().unwrap().is_empty());
+    }
+
+    #[test]
+    fn failed_commit_keeps_rows_staged_and_unacked() {
+        let disk = MemDisk::new(105);
+        let vfs: Arc<dyn Vfs> = Arc::new(disk.clone());
+        let (mut store, _) = TsStore::open(vfs, small_opts()).unwrap();
+        store.append(&[row("s", "f", 1, 1.0)]);
+        disk.schedule_fault(FaultPlan {
+            crash_at_op: disk.ops_done() + 1,
+            mode: FaultMode::CleanStop,
+        });
+        assert!(store.commit().is_err());
+        assert_eq!(store.staged_rows(), 1);
+        assert!(store.scan().is_err() || store.scan().unwrap().is_empty());
+    }
+
+    #[test]
+    fn flush_crash_between_chunk_and_reset_duplicates_safely() {
+        let disk = MemDisk::new(106);
+        let vfs: Arc<dyn Vfs> = Arc::new(disk.clone());
+        let (mut store, _) = TsStore::open(vfs.clone(), small_opts()).unwrap();
+        store.append(&[row("s", "f", 1, 1.0), row("s", "f", 2, 2.0)]);
+        store.commit().unwrap();
+        // Chunk write is create+append+sync (3 ops); crash on the WAL
+        // reset right after, leaving rows in both chunk and WAL.
+        disk.schedule_fault(FaultPlan {
+            crash_at_op: disk.ops_done() + 4,
+            mode: FaultMode::CleanStop,
+        });
+        assert!(store.flush().is_err());
+        assert!(disk.crashed());
+        disk.restart();
+        let (store, report) = TsStore::open(vfs, small_opts()).unwrap();
+        assert_eq!(report.chunks_loaded, 1);
+        assert_eq!(report.wal_rows, 2);
+        // Scan dedups the double-stored rows.
+        assert_eq!(
+            store.scan().unwrap(),
+            vec![row("s", "f", 1, 1.0), row("s", "f", 2, 2.0)]
+        );
+    }
+
+    #[test]
+    fn corrupt_chunk_is_skipped_and_seq_reserved() {
+        let disk = MemDisk::new(107);
+        let vfs: Arc<dyn Vfs> = Arc::new(disk.clone());
+        let (mut store, _) = TsStore::open(vfs.clone(), small_opts()).unwrap();
+        store.append(&[row("s", "f", 1, 1.0)]);
+        store.commit().unwrap();
+        store.flush().unwrap();
+        // Smash the chunk.
+        let name = chunk_name(0);
+        let mut data = disk.read(&name).unwrap();
+        let n = data.len();
+        data[n / 2] ^= 0xFF;
+        let mut f = disk.create(&name).unwrap();
+        f.append(&data).unwrap();
+        f.sync().unwrap();
+        let (mut store, report) = TsStore::open(vfs, small_opts()).unwrap();
+        assert_eq!(report.chunks_skipped, 1);
+        assert_eq!(report.chunks_loaded, 0);
+        assert!(store.scan().unwrap().is_empty());
+        // New flushes never reuse the damaged file's sequence number.
+        store.append(&[row("s", "f", 2, 2.0)]);
+        store.commit().unwrap();
+        store.flush().unwrap();
+        assert_eq!(store.chunk_seqs(), &[1]);
+    }
+
+    #[test]
+    fn observability_counts_commits_and_compactions() {
+        let registry = Registry::new();
+        let vfs: Arc<dyn Vfs> = Arc::new(MemDisk::new(108));
+        let obs = StoreObs::new(&registry, "influx");
+        let (mut store, _) = TsStore::open_with_obs(vfs, small_opts(), Some(obs)).unwrap();
+        store.append(&[row("s", "f", 1, 1.0), row("s", "f", 2, 2.0)]);
+        store.commit().unwrap();
+        store.flush().unwrap();
+        store.append(&[row("s", "f", 3, 3.0)]);
+        store.commit().unwrap();
+        store.flush().unwrap();
+        store.compact(None).unwrap().unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("wal.records_appended"), 3);
+        assert_eq!(snap.counter_total("wal.commits"), 2);
+        assert_eq!(snap.counter_total("compaction.snapshots"), 2);
+        assert_eq!(snap.counter_total("compaction.runs"), 1);
+        assert_eq!(snap.counter_total("compaction.rows_in"), 3);
+        assert_eq!(snap.counter_total("compaction.rows_out"), 3);
+        let h = snap
+            .histogram("wal.commit_ns", &[("db", "influx")])
+            .unwrap();
+        assert_eq!(h.count, 2);
+        assert!(h.sum > 0, "modeled commit latency must be non-zero");
+    }
+
+    #[test]
+    fn same_seed_runs_produce_byte_identical_state() {
+        let run = |seed: u64| -> Vec<(String, Vec<u8>)> {
+            let disk = MemDisk::new(seed);
+            let vfs: Arc<dyn Vfs> = Arc::new(disk.clone());
+            let (mut store, _) = TsStore::open(vfs, small_opts()).unwrap();
+            for i in 0..20i64 {
+                store.append(&[row("cpu,host=a", "_cpu0", i * 500, 20.0 + i as f64)]);
+                store.commit().unwrap();
+            }
+            store.flush().unwrap();
+            disk.list()
+                .unwrap()
+                .into_iter()
+                .map(|n| {
+                    let d = disk.read(&n).unwrap();
+                    (n, d)
+                })
+                .collect()
+        };
+        assert_eq!(run(1), run(2));
+    }
+}

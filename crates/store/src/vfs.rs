@@ -1,0 +1,203 @@
+//! Virtual filesystem abstraction: every byte the engine persists goes
+//! through [`Vfs`] / [`VirtualFile`], so the same WAL/chunk/compaction
+//! code runs against the real filesystem ([`StdFs`]) and against the
+//! deterministic fault-injecting disk (`MemDisk`) used by the
+//! crash-recovery property tests.
+
+use crate::error::{StoreError, StoreResult};
+use pmove_hwsim::disk::DiskSpec;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// An open, append-only file handle.
+pub trait VirtualFile: Send {
+    /// Append bytes to the end of the file. Appended data is *not*
+    /// durable until [`VirtualFile::sync`] returns `Ok`.
+    fn append(&mut self, data: &[u8]) -> StoreResult<()>;
+
+    /// Make all previously appended bytes durable (the acknowledgement
+    /// barrier of the group commit).
+    fn sync(&mut self) -> StoreResult<()>;
+
+    /// Current file length in bytes (durable + pending).
+    fn len(&self) -> StoreResult<u64>;
+
+    /// True when no bytes have been written.
+    fn is_empty(&self) -> StoreResult<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// A flat directory of named files.
+pub trait Vfs: Send + Sync {
+    /// Open `name` for appending, creating it when absent.
+    fn open_append(&self, name: &str) -> StoreResult<Box<dyn VirtualFile>>;
+
+    /// Create (or truncate) `name` and open it for appending.
+    fn create(&self, name: &str) -> StoreResult<Box<dyn VirtualFile>>;
+
+    /// Read the whole durable content of `name`.
+    fn read(&self, name: &str) -> StoreResult<Vec<u8>>;
+
+    /// Sorted list of file names present.
+    fn list(&self) -> StoreResult<Vec<String>>;
+
+    /// Delete `name`; succeeds when absent.
+    fn remove(&self, name: &str) -> StoreResult<()>;
+
+    /// Does `name` exist?
+    fn exists(&self, name: &str) -> StoreResult<bool>;
+
+    /// The block-device model used to derive deterministic modeled
+    /// latencies for the `pmove.self.wal.*` histograms. Real filesystems
+    /// report the paper's SATA target so observability stays
+    /// bit-reproducible regardless of host hardware.
+    fn disk_spec(&self) -> DiskSpec {
+        DiskSpec::sata("store")
+    }
+}
+
+// ------------------------------------------------------------------ std
+
+/// [`Vfs`] over a real directory via `std::fs`.
+pub struct StdFs {
+    root: PathBuf,
+}
+
+impl StdFs {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> StoreResult<StdFs> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(StdFs { root })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+struct StdFile {
+    file: fs::File,
+}
+
+impl VirtualFile for StdFile {
+    fn append(&mut self, data: &[u8]) -> StoreResult<()> {
+        self.file.write_all(data)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> StoreResult<()> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    fn len(&self) -> StoreResult<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+impl Vfs for StdFs {
+    fn open_append(&self, name: &str) -> StoreResult<Box<dyn VirtualFile>> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))?;
+        Ok(Box::new(StdFile { file }))
+    }
+
+    fn create(&self, name: &str) -> StoreResult<Box<dyn VirtualFile>> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(self.path(name))?;
+        Ok(Box::new(StdFile { file }))
+    }
+
+    fn read(&self, name: &str) -> StoreResult<Vec<u8>> {
+        Ok(fs::read(self.path(name))?)
+    }
+
+    fn list(&self) -> StoreResult<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn remove(&self, name: &str) -> StoreResult<()> {
+        match fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::Io(e.to_string())),
+        }
+    }
+
+    fn exists(&self, name: &str) -> StoreResult<bool> {
+        Ok(self.path(name).exists())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pmove-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn stdfs_append_read_list_remove() {
+        let root = tmpdir("basic");
+        let vfs = StdFs::new(&root).unwrap();
+        let mut f = vfs.create("a.log").unwrap();
+        f.append(b"hello ").unwrap();
+        f.append(b"world").unwrap();
+        f.sync().unwrap();
+        assert_eq!(f.len().unwrap(), 11);
+        drop(f);
+        assert_eq!(vfs.read("a.log").unwrap(), b"hello world");
+        // Re-open for append keeps content.
+        let mut f = vfs.open_append("a.log").unwrap();
+        f.append(b"!").unwrap();
+        f.sync().unwrap();
+        assert_eq!(vfs.read("a.log").unwrap(), b"hello world!");
+        // Create truncates.
+        let f2 = vfs.create("a.log").unwrap();
+        assert!(f2.is_empty().unwrap());
+        assert_eq!(vfs.list().unwrap(), vec!["a.log".to_string()]);
+        assert!(vfs.exists("a.log").unwrap());
+        vfs.remove("a.log").unwrap();
+        vfs.remove("a.log").unwrap(); // idempotent
+        assert!(!vfs.exists("a.log").unwrap());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_file_read_errors() {
+        let root = tmpdir("missing");
+        let vfs = StdFs::new(&root).unwrap();
+        assert!(vfs.read("ghost").is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn default_disk_spec_matches_paper_target() {
+        let root = tmpdir("spec");
+        let vfs = StdFs::new(&root).unwrap();
+        assert!(vfs.disk_spec().rotational);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

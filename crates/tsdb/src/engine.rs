@@ -3,15 +3,60 @@
 //! backpressure.
 
 use crate::error::TsdbError;
+use crate::line_protocol::{parse_series_key, render_series_key};
 use crate::point::Point;
 use crate::query::{self, Query, QueryResult};
 use crate::retention::RetentionPolicy;
 use crate::storage::Storage;
 use crate::subscribe::{Subscription, SubscriptionHub};
+use crate::value::FieldValue;
 use crossbeam::channel::Receiver;
 use parking_lot::{Mutex, RwLock};
 use pmove_obs::{Counter, Histogram, Registry};
+use pmove_store::{
+    ChunkInfo, ColumnValue, CompactionReport, RecoveryReport, RowRecord, StoreObs, StoreOptions,
+    TsStore, Vfs,
+};
+use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Translate a stored field value into its durable column form.
+fn column_of_field(v: &FieldValue) -> ColumnValue {
+    match v {
+        FieldValue::Float(x) => ColumnValue::F64(*x),
+        FieldValue::Int(x) => ColumnValue::I64(*x),
+        FieldValue::Bool(x) => ColumnValue::Bool(*x),
+        FieldValue::Str(x) => ColumnValue::Str(x.clone()),
+    }
+}
+
+/// Translate a recovered column value back into a field value.
+fn field_of_column(v: ColumnValue) -> FieldValue {
+    match v {
+        ColumnValue::F64(x) => FieldValue::Float(x),
+        ColumnValue::I64(x) => FieldValue::Int(x),
+        ColumnValue::Bool(x) => FieldValue::Bool(x),
+        ColumnValue::Str(x) => FieldValue::Str(x),
+    }
+}
+
+/// Flatten a point into durable rows: one per field, filed under the
+/// canonical series key.
+fn rows_of_point(point: &Point) -> Vec<RowRecord> {
+    let series = render_series_key(&point.measurement, &point.tags);
+    point
+        .fields
+        .iter()
+        .map(|(k, v)| {
+            RowRecord::new(
+                series.clone(),
+                k.clone(),
+                point.timestamp,
+                column_of_field(v),
+            )
+        })
+        .collect()
+}
 
 /// Models the maximum sustained point-insertion rate of the database.
 ///
@@ -146,6 +191,8 @@ pub struct Database {
     retention: Mutex<Vec<RetentionPolicy>>,
     hub: SubscriptionHub,
     obs: Option<EngineObs>,
+    /// Durable storage engine; `None` for a memory-only database.
+    store: Option<Mutex<TsStore>>,
 }
 
 impl Database {
@@ -160,6 +207,90 @@ impl Database {
             retention: Mutex::new(vec![RetentionPolicy::infinite("autogen")]),
             hub: SubscriptionHub::new(),
             obs: None,
+            store: None,
+        }
+    }
+
+    /// Open a durable database over `vfs`: persisted chunks and surviving
+    /// WAL records are replayed into memory, and every subsequent write is
+    /// acknowledged only after its WAL group commit. Returns the database
+    /// plus what recovery found.
+    pub fn open(
+        name: impl Into<String>,
+        vfs: Arc<dyn Vfs>,
+        opts: StoreOptions,
+    ) -> Result<(Self, RecoveryReport), TsdbError> {
+        let mut db = Database::new(name);
+        let (store, report) = TsStore::open(vfs, opts)?;
+        db.adopt_store(store)?;
+        Ok((db, report))
+    }
+
+    /// [`Database::open`] with observability: `tsdb.*` engine metrics plus
+    /// the store's `wal.*` / `compaction.*` series (exported under
+    /// `pmove.self.`).
+    pub fn open_with_obs(
+        name: impl Into<String>,
+        vfs: Arc<dyn Vfs>,
+        opts: StoreOptions,
+        registry: Arc<Registry>,
+    ) -> Result<(Self, RecoveryReport), TsdbError> {
+        let name = name.into();
+        let store_obs = StoreObs::new(&registry, &name);
+        let mut db = Database::with_obs(name, registry);
+        let (store, report) = TsStore::open_with_obs(vfs, opts, Some(store_obs))?;
+        db.adopt_store(store)?;
+        Ok((db, report))
+    }
+
+    /// Replay the store's merged durable view into in-memory storage and
+    /// attach it for subsequent writes.
+    fn adopt_store(&mut self, store: TsStore) -> Result<(), TsdbError> {
+        // Group recovered rows back into points: one per (series key,
+        // timestamp), fields re-assembled.
+        let mut points: BTreeMap<(String, i64), BTreeMap<String, FieldValue>> = BTreeMap::new();
+        for row in store.scan()? {
+            points
+                .entry((row.series, row.ts))
+                .or_default()
+                .insert(row.field, field_of_column(row.value));
+        }
+        {
+            let mut storage = self.storage.write();
+            for ((series, ts), fields) in points {
+                let (measurement, tags) = parse_series_key(&series)?;
+                storage.insert(Point {
+                    measurement,
+                    tags,
+                    fields,
+                    timestamp: ts,
+                });
+            }
+        }
+        self.store = Some(Mutex::new(store));
+        Ok(())
+    }
+
+    /// True when writes are backed by the durable storage engine.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Flush the store's memtable into a compressed immutable chunk and
+    /// truncate the WAL. `Ok(None)` when memory-only or nothing to flush.
+    pub fn flush(&self) -> Result<Option<ChunkInfo>, TsdbError> {
+        match &self.store {
+            Some(store) => Ok(store.lock().flush()?),
+            None => Ok(None),
+        }
+    }
+
+    /// Merge all on-disk chunks (last write wins per cell). `Ok(None)`
+    /// when memory-only or there is nothing to merge.
+    pub fn compact(&self) -> Result<Option<CompactionReport>, TsdbError> {
+        match &self.store {
+            Some(store) => Ok(store.lock().compact(None)?),
+            None => Ok(None),
         }
     }
 
@@ -207,6 +338,16 @@ impl Database {
                 o.points_rejected.inc();
             }
             return Err(e);
+        }
+        // Durability barrier: when a store is attached, the point is
+        // framed into the WAL and group-committed before it is counted,
+        // published, or made queryable — an acknowledged write is a
+        // durable write.
+        if let Some(store) = &self.store {
+            let rows = rows_of_point(&point);
+            let mut st = store.lock();
+            st.append(&rows);
+            st.commit()?;
         }
         let zero_values = point.fields.values().filter(|v| v.is_zero()).count() as u64;
         {
@@ -276,19 +417,25 @@ impl Database {
         self.retention.lock().push(policy);
     }
 
-    /// Enforce the tightest retention policy at virtual time `now`;
-    /// returns rows removed.
-    pub fn enforce_retention(&self, now: i64) -> usize {
+    /// Enforce the tightest retention policy at virtual time `now`:
+    /// expired rows are dropped from in-memory storage AND, when a store
+    /// is attached, expired cells are compacted out of the on-disk chunk
+    /// set. Returns rows removed from memory.
+    pub fn enforce_retention(&self, now: i64) -> Result<usize, TsdbError> {
         let cutoff = self
             .retention
             .lock()
             .iter()
             .filter_map(|p| p.cutoff(now))
             .max();
-        match cutoff {
-            Some(c) => self.storage.write().drop_before(c),
-            None => 0,
+        let Some(cutoff) = cutoff else {
+            return Ok(0);
+        };
+        let removed = self.storage.write().drop_before(cutoff);
+        if let Some(store) = &self.store {
+            store.lock().enforce_retention(cutoff)?;
         }
+        Ok(removed)
     }
 
     /// Subscribe to live points.
@@ -391,7 +538,7 @@ mod tests {
         for t in 0..20 {
             db.write_point(pt(t, 1.0)).unwrap();
         }
-        let removed = db.enforce_retention(20);
+        let removed = db.enforce_retention(20).unwrap();
         assert_eq!(removed, 10);
         assert_eq!(db.total_rows(), 10);
     }
@@ -460,6 +607,108 @@ mod tests {
         let query = snap.histogram("tsdb.query_ns", &[]).unwrap();
         assert_eq!(query.count, 1);
         assert_eq!(query.sum, 25_000 + 900 * 3);
+    }
+
+    #[test]
+    fn durable_write_survives_reopen() {
+        let vfs: Arc<dyn Vfs> = Arc::new(pmove_store::MemDisk::new(1));
+        let opts = StoreOptions::default();
+        let (db, report) = Database::open("test", vfs.clone(), opts).unwrap();
+        assert!(db.is_durable());
+        assert_eq!(report, RecoveryReport::default());
+        for t in 0..5 {
+            db.write_point(pt(t, t as f64)).unwrap();
+        }
+        drop(db);
+        let (db, report) = Database::open("test", vfs, opts).unwrap();
+        assert_eq!(report.wal_rows, 5);
+        let r = db.query("SELECT \"v\" FROM \"m\" WHERE tag='o1'").unwrap();
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.rows[4].values["v"], Some(4.0));
+    }
+
+    #[test]
+    fn flush_and_compact_roundtrip_through_engine() {
+        let vfs: Arc<dyn Vfs> = Arc::new(pmove_store::MemDisk::new(2));
+        let opts = StoreOptions {
+            flush_threshold_rows: 1_000_000, // manual flushes only
+            compact_min_chunks: 1_000_000,
+        };
+        let (db, _) = Database::open("test", vfs.clone(), opts).unwrap();
+        for t in 0..4 {
+            db.write_point(pt(t, t as f64)).unwrap();
+        }
+        let chunk = db.flush().unwrap().unwrap();
+        assert_eq!(chunk.rows, 4);
+        for t in 4..8 {
+            db.write_point(pt(t, t as f64)).unwrap();
+        }
+        db.flush().unwrap().unwrap();
+        let report = db.compact().unwrap().unwrap();
+        assert_eq!(report.chunks_in, 2);
+        assert_eq!(report.rows_out, 8);
+        // Chunks only — the WAL is empty — and a reopen sees all rows.
+        drop(db);
+        let (db, report) = Database::open("test", vfs, opts).unwrap();
+        assert_eq!(report.chunks_loaded, 1);
+        assert_eq!(report.wal_rows, 0);
+        assert_eq!(db.query("SELECT \"v\" FROM \"m\"").unwrap().rows.len(), 8);
+    }
+
+    #[test]
+    fn retention_enforcement_reaches_disk() {
+        let vfs: Arc<dyn Vfs> = Arc::new(pmove_store::MemDisk::new(3));
+        let opts = StoreOptions {
+            flush_threshold_rows: 1_000_000,
+            compact_min_chunks: 1_000_000,
+        };
+        let (db, _) = Database::open("test", vfs.clone(), opts).unwrap();
+        db.add_retention_policy(RetentionPolicy::keep("short", 10));
+        for t in 0..20 {
+            db.write_point(pt(t, t as f64)).unwrap();
+        }
+        db.flush().unwrap();
+        let removed = db.enforce_retention(20).unwrap();
+        assert_eq!(removed, 10);
+        // Queries after enforcement see only in-window points...
+        let r = db.query("SELECT \"v\" FROM \"m\"").unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.rows[0].values["v"], Some(10.0));
+        // ...and so does a cold reopen: the expired cells are gone from
+        // the chunk set, not just from memory.
+        drop(db);
+        let (db, _) = Database::open("test", vfs, opts).unwrap();
+        let r = db.query("SELECT \"v\" FROM \"m\"").unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.rows[0].values["v"], Some(10.0));
+    }
+
+    #[test]
+    fn durable_obs_exports_wal_metrics() {
+        let reg = Registry::shared();
+        let vfs: Arc<dyn Vfs> = Arc::new(pmove_store::MemDisk::new(4));
+        let (db, _) =
+            Database::open_with_obs("influx", vfs, StoreOptions::default(), reg.clone()).unwrap();
+        for t in 0..3 {
+            db.write_point(pt(t, 1.0)).unwrap();
+        }
+        db.flush().unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("wal.records_appended", &[("db", "influx")]),
+            Some(3)
+        );
+        assert_eq!(snap.counter("wal.commits", &[("db", "influx")]), Some(3));
+        assert_eq!(
+            snap.counter("compaction.snapshots", &[("db", "influx")]),
+            Some(1)
+        );
+        assert!(
+            snap.histogram("wal.commit_ns", &[("db", "influx")])
+                .unwrap()
+                .sum
+                > 0
+        );
     }
 
     #[test]

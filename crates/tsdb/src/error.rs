@@ -22,6 +22,15 @@ pub enum TsdbError {
     UnknownMeasurement(String),
     /// A retention policy name was not found.
     UnknownRetentionPolicy(String),
+    /// The durable storage engine failed (WAL commit, chunk flush,
+    /// compaction, or recovery).
+    Storage(String),
+}
+
+impl From<pmove_store::StoreError> for TsdbError {
+    fn from(e: pmove_store::StoreError) -> Self {
+        TsdbError::Storage(e.to_string())
+    }
 }
 
 impl fmt::Display for TsdbError {
@@ -36,6 +45,7 @@ impl fmt::Display for TsdbError {
             TsdbError::QueryParse(msg) => write!(f, "query parse error: {msg}"),
             TsdbError::UnknownMeasurement(m) => write!(f, "unknown measurement: {m}"),
             TsdbError::UnknownRetentionPolicy(p) => write!(f, "unknown retention policy: {p}"),
+            TsdbError::Storage(msg) => write!(f, "storage engine error: {msg}"),
         }
     }
 }

@@ -47,6 +47,11 @@ pub mod storage;
 pub mod subscribe;
 pub mod value;
 
+/// The durable storage engine backing [`Database::open`] (re-exported so
+/// downstream crates can name VFS, options, and report types without a
+/// direct `pmove-store` dependency).
+pub use pmove_store as store;
+
 pub use engine::{Database, IngestLimiter, IngestStats};
 pub use error::TsdbError;
 pub use point::Point;

@@ -13,16 +13,49 @@
 use crate::error::TsdbError;
 use crate::point::Point;
 use crate::value::FieldValue;
+use std::collections::BTreeMap;
 
-/// Render a point as one line of line protocol.
-pub fn render(point: &Point) -> String {
-    let mut out = escape_ident(&point.measurement);
-    for (k, v) in &point.tags {
+/// Render the canonical series key `measurement[,tag=value...]` — the
+/// identity under which the durable store files a series. Tags iterate
+/// in `BTreeMap` order and identifiers use line-protocol escaping, so
+/// the key is deterministic and lossless.
+pub fn render_series_key(measurement: &str, tags: &BTreeMap<String, String>) -> String {
+    let mut out = escape_ident(measurement);
+    for (k, v) in tags {
         out.push(',');
         out.push_str(&escape_ident(k));
         out.push('=');
         out.push_str(&escape_ident(v));
     }
+    out
+}
+
+/// Parse a series key produced by [`render_series_key`] back into its
+/// measurement and tag set.
+pub fn parse_series_key(key: &str) -> Result<(String, BTreeMap<String, String>), TsdbError> {
+    let mut parts = split_all_unescaped(key, ',');
+    let measurement = unescape_ident(
+        parts
+            .next()
+            .ok_or_else(|| TsdbError::LineProtocol("empty series key".into()))?,
+    );
+    if measurement.is_empty() {
+        return Err(TsdbError::LineProtocol(
+            "empty measurement in series key".into(),
+        ));
+    }
+    let mut tags = BTreeMap::new();
+    for tag in parts {
+        let (k, v) = split_unescaped(tag, '=')
+            .ok_or_else(|| TsdbError::LineProtocol(format!("bad tag in series key: {tag}")))?;
+        tags.insert(unescape_ident(k), unescape_ident(v));
+    }
+    Ok((measurement, tags))
+}
+
+/// Render a point as one line of line protocol.
+pub fn render(point: &Point) -> String {
+    let mut out = render_series_key(&point.measurement, &point.tags);
     out.push(' ');
     let fields: Vec<String> = point
         .fields
@@ -249,5 +282,22 @@ mod tests {
     fn negative_timestamp_parses() {
         let p = parse("m a=1 -5").unwrap();
         assert_eq!(p.timestamp, -5);
+    }
+
+    #[test]
+    fn series_key_roundtrips_hostile_identifiers() {
+        let mut tags = BTreeMap::new();
+        tags.insert("a,b".to_string(), "c=d".to_string());
+        tags.insert("plain".to_string(), "with space".to_string());
+        let key = render_series_key("my, measure=x", &tags);
+        let (m, t) = parse_series_key(&key).unwrap();
+        assert_eq!(m, "my, measure=x");
+        assert_eq!(t, tags);
+    }
+
+    #[test]
+    fn series_key_rejects_garbage() {
+        assert!(parse_series_key("").is_err());
+        assert!(parse_series_key("m,notag").is_err());
     }
 }

@@ -200,7 +200,7 @@ mod tests {
         let db = filled();
         downsample(&db, "m", "m_agg", 5, AggregateFn::Max, None).unwrap();
         db.add_retention_policy(crate::retention::RetentionPolicy::keep("raw", 2));
-        let removed = db.enforce_retention(100);
+        let removed = db.enforce_retention(100).unwrap();
         // Raw rows and old aggregate buckets both expire under the shared
         // policy (real flows stamp aggregates at "now"); the store shrinks
         // to at most the retention window.

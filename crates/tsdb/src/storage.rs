@@ -26,13 +26,25 @@ pub struct SeriesData {
 }
 
 impl SeriesData {
+    /// Insert a row, keeping rows time-sorted. A write at an existing
+    /// timestamp does not append a duplicate row: its field set is merged
+    /// into the existing one, last write winning per field — InfluxDB's
+    /// duplicate-point semantics (and the same last-write-wins rule the
+    /// durable chunk compactor applies on disk).
     fn insert(&mut self, row: Row) {
-        match self.rows.last() {
-            Some(last) if last.timestamp <= row.timestamp => self.rows.push(row),
+        match self.rows.last_mut() {
+            Some(last) if last.timestamp == row.timestamp => {
+                last.fields.extend(row.fields);
+            }
+            Some(last) if last.timestamp < row.timestamp => self.rows.push(row),
             None => self.rows.push(row),
             _ => {
                 let pos = self.rows.partition_point(|r| r.timestamp <= row.timestamp);
-                self.rows.insert(pos, row);
+                if pos > 0 && self.rows[pos - 1].timestamp == row.timestamp {
+                    self.rows[pos - 1].fields.extend(row.fields);
+                } else {
+                    self.rows.insert(pos, row);
+                }
             }
         }
     }
@@ -257,6 +269,55 @@ mod tests {
         let m = s.measurement("m").unwrap();
         assert_eq!(m.series_iter().count(), 1);
         assert!(m.tag_values("host") == vec!["new".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_timestamp_merges_fields_last_write_wins() {
+        let mut s = Storage::new();
+        s.insert(
+            Point::new("m")
+                .tag("host", "a")
+                .field("x", 1.0)
+                .field("y", 2.0)
+                .timestamp(5),
+        );
+        // Same series, same timestamp: `x` is rewritten, `z` added, `y`
+        // untouched — one row, not two.
+        s.insert(
+            Point::new("m")
+                .tag("host", "a")
+                .field("x", 10.0)
+                .field("z", 3.0)
+                .timestamp(5),
+        );
+        let m = s.measurement("m").unwrap();
+        assert_eq!(m.row_count(), 1);
+        let row = &m.series_iter().next().unwrap().rows[0];
+        assert_eq!(row.fields["x"], FieldValue::Float(10.0));
+        assert_eq!(row.fields["y"], FieldValue::Float(2.0));
+        assert_eq!(row.fields["z"], FieldValue::Float(3.0));
+        // A different series at the same timestamp still gets its own row.
+        s.insert(pt("m", "b", 5, 1.0));
+        assert_eq!(s.measurement("m").unwrap().row_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_timestamp_merges_out_of_order_too() {
+        let mut s = Storage::new();
+        s.insert(pt("m", "a", 10, 1.0));
+        s.insert(pt("m", "a", 5, 2.0));
+        // Duplicate of the non-terminal row: merged in place.
+        s.insert(
+            Point::new("m")
+                .tag("host", "a")
+                .field("value", 20.0)
+                .timestamp(5),
+        );
+        let m = s.measurement("m").unwrap();
+        let series = m.series_iter().next().unwrap();
+        let ts: Vec<i64> = series.rows.iter().map(|r| r.timestamp).collect();
+        assert_eq!(ts, vec![5, 10]);
+        assert_eq!(series.rows[0].fields["value"], FieldValue::Float(20.0));
     }
 
     #[test]
