@@ -1,0 +1,29 @@
+//! Print the chaos table: loss and recovery under injected faults with
+//! the resilient transport mode off vs. on.
+
+fn main() {
+    let reports = pmove_bench::chaos::run();
+    print!("{}", pmove_bench::chaos::format(&reports));
+    // Hard gates: conservation everywhere; resilience must strictly
+    // reduce the damage of every schedule.
+    let mut failed = false;
+    for pair in reports.chunks(2) {
+        let (off, on) = (&pair[0], &pair[1]);
+        if !off.conserved || !on.conserved {
+            println!("{}: conservation VIOLATED", off.schedule);
+            failed = true;
+        }
+        if on.lost + on.evicted >= off.lost + off.evicted {
+            println!(
+                "{}: resilient mode did not reduce losses ({} vs {})",
+                off.schedule,
+                on.lost + on.evicted,
+                off.lost + off.evicted
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

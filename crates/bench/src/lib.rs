@@ -20,6 +20,7 @@
 //! | [`storage`] | storage engine — chunk compression and recovery time |
 
 pub mod ablation;
+pub mod chaos;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

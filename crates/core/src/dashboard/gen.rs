@@ -156,6 +156,31 @@ pub fn self_dashboard(kb: &KnowledgeBase, snap: &pmove_obs::Snapshot) -> Dashboa
         d = d.panel("storage engine", storage_targets);
     }
 
+    // Transport resilience: spill/retry/breaker counters and gauges, when
+    // the self-healing transport mode has been active. Plain runs carry
+    // only the zero-valued supervision counters, so they grow no panel.
+    let mut resilience_names: Vec<String> = snap
+        .counters
+        .iter()
+        .filter(|(key, value)| key.name.starts_with("pcp.resilience.") && *value > 0)
+        .map(|(key, _)| key.name.clone())
+        .chain(
+            snap.gauges
+                .iter()
+                .filter(|(key, _)| key.name.starts_with("pcp.resilience."))
+                .map(|(key, _)| key.name.clone()),
+        )
+        .collect();
+    resilience_names.sort();
+    resilience_names.dedup();
+    let resilience_targets: Vec<Target> = resilience_names
+        .iter()
+        .map(|name| target(&format!("{SELF_PREFIX}{name}"), "value"))
+        .collect();
+    if !resilience_targets.is_empty() {
+        d = d.panel("transport resilience", resilience_targets);
+    }
+
     // Span timings: daemon boot steps get their own panel.
     let step_targets: Vec<Target> = snap
         .spans
@@ -337,6 +362,51 @@ mod tests {
             .panels
             .iter()
             .all(|p| p.title != "storage engine"));
+    }
+
+    #[test]
+    fn self_dashboard_adds_resilience_panel_only_for_resilient_runs() {
+        use pmove_hwsim::{FaultKind, FaultSchedule};
+        use pmove_pcp::ResilienceConfig;
+        // A plain monitoring run registers only zero-valued supervision
+        // counters — no resilience panel.
+        let mut d0 = crate::telemetry::daemon::PMoveDaemon::for_preset("icl").unwrap();
+        d0.monitor(5.0, 1.0);
+        assert!(d0
+            .self_dashboard()
+            .panels
+            .iter()
+            .all(|p| p.title != "transport resilience"));
+
+        // A resilient run through an outage grows the panel.
+        let mut d = crate::telemetry::daemon::PMoveDaemon::for_preset("icl").unwrap();
+        let fault = FaultSchedule::none().with_window(5.0, 15.0, FaultKind::LinkDown);
+        d.monitor_resilient(30.0, 1.0, ResilienceConfig::default(), Some(fault));
+        let dash = d.self_dashboard();
+        let panel = dash
+            .panels
+            .iter()
+            .find(|p| p.title == "transport resilience")
+            .expect("resilient run exposes a resilience panel");
+        let ms: Vec<&str> = panel
+            .targets
+            .iter()
+            .map(|t| t.measurement.as_str())
+            .collect();
+        assert!(ms.contains(&"pmove.self.pcp.resilience.values_spilled"));
+        assert!(ms.contains(&"pmove.self.pcp.resilience.values_recovered"));
+        assert!(ms.contains(&"pmove.self.pcp.resilience.spill_pending"));
+        assert!(ms.contains(&"pmove.self.pcp.resilience.breaker_state"));
+        // The targeted series exist once self telemetry is exported.
+        d.export_self_telemetry();
+        let exported = d.ts.measurements();
+        for t in &panel.targets {
+            assert!(
+                exported.contains(&t.measurement),
+                "missing {}",
+                t.measurement
+            );
+        }
     }
 
     #[test]

@@ -24,6 +24,11 @@ pub enum PmoveError {
     Db(String),
     /// Ontology-layer failure.
     Ontology(String),
+    /// Collector-layer failure (invalid sampling/resilience config).
+    Collector(String),
+    /// The daemon booted in degraded monitor-only mode; the requested
+    /// operation needs the full (durable) stack.
+    DegradedMode(String),
 }
 
 impl fmt::Display for PmoveError {
@@ -38,6 +43,10 @@ impl fmt::Display for PmoveError {
             PmoveError::BadKernelRequest(s) => write!(f, "bad kernel request: {s}"),
             PmoveError::Db(s) => write!(f, "database error: {s}"),
             PmoveError::Ontology(s) => write!(f, "ontology error: {s}"),
+            PmoveError::Collector(s) => write!(f, "collector error: {s}"),
+            PmoveError::DegradedMode(s) => {
+                write!(f, "unavailable in degraded monitor-only mode: {s}")
+            }
         }
     }
 }
@@ -62,6 +71,12 @@ impl From<pmove_jsonld::JsonLdError> for PmoveError {
     }
 }
 
+impl From<pmove_pcp::PcpError> for PmoveError {
+    fn from(e: pmove_pcp::PcpError) -> Self {
+        PmoveError::Collector(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +94,15 @@ mod tests {
         assert!(matches!(e, PmoveError::Db(_)));
         let e: PmoveError = pmove_jsonld::JsonLdError::BadDtmi("x".into()).into();
         assert!(matches!(e, PmoveError::Ontology(_)));
+        let e: PmoveError = pmove_pcp::PcpError::InvalidConfig {
+            field: "freq_hz",
+            value: f64::NAN,
+            reason: "must be finite",
+        }
+        .into();
+        assert!(matches!(e, PmoveError::Collector(_)));
+        assert!(e.to_string().contains("freq_hz"));
+        let e = PmoveError::DegradedMode("tsdb recovery failed".into());
+        assert!(e.to_string().contains("monitor-only"));
     }
 }

@@ -96,14 +96,66 @@ impl SuperDb {
         store::machines(&self.doc)
     }
 
+    /// Annotate a machine's data as stale from `since_s` on: the cluster
+    /// supervisor calls this when it quarantines a node, so global views
+    /// stop presenting dead-node twins as live. Re-marking updates the
+    /// timestamp.
+    pub fn mark_stale(&self, machine: &str, since_s: f64) -> Result<(), PmoveError> {
+        let col = self.doc.collection("staleness");
+        col.delete_many(&json!({ "_id": machine }))?;
+        col.insert_one(json!({
+            "_id": machine,
+            "machine": machine,
+            "stale_since_s": since_s,
+        }))?;
+        Ok(())
+    }
+
+    /// Clear a machine's staleness annotation (node rejoined).
+    pub fn clear_stale(&self, machine: &str) -> Result<(), PmoveError> {
+        self.doc
+            .collection("staleness")
+            .delete_many(&json!({ "_id": machine }))?;
+        Ok(())
+    }
+
+    /// When the machine is marked stale, the virtual time its data went
+    /// stale at.
+    pub fn staleness(&self, machine: &str) -> Option<f64> {
+        self.doc
+            .collection("staleness")
+            .find_one(&json!({ "_id": machine }))
+            .ok()
+            .flatten()
+            .and_then(|d| d["stale_since_s"].as_f64())
+    }
+
+    /// Machines currently annotated as stale.
+    pub fn stale_machines(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .doc
+            .collection("staleness")
+            .all()
+            .into_iter()
+            .filter_map(|d| d["machine"].as_str().map(str::to_string))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Cross-machine level view: interfaces of one component type from
-    /// every uploaded machine (the SUPERDB power behind Fig. 2d).
+    /// every uploaded machine (the SUPERDB power behind Fig. 2d). Machines
+    /// marked stale are excluded — their twins describe hardware nobody is
+    /// monitoring; [`SuperDb::staleness`] explains the exclusion.
     pub fn global_level_view(
         &self,
         component_type: &str,
     ) -> Result<Vec<(String, pmove_jsonld::Interface)>, PmoveError> {
         let mut out = Vec::new();
         for machine in self.machines() {
+            if self.staleness(&machine).is_some() {
+                continue;
+            }
             for iface in store::load_interfaces(&self.doc, &machine)? {
                 if iface.component_type == component_type {
                     out.push((machine.clone(), iface));
@@ -260,6 +312,31 @@ mod tests {
             .iter()
             .any(|p| p.title == "icl: perfevent_hwcounters_RAPL_ENERGY_DRAM"));
         assert!(s.global_level_dashboard("gpu").unwrap().is_none());
+    }
+
+    #[test]
+    fn stale_machines_drop_out_of_global_views() {
+        let s = SuperDb::new();
+        s.upload_kb(&kb("icl")).unwrap();
+        s.upload_kb(&kb("zen3")).unwrap();
+        assert_eq!(s.global_level_view("socket").unwrap().len(), 2);
+        assert!(s.staleness("icl").is_none());
+
+        s.mark_stale("icl", 42.5).unwrap();
+        let sockets = s.global_level_view("socket").unwrap();
+        assert_eq!(sockets.len(), 1);
+        assert_eq!(sockets[0].0, "zen3");
+        assert_eq!(s.staleness("icl"), Some(42.5));
+        assert_eq!(s.stale_machines(), vec!["icl".to_string()]);
+        // The machine itself stays in the catalog; only views filter it.
+        assert_eq!(s.machines(), vec!["icl".to_string(), "zen3".to_string()]);
+        // Re-marking updates the annotation instead of erroring.
+        s.mark_stale("icl", 60.0).unwrap();
+        assert_eq!(s.staleness("icl"), Some(60.0));
+
+        s.clear_stale("icl").unwrap();
+        assert!(s.staleness("icl").is_none());
+        assert_eq!(s.global_level_view("socket").unwrap().len(), 2);
     }
 
     #[test]

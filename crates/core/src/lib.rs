@@ -56,4 +56,4 @@ pub mod telemetry;
 
 pub use error::PmoveError;
 pub use kb::KnowledgeBase;
-pub use telemetry::daemon::PMoveDaemon;
+pub use telemetry::daemon::{DaemonMode, PMoveDaemon};

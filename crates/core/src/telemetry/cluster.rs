@@ -15,6 +15,42 @@ use pmove_pcp::SamplingReport;
 use pmove_tsdb::RetentionPolicy;
 use std::sync::Arc;
 
+/// Liveness view of one cluster node, as the supervisor sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeHealth {
+    /// Machine key of the node.
+    pub key: String,
+    /// False once the node has been killed (stops answering heartbeats).
+    pub alive: bool,
+    /// True once the supervisor has quarantined the node: it is skipped
+    /// by `monitor_all` and its SUPERDB data is annotated stale.
+    pub quarantined: bool,
+    /// Monitoring rounds in a row the node has missed a heartbeat.
+    pub missed_heartbeats: u32,
+    /// Virtual time of the node's last successful monitoring round.
+    pub last_seen_s: f64,
+}
+
+/// Internal per-node supervisor state (parallel to `nodes`).
+#[derive(Debug, Clone, Copy)]
+struct NodeState {
+    alive: bool,
+    quarantined: bool,
+    missed: u32,
+    last_seen_s: f64,
+}
+
+impl NodeState {
+    fn healthy() -> NodeState {
+        NodeState {
+            alive: true,
+            quarantined: false,
+            missed: 0,
+            last_seen_s: 0.0,
+        }
+    }
+}
+
 /// A monitored cluster: one P-MoVE daemon per node plus the global DB.
 pub struct Cluster {
     /// Per-node daemons (host side).
@@ -27,6 +63,11 @@ pub struct Cluster {
     /// each daemon's own registry; this one holds cluster-wide counters
     /// and the `cluster.monitor_all` span).
     pub obs: Arc<Registry>,
+    /// Per-node liveness bookkeeping (parallel to `nodes`).
+    health: Vec<NodeState>,
+    /// Missed monitoring-round heartbeats before a dead node is
+    /// quarantined.
+    pub heartbeat_miss_limit: u32,
 }
 
 impl Cluster {
@@ -42,11 +83,14 @@ impl Cluster {
             obs.counter("cluster.kb_uploads", &[("node", key)]).inc();
             nodes.push(daemon);
         }
+        let health = vec![NodeState::healthy(); nodes.len()];
         Ok(Cluster {
             nodes,
             superdb,
             retention_installed: false,
             obs,
+            health,
+            heartbeat_miss_limit: 3,
         })
     }
 
@@ -60,15 +104,100 @@ impl Cluster {
         self.nodes.iter_mut().find(|d| d.kb.machine_key == key)
     }
 
-    /// Run Scenario A on every node for the same window; returns
-    /// per-node reports in node order.
+    /// Simulate a node death: the node stops answering heartbeats, so the
+    /// next monitoring rounds count misses and eventually quarantine it.
+    /// Returns false for unknown keys.
+    pub fn kill_node(&mut self, key: &str) -> bool {
+        match self.nodes.iter().position(|d| d.kb.machine_key == key) {
+            Some(i) => {
+                self.health[i].alive = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Bring a killed node back: liveness and quarantine are reset and the
+    /// SUPERDB staleness annotation is cleared, so the next round monitors
+    /// it again. Returns false for unknown keys.
+    pub fn revive_node(&mut self, key: &str) -> Result<bool, PmoveError> {
+        match self.nodes.iter().position(|d| d.kb.machine_key == key) {
+            Some(i) => {
+                self.health[i].alive = true;
+                self.health[i].quarantined = false;
+                self.health[i].missed = 0;
+                self.superdb.clear_stale(key)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Liveness summary per node, in node order.
+    pub fn node_health(&self) -> Vec<NodeHealth> {
+        self.nodes
+            .iter()
+            .zip(&self.health)
+            .map(|(d, s)| NodeHealth {
+                key: d.kb.machine_key.clone(),
+                alive: s.alive,
+                quarantined: s.quarantined,
+                missed_heartbeats: s.missed,
+                last_seen_s: s.last_seen_s,
+            })
+            .collect()
+    }
+
+    /// Machine keys of quarantined nodes.
+    pub fn quarantined_nodes(&self) -> Vec<String> {
+        self.node_health()
+            .into_iter()
+            .filter(|h| h.quarantined)
+            .map(|h| h.key)
+            .collect()
+    }
+
+    /// Run Scenario A on every live node for the same window; returns
+    /// per-node reports in node order. Dead nodes miss the round's
+    /// heartbeat; after [`Cluster::heartbeat_miss_limit`] consecutive
+    /// misses the supervisor quarantines them — the node is skipped, its
+    /// SUPERDB data is marked stale, and the survivors keep reporting.
     pub fn monitor_all(&mut self, duration_s: f64, freq_hz: f64) -> Vec<(String, SamplingReport)> {
-        let start_s = self.nodes.first().map(|d| d.now_s).unwrap_or(0.0);
-        let reports: Vec<(String, SamplingReport)> = self
+        let start_s = self
             .nodes
-            .iter_mut()
-            .map(|d| (d.kb.machine_key.clone(), d.monitor(duration_s, freq_hz)))
-            .collect();
+            .iter()
+            .zip(&self.health)
+            .find(|(_, s)| s.alive && !s.quarantined)
+            .map(|(d, _)| d.now_s)
+            .unwrap_or(0.0);
+        let mut reports = Vec::new();
+        for (i, d) in self.nodes.iter_mut().enumerate() {
+            let state = &mut self.health[i];
+            if state.quarantined {
+                continue;
+            }
+            if !state.alive {
+                state.missed += 1;
+                if state.missed >= self.heartbeat_miss_limit {
+                    state.quarantined = true;
+                    let key = d.kb.machine_key.as_str();
+                    self.obs
+                        .counter("cluster.nodes_quarantined", &[("node", key)])
+                        .inc();
+                    // Flag the node's global data as stale at the time its
+                    // silence started, not at quarantine time.
+                    let since_s = state.last_seen_s;
+                    self.superdb
+                        .mark_stale(key, since_s)
+                        .expect("in-memory staleness annotation cannot fail");
+                }
+                continue;
+            }
+            let report = d.monitor(duration_s, freq_hz);
+            state.missed = 0;
+            state.last_seen_s = d.now_s;
+            reports.push((d.kb.machine_key.clone(), report));
+        }
         self.obs
             .counter("cluster.nodes_monitored", &[])
             .add(reports.len() as u64);
@@ -218,6 +347,46 @@ mod tests {
             let node_snap = d.obs.snapshot();
             assert!(node_snap.counter_total("pcp.transport.values_offered") > 0);
         }
+    }
+
+    #[test]
+    fn dead_node_is_quarantined_after_missed_heartbeats() {
+        let mut c = cluster();
+        c.monitor_all(10.0, 1.0);
+        assert!(c.node_health().iter().all(|h| h.alive && !h.quarantined));
+        assert!(c.kill_node("icl"));
+        assert!(!c.kill_node("ghost"));
+
+        // Two missed rounds: counted, not yet quarantined.
+        for round in 1..=2u32 {
+            let reports = c.monitor_all(10.0, 1.0);
+            assert_eq!(reports.len(), 1, "only the survivor reports");
+            assert_eq!(reports[0].0, "zen3");
+            let icl = &c.node_health()[0];
+            assert_eq!(icl.missed_heartbeats, round);
+            assert!(!icl.quarantined);
+        }
+        // Third miss crosses the limit: quarantine + SUPERDB staleness.
+        c.monitor_all(10.0, 1.0);
+        let icl = &c.node_health()[0];
+        assert!(icl.quarantined);
+        assert_eq!(icl.last_seen_s, 10.0);
+        assert_eq!(c.quarantined_nodes(), vec!["icl".to_string()]);
+        assert_eq!(c.superdb.staleness("icl"), Some(10.0));
+        let snap = c.obs.snapshot();
+        assert_eq!(
+            snap.counter("cluster.nodes_quarantined", &[("node", "icl")]),
+            Some(1)
+        );
+        // Survivors keep filling their stores; the dead clock froze.
+        assert_eq!(c.node("zen3").unwrap().now_s, 40.0);
+        assert_eq!(c.node("icl").unwrap().now_s, 10.0);
+
+        // Revival clears quarantine and staleness; monitoring resumes.
+        assert!(c.revive_node("icl").unwrap());
+        assert!(c.superdb.staleness("icl").is_none());
+        let reports = c.monitor_all(10.0, 1.0);
+        assert_eq!(reports.len(), 2);
     }
 
     #[test]

@@ -16,10 +16,10 @@ use crate::probe::ProbeReport;
 use crate::telemetry::scenario_a;
 use crate::telemetry::scenario_b::{self, ProfileOutcome, ProfileRequest};
 use pmove_hwsim::kernel_profile::{KernelProfile, Precision};
-use pmove_hwsim::{ExecModel, Machine};
+use pmove_hwsim::{ExecModel, FaultSchedule, Machine};
 use pmove_kernels::hpcg;
 use pmove_obs::Registry;
-use pmove_pcp::SamplingReport;
+use pmove_pcp::{ResilienceConfig, SamplingReport};
 use std::sync::Arc;
 
 /// Convert virtual-clock seconds to integer nanoseconds for span stamps.
@@ -36,6 +36,17 @@ pub struct BootRecovery {
     pub doc: pmove_docdb::JournalReport,
     /// Modeled recovery time in nanoseconds (the step ④ span length).
     pub modeled_ns: u64,
+}
+
+/// How much of the stack the daemon booted with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DaemonMode {
+    /// Full stack: every scenario available.
+    Normal,
+    /// Supervised fallback after a failed durable boot: monitoring keeps
+    /// running against in-memory stores, but KB-mutating operations
+    /// (profiling, benchmarks) are refused until the operator intervenes.
+    DegradedMonitorOnly,
 }
 
 /// The daemon.
@@ -66,6 +77,10 @@ pub struct PMoveDaemon {
     /// Self-observability registry: every subsystem the daemon owns
     /// (transport, pmcd, tsdb, docdb, KB builder) reports into it.
     pub obs: Arc<Registry>,
+    /// Which stack the daemon booted with (see [`DaemonMode`]).
+    pub mode: DaemonMode,
+    /// Why the supervisor degraded the boot, when it did.
+    pub degraded_reason: Option<String>,
 }
 
 /// Modeled boot-step durations (virtual ns, deterministic): reading the
@@ -75,6 +90,9 @@ const STEP0_ENV_NS: u64 = 150_000;
 const STEP1_PER_COMPONENT_NS: u64 = 2_500;
 const STEP2_PER_INTERFACE_NS: u64 = 8_000;
 const STEP3_PER_DOC_NS: u64 = 12_000;
+/// Supervisor decision step (⑤): checking the boot outcome and wiring
+/// the chosen mode is a fixed cost.
+const STEP5_SUPERVISE_NS: u64 = 40_000;
 
 /// Steps ⓪–②: environment, probe, KB generation. Returns the KB and the
 /// boot-timeline position after step ②.
@@ -131,6 +149,8 @@ impl PMoveDaemon {
             now_s: 0.0,
             background_busy: Vec::new(),
             obs,
+            mode: DaemonMode::Normal,
+            degraded_reason: None,
         })
     }
 
@@ -189,7 +209,71 @@ impl PMoveDaemon {
             now_s: 0.0,
             background_busy: Vec::new(),
             obs,
+            mode: DaemonMode::Normal,
+            degraded_reason: None,
         })
+    }
+
+    /// Supervised boot (step ⑤): try the full durable stack first; when
+    /// recovery of the tsdb/docdb fails (crashed disk, torn files), fall
+    /// back to a memory-only daemon in [`DaemonMode::DegradedMonitorOnly`]
+    /// instead of refusing to start — monitoring availability beats
+    /// durability when the two conflict. The decision is stamped as a
+    /// `daemon.step5.supervise` span, the chosen mode as a `daemon.mode`
+    /// gauge (0 = normal, 1 = degraded), and each fallback bumps the
+    /// `daemon.supervisor.fallbacks` counter.
+    pub fn boot_supervised(
+        machine: Machine,
+        env: DbParams,
+        vfs: Arc<dyn pmove_tsdb::store::Vfs>,
+    ) -> Result<Self, PmoveError> {
+        let spec = machine.spec.clone();
+        let mut daemon = match Self::new_durable(machine, env.clone(), vfs) {
+            Ok(d) => d,
+            Err(e) => {
+                let mut d = Self::new(Machine::new(spec), env)?;
+                d.mode = DaemonMode::DegradedMonitorOnly;
+                d.degraded_reason = Some(e.to_string());
+                d.obs.counter("daemon.supervisor.fallbacks", &[]).inc();
+                d
+            }
+        };
+        daemon.stamp_supervise_step();
+        Ok(daemon)
+    }
+
+    /// Stamp the step ⑤ span right after the last completed boot step and
+    /// publish the chosen mode as a gauge.
+    fn stamp_supervise_step(&mut self) {
+        let snap = self.obs.snapshot();
+        let start_ns = ["daemon.step4.recovery", "daemon.step3.kb_insert"]
+            .iter()
+            .filter_map(|name| snap.span(name))
+            .map(|s| s.last_end_ns)
+            .max()
+            .unwrap_or(0);
+        self.obs.record_span(
+            "daemon.step5.supervise",
+            start_ns,
+            start_ns + STEP5_SUPERVISE_NS,
+        );
+        let mode_value = match self.mode {
+            DaemonMode::Normal => 0.0,
+            DaemonMode::DegradedMonitorOnly => 1.0,
+        };
+        self.obs.gauge("daemon.mode", &[]).set(mode_value);
+    }
+
+    /// Guard for operations that mutate the KB: refused while degraded.
+    pub fn ensure_writable(&self) -> Result<(), PmoveError> {
+        match self.mode {
+            DaemonMode::Normal => Ok(()),
+            DaemonMode::DegradedMonitorOnly => Err(PmoveError::DegradedMode(
+                self.degraded_reason
+                    .clone()
+                    .unwrap_or_else(|| "supervised fallback".into()),
+            )),
+        }
     }
 
     /// Register pinned background load (a long-running process bound to
@@ -213,6 +297,16 @@ impl PMoveDaemon {
         let machine = Machine::preset(key)
             .ok_or_else(|| PmoveError::BadProbeReport(format!("unknown preset {key}")))?;
         Self::new_durable(machine, DbParams::default(), vfs)
+    }
+
+    /// Convenience: supervised boot for a preset machine with default env.
+    pub fn for_preset_supervised(
+        key: &str,
+        vfs: Arc<dyn pmove_tsdb::store::Vfs>,
+    ) -> Result<Self, PmoveError> {
+        let machine = Machine::preset(key)
+            .ok_or_else(|| PmoveError::BadProbeReport(format!("unknown preset {key}")))?;
+        Self::boot_supervised(machine, DbParams::default(), vfs)
     }
 
     /// True when both databases persist to a VFS.
@@ -247,9 +341,49 @@ impl PMoveDaemon {
         report
     }
 
+    /// [`PMoveDaemon::monitor`] with the self-healing transport enabled
+    /// and an optional injected fault schedule (virtual-clock relative to
+    /// the current daemon time: a window `[a, b)` in the schedule fires at
+    /// `now_s + a`). Monitoring is allowed in every [`DaemonMode`].
+    pub fn monitor_resilient(
+        &mut self,
+        duration_s: f64,
+        freq_hz: f64,
+        resilience: ResilienceConfig,
+        fault: Option<FaultSchedule>,
+    ) -> SamplingReport {
+        let start_s = self.now_s;
+        // Shift the schedule onto the daemon clock so callers can express
+        // faults relative to the run they inject them into.
+        let fault = fault.map(|schedule| {
+            let mut shifted = FaultSchedule::none();
+            for w in schedule.windows() {
+                shifted = shifted.with_window(start_s + w.start_s, start_s + w.end_s, w.kind);
+            }
+            shifted
+        });
+        let report = scenario_a::monitor_system_resilient(
+            &self.machine,
+            &self.kb,
+            &self.ts,
+            self.now_s,
+            duration_s,
+            freq_hz,
+            &self.background_busy,
+            Some(&self.obs),
+            Some(resilience),
+            fault,
+        );
+        self.now_s += duration_s;
+        self.obs
+            .record_span("daemon.monitor", s_to_ns(start_s), s_to_ns(self.now_s));
+        report
+    }
+
     /// Scenario B: profile a kernel; appends the observation and syncs
     /// the KB.
     pub fn profile(&mut self, request: &ProfileRequest) -> Result<ProfileOutcome, PmoveError> {
+        self.ensure_writable()?;
         let start_s = self.now_s;
         let outcome = scenario_b::profile_kernel(
             &self.machine,
@@ -317,6 +451,7 @@ impl PMoveDaemon {
     /// `BenchmarkInterface`. Bandwidths derive from the machine's memory
     /// system via the execution model.
     pub fn run_stream_benchmark(&mut self, n: u64) -> Result<BenchmarkInterface, PmoveError> {
+        self.ensure_writable()?;
         let threads = self.machine.spec.total_cores();
         let model = ExecModel::new(self.machine.spec.clone());
         let mut results = Vec::new();
@@ -366,6 +501,7 @@ impl PMoveDaemon {
         device_index: usize,
         kernel: &pmove_hwsim::gpu::GpuKernelProfile,
     ) -> Result<crate::kb::ObservationInterface, PmoveError> {
+        self.ensure_writable()?;
         let gpu = self
             .machine
             .spec
@@ -424,6 +560,7 @@ impl PMoveDaemon {
         ny: usize,
         nz: usize,
     ) -> Result<BenchmarkInterface, PmoveError> {
+        self.ensure_writable()?;
         let solve = hpcg::run_hpcg(nx, ny, nz, 50, 1e-9);
         // HPCG is memory-bound (AI ≈ 0.2 with scalar-ish access patterns);
         // simulate the same FLOP volume on the target.
@@ -528,6 +665,80 @@ mod tests {
             .query("SELECT mean(\"value\") FROM \"kernel_all_load\"")
             .unwrap();
         assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn supervised_boot_uses_full_stack_when_storage_is_healthy() {
+        use pmove_tsdb::store::{MemDisk, Vfs};
+        let disk = Arc::new(MemDisk::new(21));
+        let vfs: Arc<dyn Vfs> = disk;
+        let d = PMoveDaemon::for_preset_supervised("icl", vfs).unwrap();
+        assert_eq!(d.mode, DaemonMode::Normal);
+        assert!(d.is_durable());
+        assert!(d.degraded_reason.is_none());
+        let snap = d.obs.snapshot();
+        // Step ⑤ starts where step ④ ended.
+        let s4 = snap.span("daemon.step4.recovery").unwrap();
+        let s5 = snap.span("daemon.step5.supervise").unwrap();
+        assert_eq!(s4.last_end_ns, s5.last_start_ns);
+        assert_eq!(s5.last_end_ns - s5.last_start_ns, STEP5_SUPERVISE_NS);
+        assert_eq!(snap.gauge("daemon.mode", &[]), Some(0.0));
+        assert_eq!(snap.counter("daemon.supervisor.fallbacks", &[]), None);
+    }
+
+    #[test]
+    fn supervised_boot_degrades_to_monitor_only_when_recovery_fails() {
+        use pmove_tsdb::store::{FaultMode, FaultPlan, MemDisk, Vfs};
+        let disk = Arc::new(MemDisk::new(31));
+        // The very first write/sync during the durable boot crashes the
+        // disk, so WAL/journal recovery cannot complete.
+        disk.schedule_fault(FaultPlan {
+            crash_at_op: 1,
+            mode: FaultMode::CleanStop,
+        });
+        let vfs: Arc<dyn Vfs> = disk;
+        let mut d = PMoveDaemon::for_preset_supervised("icl", vfs).unwrap();
+        assert_eq!(d.mode, DaemonMode::DegradedMonitorOnly);
+        assert!(!d.is_durable());
+        assert!(d.degraded_reason.is_some());
+        // Monitoring still runs end to end...
+        let r = d.monitor(5.0, 2.0);
+        assert_eq!(r.ticks, 10);
+        assert!(d.ts.total_rows() > 0);
+        // ...while KB-mutating operations are refused with a typed error.
+        assert!(matches!(
+            d.run_stream_benchmark(1 << 20),
+            Err(PmoveError::DegradedMode(_))
+        ));
+        assert!(matches!(
+            d.run_hpcg_benchmark(8, 8, 8),
+            Err(PmoveError::DegradedMode(_))
+        ));
+        let snap = d.obs.snapshot();
+        assert_eq!(snap.gauge("daemon.mode", &[]), Some(1.0));
+        assert_eq!(snap.counter("daemon.supervisor.fallbacks", &[]), Some(1));
+        // The degraded boot has no step ④, so step ⑤ chains off step ③.
+        assert!(snap.span("daemon.step4.recovery").is_none());
+        let s3 = snap.span("daemon.step3.kb_insert").unwrap();
+        let s5 = snap.span("daemon.step5.supervise").unwrap();
+        assert_eq!(s3.last_end_ns, s5.last_start_ns);
+    }
+
+    #[test]
+    fn monitor_resilient_survives_injected_link_outage() {
+        use pmove_hwsim::{FaultKind, FaultSchedule};
+        let mut d = PMoveDaemon::for_preset("icl").unwrap();
+        // Warm the clock so the schedule shift is exercised.
+        d.monitor(5.0, 1.0);
+        let fault = FaultSchedule::none().with_window(10.0, 20.0, FaultKind::LinkDown);
+        let r = d.monitor_resilient(40.0, 1.0, ResilienceConfig::default(), Some(fault));
+        assert_eq!(r.ticks, 40);
+        assert!(r.transport.conserved(), "{:?}", r.transport);
+        assert!(r.transport.values_spilled > 0, "outage forced spills");
+        assert!(r.transport.values_recovered > 0, "drain recovered spills");
+        assert_eq!(r.transport.values_lost, 0, "nothing dropped for good");
+        assert!(r.transport.gap_markers >= 1);
+        assert_eq!(d.now_s, 45.0);
     }
 
     #[test]

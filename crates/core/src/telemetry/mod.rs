@@ -6,6 +6,6 @@ pub mod pinning;
 pub mod scenario_a;
 pub mod scenario_b;
 
-pub use cluster::Cluster;
-pub use daemon::PMoveDaemon;
+pub use cluster::{Cluster, NodeHealth};
+pub use daemon::{DaemonMode, PMoveDaemon};
 pub use pinning::PinningStrategy;

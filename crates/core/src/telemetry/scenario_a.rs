@@ -8,11 +8,11 @@
 
 use crate::kb::KnowledgeBase;
 use pmove_hwsim::network::LinkSpec;
-use pmove_hwsim::Machine;
+use pmove_hwsim::{FaultSchedule, Machine};
 use pmove_obs::Registry;
 use pmove_pcp::pmda_linux::LinuxAgent;
 use pmove_pcp::pmda_proc::{ProcAgent, TrackedProcess};
-use pmove_pcp::{Pmcd, SamplingConfig, SamplingLoop, SamplingReport, Shipper};
+use pmove_pcp::{Pmcd, ResilienceConfig, SamplingConfig, SamplingLoop, SamplingReport, Shipper};
 use pmove_tsdb::Database;
 use std::sync::Arc;
 
@@ -78,6 +78,30 @@ pub fn monitor_system_with_load(
     busy: &[(u32, f64)],
     obs: Option<&Arc<Registry>>,
 ) -> SamplingReport {
+    monitor_system_resilient(
+        machine, kb, ts, start_s, duration_s, freq_hz, busy, obs, None, None,
+    )
+}
+
+/// [`monitor_system_with_load`] with the transport's self-healing mode
+/// switched on: when `resilience` is given, the shipper spills instead of
+/// dropping, retries with backoff behind a circuit breaker, and marks
+/// recovery gaps; when `fault` is given, the injected schedule perturbs
+/// the link/backend on the virtual clock. Both `None` is bit-identical to
+/// the plain path.
+#[allow(clippy::too_many_arguments)]
+pub fn monitor_system_resilient(
+    machine: &Machine,
+    kb: &KnowledgeBase,
+    ts: &Database,
+    start_s: f64,
+    duration_s: f64,
+    freq_hz: f64,
+    busy: &[(u32, f64)],
+    obs: Option<&Arc<Registry>>,
+    resilience: Option<ResilienceConfig>,
+    fault: Option<FaultSchedule>,
+) -> SamplingReport {
     // The metric selection comes from the KB: only metrics some twin
     // actually declares as SWTelemetry are sampled.
     let declared: Vec<String> = kb
@@ -123,6 +147,12 @@ pub fn monitor_system_with_load(
     if let Some(reg) = obs {
         shipper = shipper.with_obs(reg.clone());
         pmcd.set_obs(reg);
+    }
+    if let Some(schedule) = fault {
+        shipper = shipper.with_fault_schedule(schedule);
+    }
+    if let Some(cfg) = resilience {
+        shipper = shipper.with_resilience(cfg);
     }
     let config = SamplingConfig::new(metrics, freq_hz, start_s, duration_s);
     SamplingLoop::run(&config, &mut pmcd, &mut shipper)

@@ -55,6 +55,7 @@ pub mod vendor;
 pub use exec_model::{ExecModel, Execution};
 pub use kernel_profile::{IsaClass, KernelProfile, LocalityProfile, Precision};
 pub use machine::{Machine, MachineSpec};
+pub use network::{FaultKind, FaultSchedule, FaultState, FaultWindow};
 pub use pmu::{EventCatalog, EventDef, Quantity};
 pub use topology::{Component, ComponentId, ComponentKind, Topology};
 pub use vendor::{Microarch, Vendor};

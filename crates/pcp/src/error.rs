@@ -1,0 +1,106 @@
+//! Typed configuration errors for the sampling/transport layer.
+//!
+//! The original code accepted any `f64` and let NaN propagate into loss
+//! percentages; these errors reject non-finite or out-of-range inputs at
+//! construction time instead.
+
+use std::fmt;
+
+/// Error building a sampling/transport configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PcpError {
+    /// A numeric configuration field is non-finite or out of range.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for PcpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcpError::InvalidConfig {
+                field,
+                value,
+                reason,
+            } => {
+                write!(f, "invalid config: {field} = {value} ({reason})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PcpError {}
+
+/// Check that `value` is finite; `reason` names the constraint.
+pub(crate) fn require_finite(field: &'static str, value: f64) -> Result<(), PcpError> {
+    if value.is_finite() {
+        Ok(())
+    } else {
+        Err(PcpError::InvalidConfig {
+            field,
+            value,
+            reason: "must be finite",
+        })
+    }
+}
+
+/// Check that `value` is finite and strictly positive.
+pub(crate) fn require_positive(field: &'static str, value: f64) -> Result<(), PcpError> {
+    require_finite(field, value)?;
+    if value > 0.0 {
+        Ok(())
+    } else {
+        Err(PcpError::InvalidConfig {
+            field,
+            value,
+            reason: "must be positive",
+        })
+    }
+}
+
+/// Check that `value` is finite and non-negative.
+pub(crate) fn require_non_negative(field: &'static str, value: f64) -> Result<(), PcpError> {
+    require_finite(field, value)?;
+    if value >= 0.0 {
+        Ok(())
+    } else {
+        Err(PcpError::InvalidConfig {
+            field,
+            value,
+            reason: "must be non-negative",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_field_and_reason() {
+        let e = PcpError::InvalidConfig {
+            field: "freq_hz",
+            value: f64::NAN,
+            reason: "must be positive",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("freq_hz"));
+        assert!(msg.contains("must be positive"));
+    }
+
+    #[test]
+    fn range_checks() {
+        assert!(require_finite("x", 1.0).is_ok());
+        assert!(require_finite("x", f64::INFINITY).is_err());
+        assert!(require_positive("x", 0.5).is_ok());
+        assert!(require_positive("x", 0.0).is_err());
+        assert!(require_positive("x", f64::NAN).is_err());
+        assert!(require_non_negative("x", 0.0).is_ok());
+        assert!(require_non_negative("x", -1.0).is_err());
+    }
+}

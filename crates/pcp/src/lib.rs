@@ -17,18 +17,22 @@
 //!   sampling frequency — [`resource`].
 
 pub mod agent;
+pub mod error;
 pub mod metric;
 pub mod pmcd;
 pub mod pmda_linux;
 pub mod pmda_nvidia;
 pub mod pmda_perfevent;
 pub mod pmda_proc;
+pub mod resilience;
 pub mod resource;
 pub mod sampler;
 pub mod transport;
 
-pub use agent::Agent;
+pub use agent::{Agent, ConstantAgent, FlakyAgent};
+pub use error::PcpError;
 pub use metric::{InstanceDomain, MetricDesc};
-pub use pmcd::Pmcd;
+pub use pmcd::{AgentHealth, Pmcd};
+pub use resilience::{BreakerState, CircuitBreaker, ResilienceConfig};
 pub use sampler::{SamplingConfig, SamplingLoop, SamplingReport};
-pub use transport::{ShipOutcome, Shipper, ShipperStats};
+pub use transport::{ShipOutcome, Shipper, ShipperStats, GAP_MEASUREMENT};

@@ -5,7 +5,14 @@
 //! There is no queue: whatever the shipper cannot take in that window is
 //! gone. This is the experiment driver for Table III and the telemetry
 //! engine for Scenarios A and B.
+//!
+//! When the shipper runs in resilient mode the loop additionally drives
+//! agent heartbeats (supervised PMDA restarts) and honours the shipper's
+//! adaptive tick stride: under sustained loss some ticks are skipped —
+//! traded for spill-drain opportunities — and counted in
+//! [`SamplingReport::ticks_skipped`].
 
+use crate::error::{require_finite, require_non_negative, require_positive, PcpError};
 use crate::pmcd::Pmcd;
 use crate::transport::{Shipper, ShipperStats};
 
@@ -23,15 +30,29 @@ pub struct SamplingConfig {
 }
 
 impl SamplingConfig {
-    /// Build a config.
+    /// Build a config; panics on invalid numbers (see
+    /// [`SamplingConfig::try_new`] for the typed-error path).
     pub fn new(metrics: Vec<String>, freq_hz: f64, start_s: f64, duration_s: f64) -> Self {
-        assert!(freq_hz > 0.0 && duration_s >= 0.0, "bad sampling config");
-        SamplingConfig {
+        Self::try_new(metrics, freq_hz, start_s, duration_s).expect("bad sampling config")
+    }
+
+    /// Build a config, rejecting non-finite or non-positive frequency and
+    /// non-finite or negative start/duration with a typed error.
+    pub fn try_new(
+        metrics: Vec<String>,
+        freq_hz: f64,
+        start_s: f64,
+        duration_s: f64,
+    ) -> Result<Self, PcpError> {
+        require_positive("freq_hz", freq_hz)?;
+        require_finite("start_s", start_s)?;
+        require_non_negative("duration_s", duration_s)?;
+        Ok(SamplingConfig {
             metrics,
             freq_hz,
             start_s,
             duration_s,
-        }
+        })
     }
 
     /// Number of ticks in the run. PCP "stops the sampling as the kernel
@@ -51,8 +72,10 @@ impl SamplingConfig {
 /// Result of one sampling run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SamplingReport {
-    /// Ticks executed.
+    /// Ticks scheduled.
     pub ticks: u64,
+    /// Ticks skipped by adaptive frequency degradation (0 in default mode).
+    pub ticks_skipped: u64,
     /// Field values expected (ticks × total domain size).
     pub expected_values: u64,
     /// Transport statistics.
@@ -88,6 +111,8 @@ impl SamplingLoop {
         let mut t_prev = config.start_s;
         let mut total_domain = 0u64;
         let mut domain_counted = false;
+        let mut ticks_skipped = 0u64;
+        let resilient = shipper.is_resilient();
         // Hoisted self-observability handles (shared with the shipper's
         // registry, so one snapshot covers the whole pipeline).
         let obs = shipper.obs_registry().cloned();
@@ -95,9 +120,34 @@ impl SamplingLoop {
         let point_counter = obs
             .as_ref()
             .map(|r| r.counter("pcp.sampler.points_fetched", &[]));
+        let skip_counter = if resilient {
+            obs.as_ref()
+                .map(|r| r.counter("pcp.resilience.ticks_skipped", &[]))
+        } else {
+            None
+        };
 
         for tick in 0..config.ticks() {
             let t_now = config.start_s + (tick + 1) as f64 * period;
+            if resilient {
+                // Supervise the agents: detect crashed PMDAs, restart
+                // them after their backoff elapses.
+                pmcd.heartbeat_all(t_now);
+                // Adaptive frequency degradation: under sustained loss
+                // the shipper suggests sampling every n-th tick only; the
+                // freed ticks still drain the spill buffer. Note t_prev is
+                // *not* advanced, so the next real fetch covers the whole
+                // skipped window (PCP counter semantics).
+                let stride = shipper.suggested_stride();
+                if stride > 1 && tick % stride != 0 {
+                    shipper.idle_tick(t_now);
+                    ticks_skipped += 1;
+                    if let Some(c) = &skip_counter {
+                        c.inc();
+                    }
+                    continue;
+                }
+            }
             let points = pmcd.fetch_all(&config.metrics, t_prev, t_now);
             if !domain_counted && !points.is_empty() {
                 total_domain = points.iter().map(|p| p.field_count() as u64).sum();
@@ -115,6 +165,12 @@ impl SamplingLoop {
             t_prev = t_now;
         }
 
+        if resilient {
+            // One last drain opportunity at the end of the run, so spill
+            // left over from a fault that ended near the end can land.
+            shipper.idle_tick(config.start_s + config.duration_s);
+        }
+
         if let Some(registry) = &obs {
             // The loop ran from start_s to the last tick's timestamp on the
             // virtual clock; stamp the span with those endpoints.
@@ -125,6 +181,7 @@ impl SamplingLoop {
 
         SamplingReport {
             ticks: config.ticks(),
+            ticks_skipped,
             expected_values: config.ticks() * total_domain,
             transport: shipper.stats(),
         }
@@ -135,7 +192,8 @@ impl SamplingLoop {
 mod tests {
     use super::*;
     use crate::pmda_linux::LinuxAgent;
-    use pmove_hwsim::network::LinkSpec;
+    use crate::resilience::ResilienceConfig;
+    use pmove_hwsim::network::{FaultKind, FaultSchedule, LinkSpec};
     use pmove_hwsim::MachineSpec;
     use pmove_tsdb::Database;
 
@@ -197,6 +255,15 @@ mod tests {
     }
 
     #[test]
+    fn try_new_rejects_bad_numbers_with_typed_errors() {
+        assert!(SamplingConfig::try_new(vec![], 0.0, 0.0, 1.0).is_err());
+        assert!(SamplingConfig::try_new(vec![], f64::NAN, 0.0, 1.0).is_err());
+        assert!(SamplingConfig::try_new(vec![], 2.0, f64::INFINITY, 1.0).is_err());
+        assert!(SamplingConfig::try_new(vec![], 2.0, 0.0, -1.0).is_err());
+        assert!(SamplingConfig::try_new(vec![], 2.0, 0.0, 0.0).is_ok());
+    }
+
+    #[test]
     fn observed_run_records_span_and_tick_counters() {
         let mut pmcd = Pmcd::new();
         pmcd.register(Box::new(LinuxAgent::new(MachineSpec::icl())));
@@ -222,5 +289,25 @@ mod tests {
             snap.counter("pcp.transport.values_offered", &[]),
             Some(report.transport.values_offered)
         );
+        // Default mode never skips ticks.
+        assert_eq!(report.ticks_skipped, 0);
+    }
+
+    #[test]
+    fn resilient_run_skips_ticks_under_crushed_bandwidth_and_conserves() {
+        let mut pmcd = Pmcd::new();
+        pmcd.register(Box::new(LinuxAgent::new(MachineSpec::icl())));
+        let db = Database::new("host");
+        // Bandwidth crushed below a single report for the first 30 s.
+        let schedule =
+            FaultSchedule::none().with_window(0.0, 30.0, FaultKind::BandwidthDegraded(0.0001));
+        let mut shipper = Shipper::new(&db, LinkSpec::mbit_100(), 0.5, &["resloop", "s"])
+            .with_fault_schedule(schedule)
+            .with_resilience(ResilienceConfig::default());
+        let cfg = SamplingConfig::new(vec!["kernel.percpu.cpu.idle".into()], 2.0, 0.0, 60.0);
+        let report = SamplingLoop::run(&cfg, &mut pmcd, &mut shipper);
+        assert!(report.ticks_skipped > 0, "stride engaged: {report:?}");
+        assert!(report.transport.values_recovered > 0);
+        assert!(report.transport.conserved(), "{:?}", report.transport);
     }
 }

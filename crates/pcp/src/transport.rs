@@ -9,12 +9,28 @@
 //! as batched zeros. Calibrated so Table III's shapes reproduce: losses
 //! grow with sampling frequency × instance-domain size, zeros appear only
 //! at high frequency.
+//!
+//! Two opt-in extensions leave that default behaviour bit-identical:
+//!
+//! * a [`FaultSchedule`] injects link/backend faults on the virtual clock;
+//! * a [`ResilienceConfig`] turns the unbuffered path into a self-healing
+//!   one (spill buffer, retry/backoff, circuit breaker, gap markers).
+//!
+//! Conservation invariant, audited by tests under arbitrary fault
+//! schedules: `values_offered == values_inserted + values_zeroed +
+//! values_lost + values_spill_pending + values_evicted`.
 
-use pmove_hwsim::network::LinkSpec;
+use crate::error::{require_non_negative, require_positive, PcpError};
+use crate::resilience::{BreakerState, CircuitBreaker, ResilienceConfig};
+use pmove_hwsim::network::{FaultSchedule, FaultState, LinkSpec};
 use pmove_hwsim::noise::NoiseSource;
 use pmove_obs::{Counter, Gauge, Registry};
 use pmove_tsdb::{Database, Point};
+use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Measurement name of the gap-marker points written on recovery.
+pub const GAP_MEASUREMENT: &str = "pmove_gap";
 
 /// Outcome of shipping one report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,9 +41,12 @@ pub enum ShipOutcome {
     InsertedZero,
     /// Lost in transmission.
     Lost,
+    /// Parked in the resilient spill buffer for later retry.
+    Spilled,
 }
 
-/// Cumulative shipping statistics — the raw material of Table III.
+/// Cumulative shipping statistics — the raw material of Table III, plus
+/// the resilient-mode ledger.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ShipperStats {
     /// Reports offered.
@@ -42,10 +61,40 @@ pub struct ShipperStats {
     pub values_lost: u64,
     /// Payload bytes that crossed the network.
     pub bytes_shipped: u64,
+    /// Field values that entered the spill buffer (cumulative).
+    pub values_spilled: u64,
+    /// Field values currently parked in the spill buffer.
+    pub values_spill_pending: u64,
+    /// Field values evicted from a full spill buffer (drop-oldest).
+    pub values_evicted: u64,
+    /// Field values recovered from the spill buffer into the DB.
+    pub values_recovered: u64,
+    /// Re-send attempts of spilled reports.
+    pub retries: u64,
+    /// Gap-marker points written on recovery.
+    pub gap_markers: u64,
+    /// Circuit-breaker open transitions.
+    pub breaker_opens: u64,
 }
 
 impl ShipperStats {
-    /// Loss ratio (%L of Table III).
+    /// Field values accounted for by every terminal or parked state. The
+    /// conservation invariant is `accounted() == values_offered`.
+    pub fn accounted(&self) -> u64 {
+        self.values_inserted
+            .saturating_add(self.values_zeroed)
+            .saturating_add(self.values_lost)
+            .saturating_add(self.values_spill_pending)
+            .saturating_add(self.values_evicted)
+    }
+
+    /// True when no offered value is unaccounted for.
+    pub fn conserved(&self) -> bool {
+        self.accounted() == self.values_offered
+    }
+
+    /// Loss ratio (%L of Table III). Saturating: returns 0 for zero
+    /// offered and stays finite at u64 extremes.
     pub fn loss_pct(&self) -> f64 {
         if self.values_offered == 0 {
             return 0.0;
@@ -53,12 +102,15 @@ impl ShipperStats {
         100.0 * self.values_lost as f64 / self.values_offered as f64
     }
 
-    /// Combined loss+zero ratio (L+Z% of Table III).
+    /// Combined loss+zero ratio (L+Z% of Table III). Uses saturating
+    /// addition so adversarial counter values cannot overflow in debug
+    /// builds.
     pub fn loss_plus_zero_pct(&self) -> f64 {
         if self.values_offered == 0 {
             return 0.0;
         }
-        100.0 * (self.values_lost + self.values_zeroed) as f64 / self.values_offered as f64
+        100.0 * self.values_lost.saturating_add(self.values_zeroed) as f64
+            / self.values_offered as f64
     }
 }
 
@@ -93,6 +145,43 @@ impl TransportObs {
     }
 }
 
+/// Hoisted `pcp.resilience.*` handles, registered only when both a
+/// registry and a [`ResilienceConfig`] are attached — so default-mode
+/// snapshots carry no resilience series at all.
+struct ResilienceObs {
+    retries: Arc<Counter>,
+    spilled: Arc<Counter>,
+    evicted: Arc<Counter>,
+    recovered: Arc<Counter>,
+    gap_markers: Arc<Counter>,
+    breaker_opens: Arc<Counter>,
+    spill_pending: Arc<Gauge>,
+    breaker_state: Arc<Gauge>,
+}
+
+impl ResilienceObs {
+    fn new(registry: &Registry) -> ResilienceObs {
+        let c = |name: &str| registry.counter(name, &[]);
+        ResilienceObs {
+            retries: c("pcp.resilience.retries"),
+            spilled: c("pcp.resilience.values_spilled"),
+            evicted: c("pcp.resilience.values_evicted"),
+            recovered: c("pcp.resilience.values_recovered"),
+            gap_markers: c("pcp.resilience.gap_markers"),
+            breaker_opens: c("pcp.resilience.breaker_opens"),
+            spill_pending: registry.gauge("pcp.resilience.spill_pending", &[]),
+            breaker_state: registry.gauge("pcp.resilience.breaker_state", &[]),
+        }
+    }
+}
+
+/// One report parked in the spill buffer.
+struct SpilledReport {
+    point: Point,
+    values: u64,
+    attempts: u32,
+}
+
 /// The unbuffered shipping path: target sampler → network → host DB.
 pub struct Shipper<'a> {
     db: &'a Database,
@@ -108,6 +197,20 @@ pub struct Shipper<'a> {
     noise: NoiseSource,
     stats: ShipperStats,
     obs: Option<TransportObs>,
+    // --- fault injection + resilience (inert by default) ---
+    fault: Option<FaultSchedule>,
+    rescfg: Option<ResilienceConfig>,
+    robs: Option<ResilienceObs>,
+    spill: VecDeque<SpilledReport>,
+    breaker: CircuitBreaker,
+    backoff_s: f64,
+    next_retry_s: f64,
+    outage_since: Option<f64>,
+    window_offered: u64,
+    window_failed: u64,
+    lossy_windows: u32,
+    clean_windows: u32,
+    stride: u64,
 }
 
 impl<'a> Shipper<'a> {
@@ -118,8 +221,19 @@ impl<'a> Shipper<'a> {
 
     /// New shipper writing into `db` over `link`, with windowed capacity.
     pub fn new(db: &'a Database, link: LinkSpec, window_s: f64, seed_labels: &[&str]) -> Self {
-        assert!(window_s > 0.0, "window must be positive");
-        Shipper {
+        Self::try_new(db, link, window_s, seed_labels).expect("window must be positive")
+    }
+
+    /// Like [`Shipper::new`] but returns a typed error for a non-finite
+    /// or non-positive window instead of panicking.
+    pub fn try_new(
+        db: &'a Database,
+        link: LinkSpec,
+        window_s: f64,
+        seed_labels: &[&str],
+    ) -> Result<Self, PcpError> {
+        require_positive("window_s", window_s)?;
+        Ok(Shipper {
             db,
             link,
             capacity_values_per_s: Self::DEFAULT_CAPACITY,
@@ -131,14 +245,90 @@ impl<'a> Shipper<'a> {
             noise: NoiseSource::from_labels(seed_labels),
             stats: ShipperStats::default(),
             obs: None,
-        }
+            fault: None,
+            rescfg: None,
+            robs: None,
+            spill: VecDeque::new(),
+            breaker: CircuitBreaker::new(1, 0.0),
+            backoff_s: 0.0,
+            next_retry_s: f64::NEG_INFINITY,
+            outage_since: None,
+            window_offered: 0,
+            window_failed: 0,
+            lossy_windows: 0,
+            clean_windows: 0,
+            stride: 1,
+        })
+    }
+
+    /// Validate and set the capacity model (the fields are public for
+    /// ablation sweeps; this is the checked path).
+    pub fn set_capacity(&mut self, values_per_s: f64, jitter: f64) -> Result<(), PcpError> {
+        require_positive("capacity_values_per_s", values_per_s)?;
+        require_non_negative("capacity_jitter", jitter)?;
+        self.capacity_values_per_s = values_per_s;
+        self.capacity_jitter = jitter;
+        Ok(())
     }
 
     /// Attach an observability registry; every subsequent [`Shipper::ship`]
     /// updates the `pcp.transport.*` counters and gauges in it.
     pub fn with_obs(mut self, registry: Arc<Registry>) -> Self {
         self.obs = Some(TransportObs::new(registry));
+        self.ensure_resilience_obs();
         self
+    }
+
+    /// Attach a fault schedule evaluated against the virtual clock on
+    /// every ship. An empty schedule is behaviour-identical to none.
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.set_fault_schedule(schedule);
+        self
+    }
+
+    /// Attach/replace the fault schedule in place.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.fault = Some(schedule);
+    }
+
+    /// Enable the resilient transport mode. Panics on an invalid config;
+    /// use [`Shipper::try_with_resilience`] for the typed-error path.
+    pub fn with_resilience(self, cfg: ResilienceConfig) -> Self {
+        self.try_with_resilience(cfg)
+            .expect("bad resilience config")
+    }
+
+    /// Enable the resilient transport mode, validating the config.
+    pub fn try_with_resilience(mut self, cfg: ResilienceConfig) -> Result<Self, PcpError> {
+        cfg.validate()?;
+        self.breaker = CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown_s);
+        self.rescfg = Some(cfg);
+        self.ensure_resilience_obs();
+        Ok(self)
+    }
+
+    fn ensure_resilience_obs(&mut self) {
+        if self.robs.is_none() {
+            if let (Some(o), Some(_)) = (&self.obs, &self.rescfg) {
+                self.robs = Some(ResilienceObs::new(&o.registry));
+            }
+        }
+    }
+
+    /// True when a [`ResilienceConfig`] is attached.
+    pub fn is_resilient(&self) -> bool {
+        self.rescfg.is_some()
+    }
+
+    /// Current circuit-breaker state (always `Closed` in default mode).
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Tick stride the adaptive degradation currently suggests: sample
+    /// every `n`-th tick. Always 1 in default mode.
+    pub fn suggested_stride(&self) -> u64 {
+        self.stride
     }
 
     /// The attached observability registry, if any.
@@ -162,8 +352,27 @@ impl<'a> Shipper<'a> {
     pub fn ship(&mut self, t: f64, point: Point, freq_hz: f64) -> ShipOutcome {
         let before = self.stats;
         let outcome = self.ship_inner(t, point, freq_hz);
+        self.stats.breaker_opens = self.breaker.opens;
+        self.export_obs(before);
+        outcome
+    }
+
+    /// A sampling tick passed without a ship (adaptive degradation is
+    /// skipping ticks): give the resilient path a chance to drain its
+    /// spill buffer. No-op in default mode.
+    pub fn idle_tick(&mut self, t: f64) {
+        if self.rescfg.is_none() {
+            return;
+        }
+        let before = self.stats;
+        self.drain_spill(t);
+        self.stats.breaker_opens = self.breaker.opens;
+        self.export_obs(before);
+    }
+
+    fn export_obs(&mut self, before: ShipperStats) {
+        let s = self.stats;
         if let Some(o) = &self.obs {
-            let s = &self.stats;
             o.reports_offered
                 .add(s.reports_offered - before.reports_offered);
             o.values_offered
@@ -181,7 +390,70 @@ impl<'a> Shipper<'a> {
             o.window_fill.set(fill);
             o.loss_pct.set(s.loss_pct());
         }
-        outcome
+        if let Some(r) = &self.robs {
+            r.retries.add(s.retries - before.retries);
+            r.spilled.add(s.values_spilled - before.values_spilled);
+            r.evicted.add(s.values_evicted - before.values_evicted);
+            r.recovered
+                .add(s.values_recovered - before.values_recovered);
+            r.gap_markers.add(s.gap_markers - before.gap_markers);
+            r.breaker_opens.add(s.breaker_opens - before.breaker_opens);
+            r.spill_pending.set(s.values_spill_pending as f64);
+            r.breaker_state.set(match self.breaker.state() {
+                BreakerState::Closed => 0.0,
+                BreakerState::HalfOpen => 1.0,
+                BreakerState::Open => 2.0,
+            });
+        }
+    }
+
+    fn fault_state_at(&self, t: f64) -> FaultState {
+        self.fault
+            .as_ref()
+            .map(|f| f.state_at(t))
+            .unwrap_or_else(FaultState::healthy)
+    }
+
+    /// Roll the capacity window; in resilient mode also close the books
+    /// on the previous window for adaptive degradation.
+    fn roll_window(&mut self, t: f64) {
+        let w = (t / self.window_s).floor() as i64;
+        if w != self.current_window {
+            self.evaluate_window();
+            self.current_window = w;
+            self.values_in_window = 0.0;
+            self.window_capacity = self.capacity_values_per_s
+                * self.window_s
+                * (1.0 + self.noise.normal(0.0, self.capacity_jitter)).max(0.1);
+        }
+    }
+
+    /// Adaptive frequency degradation: after `degrade_windows` consecutive
+    /// lossy windows the suggested tick stride doubles (capped); after as
+    /// many clean windows it halves back toward 1.
+    fn evaluate_window(&mut self) {
+        let Some(cfg) = self.rescfg else { return };
+        if self.window_offered == 0 {
+            return;
+        }
+        let loss = 100.0 * self.window_failed as f64 / self.window_offered as f64;
+        if loss >= cfg.degrade_loss_pct {
+            self.clean_windows = 0;
+            self.lossy_windows += 1;
+            if self.lossy_windows >= cfg.degrade_windows {
+                self.lossy_windows = 0;
+                self.stride = (self.stride * 2).min(cfg.max_stride);
+            }
+        } else {
+            self.lossy_windows = 0;
+            self.clean_windows += 1;
+            if self.clean_windows >= cfg.degrade_windows {
+                self.clean_windows = 0;
+                self.stride = (self.stride / 2).max(1);
+            }
+        }
+        self.window_offered = 0;
+        self.window_failed = 0;
     }
 
     fn ship_inner(&mut self, t: f64, point: Point, freq_hz: f64) -> ShipOutcome {
@@ -189,32 +461,54 @@ impl<'a> Shipper<'a> {
         self.stats.reports_offered += 1;
         self.stats.values_offered += values;
 
-        // Roll the capacity window.
-        let w = (t / self.window_s).floor() as i64;
-        if w != self.current_window {
-            self.current_window = w;
-            self.values_in_window = 0.0;
-            self.window_capacity = self.capacity_values_per_s
-                * self.window_s
-                * (1.0 + self.noise.normal(0.0, self.capacity_jitter)).max(0.1);
+        let fault = self.fault_state_at(t);
+        if self.rescfg.is_some() {
+            self.drain_spill(t);
         }
+
+        // Roll the capacity window.
+        self.roll_window(t);
+        self.window_offered += values;
         self.values_in_window += values as f64;
 
-        if self.values_in_window > self.window_capacity {
-            self.stats.values_lost += values;
-            return ShipOutcome::Lost;
+        // Link down (partition / flap): nothing crosses.
+        if !fault.link_up {
+            return self.fail_or_spill(t, point, values);
+        }
+
+        // Windowed service capacity, degraded by active faults.
+        if self.values_in_window > self.window_capacity * fault.capacity_factor {
+            return self.fail_or_spill(t, point, values);
         }
 
         self.stats.bytes_shipped += point.wire_size() as u64 + self.link.overhead_bytes as u64;
 
-        // Stale-read zeros at high frequency.
-        if self.noise.happens(Self::zero_probability(freq_hz)) {
+        // Stale-read zeros at high frequency. (Drawn here so the noise
+        // stream is bit-identical to the pre-fault-injection code.)
+        let read_zero = self.noise.happens(Self::zero_probability(freq_hz));
+
+        // DB path: circuit breaker, then backend brown-out.
+        if self.rescfg.is_some() && !self.breaker.allow(t) {
+            return self.fail_or_spill(t, point, values);
+        }
+        if fault.backend_availability < 1.0 && !self.noise.happens(fault.backend_availability) {
+            if self.rescfg.is_some() {
+                self.breaker.record_failure(t);
+            }
+            return self.fail_or_spill(t, point, values);
+        }
+        if self.rescfg.is_some() {
+            self.breaker.record_success();
+        }
+
+        if read_zero {
             let mut zeroed = point.clone();
             for v in zeroed.fields.values_mut() {
                 *v = pmove_tsdb::FieldValue::Float(0.0);
             }
             if self.db.write_point(zeroed).is_ok() {
                 self.stats.values_zeroed += values;
+                self.note_success(t);
                 return ShipOutcome::InsertedZero;
             }
             self.stats.values_lost += values;
@@ -224,11 +518,118 @@ impl<'a> Shipper<'a> {
         match self.db.write_point(point) {
             Ok(()) => {
                 self.stats.values_inserted += values;
+                self.note_success(t);
                 ShipOutcome::Inserted
             }
             Err(_) => {
                 self.stats.values_lost += values;
                 ShipOutcome::Lost
+            }
+        }
+    }
+
+    /// A report could not be delivered at `t`. Default mode: lost, as the
+    /// paper measures. Resilient mode: park it in the bounded spill
+    /// buffer, evicting the oldest entries when full.
+    fn fail_or_spill(&mut self, t: f64, point: Point, values: u64) -> ShipOutcome {
+        let Some(cfg) = self.rescfg else {
+            self.stats.values_lost += values;
+            return ShipOutcome::Lost;
+        };
+        self.window_failed += values;
+        if self.outage_since.is_none() {
+            self.outage_since = Some(t);
+        }
+        if values > cfg.spill_capacity_values {
+            // Could never fit; count it lost rather than churn the buffer.
+            self.stats.values_lost += values;
+            return ShipOutcome::Lost;
+        }
+        while self.stats.values_spill_pending + values > cfg.spill_capacity_values {
+            let old = self.spill.pop_front().expect("pending implies entries");
+            self.stats.values_spill_pending -= old.values;
+            self.stats.values_evicted += old.values;
+        }
+        self.spill.push_back(SpilledReport {
+            point,
+            values,
+            attempts: 0,
+        });
+        self.stats.values_spilled += values;
+        self.stats.values_spill_pending += values;
+        ShipOutcome::Spilled
+    }
+
+    /// Try to replay spilled reports, oldest first, respecting the retry
+    /// backoff, the circuit breaker, link state, and window capacity.
+    fn drain_spill(&mut self, t: f64) {
+        let Some(cfg) = self.rescfg else { return };
+        if self.spill.is_empty() || t < self.next_retry_s {
+            return;
+        }
+        let fault = self.fault_state_at(t);
+        if !fault.link_up || !self.breaker.allow(t) {
+            return;
+        }
+        self.roll_window(t);
+        while let Some(front) = self.spill.front() {
+            if self.values_in_window + front.values as f64
+                > self.window_capacity * fault.capacity_factor
+            {
+                break;
+            }
+            self.stats.retries += 1;
+            let backend_ok =
+                fault.backend_availability >= 1.0 || self.noise.happens(fault.backend_availability);
+            if !backend_ok {
+                self.breaker.record_failure(t);
+                let front = self.spill.front_mut().expect("checked non-empty");
+                front.attempts += 1;
+                if front.attempts >= cfg.max_retries {
+                    let dead = self.spill.pop_front().expect("checked non-empty");
+                    self.stats.values_spill_pending -= dead.values;
+                    self.stats.values_lost += dead.values;
+                }
+                // Capped exponential backoff with deterministic jitter.
+                self.backoff_s =
+                    (self.backoff_s * 2.0).clamp(cfg.backoff_base_s, cfg.backoff_cap_s);
+                let jitter = 1.0 + cfg.backoff_jitter * (self.noise.uniform() - 0.5);
+                self.next_retry_s = t + self.backoff_s * jitter;
+                return;
+            }
+            self.breaker.record_success();
+            let entry = self.spill.pop_front().expect("checked non-empty");
+            self.values_in_window += entry.values as f64;
+            self.stats.values_spill_pending -= entry.values;
+            self.stats.bytes_shipped +=
+                entry.point.wire_size() as u64 + self.link.overhead_bytes as u64;
+            match self.db.write_point(entry.point) {
+                Ok(()) => {
+                    self.stats.values_inserted += entry.values;
+                    self.stats.values_recovered += entry.values;
+                }
+                Err(_) => self.stats.values_lost += entry.values,
+            }
+            self.backoff_s = 0.0;
+            self.next_retry_s = t;
+            self.note_success(t);
+        }
+    }
+
+    /// First successful insert after an outage: write one gap-marker
+    /// point covering `[outage_start, t)` so queries can distinguish
+    /// "lost" from "not sampled".
+    fn note_success(&mut self, t: f64) {
+        let Some(cfg) = self.rescfg else { return };
+        if let Some(start) = self.outage_since.take() {
+            if cfg.gap_markers {
+                let gap = Point::new(GAP_MEASUREMENT)
+                    .timestamp((t * 1e9) as i64)
+                    .field("gap_start_s", start)
+                    .field("gap_end_s", t);
+                if self.db.write_point(gap).is_ok() {
+                    self.stats.gap_markers += 1;
+                }
             }
         }
     }
@@ -247,6 +648,7 @@ impl<'a> Shipper<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pmove_hwsim::network::FaultKind;
 
     fn report(ts: i64, fields: usize) -> Point {
         let mut p = Point::new("perfevent_hwcounters_test")
@@ -368,6 +770,8 @@ mod tests {
             snap.gauge("pcp.transport.loss_pct", &[]),
             Some(st.loss_pct())
         );
+        // Default mode registers no resilience series at all.
+        assert!(snap.counter("pcp.resilience.retries", &[]).is_none());
     }
 
     #[test]
@@ -379,9 +783,241 @@ mod tests {
             values_zeroed: 15,
             values_lost: 25,
             bytes_shipped: 1000,
+            ..ShipperStats::default()
         };
         assert_eq!(st.loss_pct(), 25.0);
         assert_eq!(st.loss_plus_zero_pct(), 40.0);
         assert_eq!(ShipperStats::default().loss_pct(), 0.0);
+    }
+
+    #[test]
+    fn stats_ratios_zero_offered_and_overflow_edges() {
+        // Zero offered: both ratios must be 0, not NaN.
+        let empty = ShipperStats::default();
+        assert_eq!(empty.loss_pct(), 0.0);
+        assert_eq!(empty.loss_plus_zero_pct(), 0.0);
+        assert!(empty.conserved());
+        // u64 extremes: the sum lost+zeroed would overflow with plain `+`;
+        // the saturating path must stay finite and ≤ ~200 %.
+        let extreme = ShipperStats {
+            values_offered: u64::MAX,
+            values_lost: u64::MAX,
+            values_zeroed: u64::MAX,
+            ..ShipperStats::default()
+        };
+        let pct = extreme.loss_plus_zero_pct();
+        assert!(pct.is_finite());
+        assert!((99.0..=101.0).contains(&pct), "saturated pct {pct}");
+        assert!(extreme.loss_pct().is_finite());
+        // accounted() saturates instead of wrapping.
+        assert_eq!(extreme.accounted(), u64::MAX);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected_with_typed_errors() {
+        let db = Database::new("host");
+        assert!(Shipper::try_new(&db, LinkSpec::mbit_100(), 0.0, &["v"]).is_err());
+        assert!(Shipper::try_new(&db, LinkSpec::mbit_100(), f64::NAN, &["v"]).is_err());
+        let mut s = Shipper::try_new(&db, LinkSpec::mbit_100(), 0.5, &["v"]).unwrap();
+        assert!(s.set_capacity(f64::INFINITY, 0.1).is_err());
+        assert!(s.set_capacity(-5.0, 0.1).is_err());
+        assert!(s.set_capacity(1000.0, f64::NAN).is_err());
+        assert!(s.set_capacity(1000.0, 0.1).is_ok());
+        assert_eq!(s.capacity_values_per_s, 1000.0);
+        let bad = ResilienceConfig {
+            backoff_base_s: -1.0,
+            ..ResilienceConfig::default()
+        };
+        assert!(s.try_with_resilience(bad).is_err());
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical_to_none() {
+        let run = |with_schedule: bool| {
+            let db = Database::new("host");
+            let mut s = Shipper::new(&db, LinkSpec::mbit_100(), 1.0 / 32.0, &["ident"]);
+            if with_schedule {
+                s.set_fault_schedule(FaultSchedule::none());
+            }
+            let mut t = 0.0;
+            for _ in 0..(32 * 5) {
+                for m in 0..6 {
+                    s.ship(t, report((t * 1e9) as i64 + m, 88), 32.0);
+                }
+                t += 1.0 / 32.0;
+            }
+            s.stats()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn link_down_without_resilience_loses_everything() {
+        let db = Database::new("host");
+        let schedule = FaultSchedule::none().with_window(0.0, 100.0, FaultKind::LinkDown);
+        let mut s =
+            Shipper::new(&db, LinkSpec::mbit_100(), 0.5, &["down"]).with_fault_schedule(schedule);
+        for i in 0..10 {
+            assert_eq!(s.ship(i as f64 * 0.5, report(i, 8), 2.0), ShipOutcome::Lost);
+        }
+        let st = s.stats();
+        assert_eq!(st.values_lost, 80);
+        assert_eq!(st.values_inserted, 0);
+        assert!(st.conserved());
+        assert_eq!(db.stats().points_inserted, 0);
+    }
+
+    #[test]
+    fn resilient_mode_spills_during_outage_and_recovers_after() {
+        let db = Database::new("host");
+        // Link down for the first 5 s, healthy afterwards.
+        let schedule = FaultSchedule::none().with_window(0.0, 5.0, FaultKind::LinkDown);
+        let mut s = Shipper::new(&db, LinkSpec::mbit_100(), 0.5, &["res1"])
+            .with_fault_schedule(schedule)
+            .with_resilience(ResilienceConfig::default());
+        let mut t = 0.25;
+        let mut i = 0;
+        while t < 10.0 {
+            let out = s.ship(t, report(i, 8), 2.0);
+            if t < 5.0 {
+                assert_eq!(out, ShipOutcome::Spilled, "t={t}");
+            }
+            i += 1;
+            t += 0.5;
+        }
+        let st = s.stats();
+        assert!(st.values_spilled > 0);
+        assert!(st.values_recovered > 0, "spill drained after recovery");
+        assert_eq!(st.values_spill_pending, 0, "fully drained");
+        assert_eq!(st.values_lost, 0);
+        assert!(st.conserved(), "{st:?}");
+        // Exactly one outage → exactly one gap marker, stored in the DB.
+        assert_eq!(st.gap_markers, 1);
+        let gaps = db
+            .query(&format!("SELECT \"gap_end_s\" FROM \"{GAP_MEASUREMENT}\""))
+            .unwrap();
+        assert_eq!(gaps.rows.len(), 1);
+    }
+
+    #[test]
+    fn spill_buffer_evicts_oldest_when_full() {
+        let db = Database::new("host");
+        let schedule = FaultSchedule::none().with_window(0.0, 1000.0, FaultKind::LinkDown);
+        let cfg = ResilienceConfig {
+            spill_capacity_values: 32, // room for 4 reports of 8 values
+            ..ResilienceConfig::default()
+        };
+        let mut s = Shipper::new(&db, LinkSpec::mbit_100(), 0.5, &["res2"])
+            .with_fault_schedule(schedule)
+            .with_resilience(cfg);
+        for i in 0..10 {
+            s.ship(i as f64 * 0.5, report(i, 8), 2.0);
+        }
+        let st = s.stats();
+        assert_eq!(st.values_spilled, 80);
+        assert_eq!(st.values_spill_pending, 32);
+        assert_eq!(st.values_evicted, 48);
+        assert!(st.conserved(), "{st:?}");
+    }
+
+    #[test]
+    fn brownout_opens_breaker_and_resilient_mode_conserves() {
+        let db = Database::new("host");
+        // Hard brown-out: backend rejects every write for 20 s.
+        let schedule =
+            FaultSchedule::none().with_window(0.0, 20.0, FaultKind::BackendBrownout(0.0));
+        let mut s = Shipper::new(&db, LinkSpec::mbit_100(), 0.5, &["res3"])
+            .with_fault_schedule(schedule)
+            .with_resilience(ResilienceConfig::default());
+        let mut t = 0.25;
+        let mut i = 0;
+        while t < 30.0 {
+            s.ship(t, report(i, 8), 2.0);
+            i += 1;
+            t += 0.5;
+        }
+        let st = s.stats();
+        assert!(st.breaker_opens >= 1, "breaker tripped: {st:?}");
+        assert!(st.retries > 0);
+        assert!(st.values_recovered > 0, "drained after the brown-out");
+        assert!(st.conserved(), "{st:?}");
+        assert_eq!(s.breaker_state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn sustained_loss_degrades_stride_and_recovery_restores_it() {
+        let db = Database::new("host");
+        // Bandwidth crushed to 0.1 % for 60 s (per-window capacity below a
+        // single 16-value report), then healthy.
+        let schedule =
+            FaultSchedule::none().with_window(0.0, 60.0, FaultKind::BandwidthDegraded(0.001));
+        let cfg = ResilienceConfig {
+            spill_capacity_values: 64,
+            ..ResilienceConfig::default()
+        };
+        let mut s = Shipper::new(&db, LinkSpec::mbit_100(), 0.5, &["res4"])
+            .with_fault_schedule(schedule)
+            .with_resilience(cfg);
+        assert_eq!(s.suggested_stride(), 1);
+        let mut t = 0.25;
+        let mut i = 0;
+        while t < 60.0 {
+            s.ship(t, report(i, 16), 2.0);
+            i += 1;
+            t += 0.5;
+        }
+        assert!(s.suggested_stride() > 1, "stride degraded under loss");
+        while t < 140.0 {
+            s.ship(t, report(i, 16), 2.0);
+            i += 1;
+            t += 0.5;
+        }
+        assert_eq!(s.suggested_stride(), 1, "stride recovered");
+        assert!(s.stats().conserved(), "{:?}", s.stats());
+    }
+
+    #[test]
+    fn resilience_obs_exports_counters_and_gauges() {
+        let db = Database::new("host");
+        let reg = Registry::shared();
+        let schedule = FaultSchedule::none().with_window(0.0, 5.0, FaultKind::LinkDown);
+        let mut s = Shipper::new(&db, LinkSpec::mbit_100(), 0.5, &["res5"])
+            .with_obs(reg.clone())
+            .with_fault_schedule(schedule)
+            .with_resilience(ResilienceConfig::default());
+        let mut t = 0.25;
+        let mut i = 0;
+        while t < 10.0 {
+            s.ship(t, report(i, 8), 2.0);
+            i += 1;
+            t += 0.5;
+        }
+        let st = s.stats();
+        let snap = reg.snapshot();
+        for (name, want) in [
+            ("pcp.resilience.values_spilled", st.values_spilled),
+            ("pcp.resilience.values_evicted", st.values_evicted),
+            ("pcp.resilience.values_recovered", st.values_recovered),
+            ("pcp.resilience.retries", st.retries),
+            ("pcp.resilience.gap_markers", st.gap_markers),
+            ("pcp.resilience.breaker_opens", st.breaker_opens),
+        ] {
+            assert_eq!(snap.counter(name, &[]), Some(want), "{name}");
+        }
+        assert_eq!(
+            snap.gauge("pcp.resilience.spill_pending", &[]),
+            Some(st.values_spill_pending as f64)
+        );
+        assert_eq!(snap.gauge("pcp.resilience.breaker_state", &[]), Some(0.0));
+        // Conservation holds across transport + resilience counters.
+        let offered = snap.counter("pcp.transport.values_offered", &[]).unwrap();
+        let inserted = snap.counter("pcp.transport.values_inserted", &[]).unwrap();
+        let zeroed = snap.counter("pcp.transport.values_zeroed", &[]).unwrap();
+        let lost = snap.counter("pcp.transport.values_lost", &[]).unwrap();
+        let evicted = snap.counter("pcp.resilience.values_evicted", &[]).unwrap();
+        assert_eq!(
+            offered,
+            inserted + zeroed + lost + evicted + st.values_spill_pending
+        );
     }
 }

@@ -1,0 +1,169 @@
+//! Chaos property tests: the transport's loss-conservation identity must
+//! survive *arbitrary* injected faults — link flaps, bandwidth collapse,
+//! backend brown-outs — with the resilient mode on or off, and every run
+//! must replay bit-identically from its seed. A separate property pins
+//! the Table III contract: an attached-but-empty fault schedule changes
+//! nothing about the default transport.
+//!
+//! Case count defaults to 256 and is raised in CI's chaos job via the
+//! `PMOVE_CHAOS_CASES` environment variable.
+
+use pmove_hwsim::network::LinkSpec;
+use pmove_hwsim::FaultSchedule;
+use pmove_pcp::{ResilienceConfig, Shipper, ShipperStats};
+use pmove_tsdb::{Database, Point};
+use proptest::prelude::*;
+
+fn chaos_cases() -> u32 {
+    std::env::var("PMOVE_CHAOS_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Deterministic per-case value stream (SplitMix64).
+fn next(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn report(t_ns: i64, metric: usize, domain: usize, seed: &mut u64) -> Point {
+    let mut p = Point::new(format!("perfevent_hwcounters_m{metric}"))
+        .tag("tag", "chaos")
+        .timestamp(t_ns);
+    for i in 0..domain {
+        p = p.field(format!("_cpu{i}"), (next(seed) % 1_000_000) as f64);
+    }
+    p
+}
+
+struct Case {
+    seed: u64,
+    freq: u32,
+    domain: usize,
+    n_metrics: usize,
+    duration_s: u32,
+}
+
+/// One full run; returns the final stats and the DB row count.
+fn run(
+    case: &Case,
+    fault: Option<FaultSchedule>,
+    resilience: Option<ResilienceConfig>,
+) -> (ShipperStats, usize) {
+    let freq_hz = case.freq as f64;
+    let db = Database::new("host");
+    let mut shipper = Shipper::new(
+        &db,
+        LinkSpec::mbit_100(),
+        1.0 / freq_hz,
+        &["chaos", &format!("{:x}", case.seed)],
+    );
+    let fault_tail_s = fault.as_ref().map(|f| f.last_fault_end_s()).unwrap_or(0.0);
+    if let Some(schedule) = fault {
+        shipper = shipper.with_fault_schedule(schedule);
+    }
+    if let Some(cfg) = resilience {
+        shipper = shipper.with_resilience(cfg);
+    }
+    let ticks = case.freq * case.duration_s;
+    let mut value_seed = case.seed;
+    let mut t = 0.0;
+    for _ in 0..ticks {
+        for m in 0..case.n_metrics {
+            shipper.ship(
+                t,
+                report((t * 1e9) as i64 + m as i64, m, case.domain, &mut value_seed),
+                freq_hz,
+            );
+        }
+        t += 1.0 / freq_hz;
+    }
+    // Give the resilient transport idle time after the schedule ends so
+    // spilled reports get their retry chances against a healthy backend.
+    if resilience.is_some() {
+        let end_s = case.duration_s as f64;
+        let tail = fault_tail_s.max(end_s);
+        let mut t_idle = end_s;
+        while t_idle <= tail + 10.0 {
+            shipper.idle_tick(t_idle);
+            t_idle += 0.5;
+        }
+    }
+    (shipper.stats(), db.total_rows())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
+
+    /// The 5-term identity holds under any fault schedule, resilient or
+    /// not, and the whole run replays bit-identically from its seed.
+    #[test]
+    fn conservation_survives_arbitrary_faults(
+        seed in any::<u64>(),
+        freq in 1u32..=32,
+        domain in 1usize..=64,
+        n_metrics in 1usize..=4,
+        duration_s in 2u32..=6,
+        resilient in any::<bool>(),
+        spill_capacity in 64u64..=8192,
+    ) {
+        let case = Case { seed, freq, domain, n_metrics, duration_s };
+        let fault = FaultSchedule::random(seed, duration_s as f64);
+        let resilience = resilient.then(|| ResilienceConfig {
+            spill_capacity_values: spill_capacity,
+            ..ResilienceConfig::default()
+        });
+
+        let (st, rows) = run(&case, Some(fault.clone()), resilience);
+        prop_assert!(
+            st.conserved(),
+            "offered={} != accounted={} (inserted={} zeroed={} lost={} pending={} evicted={}) fault={:?}",
+            st.values_offered, st.accounted(), st.values_inserted, st.values_zeroed,
+            st.values_lost, st.values_spill_pending, st.values_evicted, fault
+        );
+        // Everything the sampler produced was offered.
+        let expected = (freq * duration_s) as u64 * n_metrics as u64 * domain as u64;
+        prop_assert_eq!(st.values_offered, expected);
+        // Without resilience there is no spill machinery to populate.
+        if !resilient {
+            prop_assert_eq!(st.values_spilled, 0);
+            prop_assert_eq!(st.values_spill_pending, 0);
+            prop_assert_eq!(st.values_evicted, 0);
+            prop_assert_eq!(st.values_recovered, 0);
+            prop_assert_eq!(st.retries, 0);
+        }
+        // The DB never holds more report rows than inserted values imply.
+        prop_assert!(rows as u64 <= st.values_inserted + st.values_zeroed + st.gap_markers * 2);
+
+        // Determinism: the identical configuration replays to identical
+        // stats and identical DB contents.
+        let (st2, rows2) = run(&case, Some(fault), resilience);
+        prop_assert_eq!(st, st2, "chaos run is not deterministic per seed");
+        prop_assert_eq!(rows, rows2);
+    }
+
+    /// Table III contract: attaching an *empty* schedule (and no
+    /// resilience) leaves the default transport bit-identical — same
+    /// stats, same rows — so the paper-mode loss model is untouched by
+    /// the chaos machinery.
+    #[test]
+    fn empty_schedule_reproduces_default_mode_exactly(
+        seed in any::<u64>(),
+        freq in 1u32..=64,
+        domain in 1usize..=64,
+        n_metrics in 1usize..=4,
+        duration_s in 1u32..=4,
+    ) {
+        let case = Case { seed, freq, domain, n_metrics, duration_s };
+        let (plain, plain_rows) = run(&case, None, None);
+        let (scheduled, scheduled_rows) = run(&case, Some(FaultSchedule::none()), None);
+        prop_assert_eq!(plain, scheduled);
+        prop_assert_eq!(plain_rows, scheduled_rows);
+        prop_assert_eq!(plain.values_spilled, 0);
+        prop_assert_eq!(plain.gap_markers, 0);
+    }
+}
