@@ -1,0 +1,50 @@
+//! Criterion benches: the parallel sharded query engine vs the
+//! sequential reference — 1 vs N threads, cold vs warm result cache —
+//! over the Table III telemetry corpus.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmove_bench::query::{build_corpus, workload};
+use pmove_tsdb::ExecMode;
+
+fn bench_exec_modes(c: &mut Criterion) {
+    let db = build_corpus();
+    let queries = workload(&db);
+    let mut group = c.benchmark_group("query_engine");
+
+    group.bench_function("sequential_cold", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(db.query_arc_with_mode(q, ExecMode::Sequential).unwrap());
+            }
+        })
+    });
+    for threads in [1usize, 2, 8] {
+        group.bench_function(format!("parallel_{threads}_cold"), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(
+                        db.query_arc_with_mode(q, ExecMode::Parallel(threads))
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+    }
+
+    db.set_query_cache_capacity(queries.len() + 16);
+    // Fill pass, then every timed iteration serves from cache.
+    for q in &queries {
+        let _ = db.query_arc_with_mode(q, ExecMode::Parallel(8)).unwrap();
+    }
+    group.bench_function("parallel_8_warm_cache", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(db.query_arc_with_mode(q, ExecMode::Parallel(8)).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec_modes);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Reproduce the query-engine benchmark: Table III corpus through the
+//! sequential reference and the parallel sharded engine, cold and with a
+//! warm result cache. Exits non-zero if the best engine configuration
+//! fails the >=2x speedup gate.
+
+fn main() {
+    let report = pmove_bench::query::run(5);
+    print!("{}", pmove_bench::query::format(&report));
+    if report.best_speedup() < 2.0 {
+        println!(
+            "\nspeedup gate FAILED: best {:.2}x < 2x",
+            report.best_speedup()
+        );
+        std::process::exit(1);
+    }
+}

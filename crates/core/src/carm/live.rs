@@ -123,25 +123,39 @@ impl<'a> LiveCarm<'a> {
             }
         }
 
+        use pmove_tsdb::aggregate::AggregateFn;
+        use pmove_tsdb::query::Projection;
+        use pmove_tsdb::Query;
         use std::collections::BTreeMap;
+        let tag_filters = vec![("tag".to_string(), obs_id.to_string())];
         let mut buckets: BTreeMap<i64, BTreeMap<String, f64>> = BTreeMap::new();
         for event in &events {
             let measurement = format!("perfevent_hwcounters_{}", event.replace([':', '.'], "_"));
             // Discover the fields, then aggregate each with a per-bucket
-            // sum and add the fields together.
-            let Ok(fields) = ts
-                .query(&format!(
-                    "SELECT * FROM \"{measurement}\" WHERE tag='{obs_id}'"
-                ))
-                .map(|r| r.columns)
-            else {
+            // sum and add the fields together. Structured queries go
+            // straight to the planner (and share the engine's result
+            // cache) instead of round-tripping through the parser.
+            let discover = Query {
+                projections: vec![Projection::Wildcard],
+                measurement: measurement.clone(),
+                tag_filters: tag_filters.clone(),
+                time_start: None,
+                time_end: None,
+                group_by_time: None,
+            };
+            let Ok(fields) = ts.query_parsed(&discover).map(|r| r.columns) else {
                 continue;
             };
             for field in fields {
-                let q = format!(
-                    "SELECT sum(\"{field}\") FROM \"{measurement}\" WHERE tag='{obs_id}' GROUP BY time({bucket_ns})"
-                );
-                if let Ok(r) = ts.query(&q) {
+                let q = Query {
+                    projections: vec![Projection::Aggregate(AggregateFn::Sum, field.clone())],
+                    measurement: measurement.clone(),
+                    tag_filters: tag_filters.clone(),
+                    time_start: None,
+                    time_end: None,
+                    group_by_time: Some(bucket_ns),
+                };
+                if let Ok(r) = ts.query_parsed(&q) {
                     for row in r.rows {
                         if let Some(Some(v)) = row.values.values().next() {
                             *buckets

@@ -156,6 +156,30 @@ pub fn self_dashboard(kb: &KnowledgeBase, snap: &pmove_obs::Snapshot) -> Dashboa
         d = d.panel("storage engine", storage_targets);
     }
 
+    // Query engine: parallel-executor and result-cache counters. The
+    // engine registers these on attach, so every observed daemon grows the
+    // panel (hit rates read as flat zero until queries run).
+    let mut seen_query = Vec::new();
+    let query_targets: Vec<Target> = snap
+        .counters
+        .iter()
+        .filter(|(key, _)| {
+            key.name.starts_with("tsdb.query.") || key.name.starts_with("tsdb.cache.")
+        })
+        .filter(|(key, _)| {
+            if seen_query.contains(&key.name) {
+                false
+            } else {
+                seen_query.push(key.name.clone());
+                true
+            }
+        })
+        .map(|(key, _)| target(&format!("{SELF_PREFIX}{}", key.name), "value"))
+        .collect();
+    if !query_targets.is_empty() {
+        d = d.panel("query engine", query_targets);
+    }
+
     // Transport resilience: spill/retry/breaker counters and gauges, when
     // the self-healing transport mode has been active. Plain runs carry
     // only the zero-valued supervision counters, so they grow no panel.
@@ -362,6 +386,40 @@ mod tests {
             .panels
             .iter()
             .all(|p| p.title != "storage engine"));
+    }
+
+    #[test]
+    fn self_dashboard_includes_query_engine_panel() {
+        let mut d = crate::telemetry::daemon::PMoveDaemon::for_preset("icl").unwrap();
+        d.monitor(5.0, 2.0);
+        // Drive the query path so the counters carry non-registration values
+        // too (panel membership itself comes from registration).
+        d.ts.query("SELECT * FROM \"kernel_all_load\"").ok();
+        let dash = d.self_dashboard();
+        let panel = dash
+            .panels
+            .iter()
+            .find(|p| p.title == "query engine")
+            .expect("self dashboard exposes the query-engine panel");
+        let ms: Vec<&str> = panel
+            .targets
+            .iter()
+            .map(|t| t.measurement.as_str())
+            .collect();
+        assert!(ms.contains(&"pmove.self.tsdb.query.executions"));
+        assert!(ms.contains(&"pmove.self.tsdb.query.rows_scanned"));
+        assert!(ms.contains(&"pmove.self.tsdb.cache.hits"));
+        assert!(ms.contains(&"pmove.self.tsdb.cache.misses"));
+        // The targeted series exist once self telemetry is exported.
+        d.export_self_telemetry();
+        let exported = d.ts.measurements();
+        for t in &panel.targets {
+            assert!(
+                exported.contains(&t.measurement),
+                "missing {}",
+                t.measurement
+            );
+        }
     }
 
     #[test]

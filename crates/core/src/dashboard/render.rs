@@ -5,7 +5,8 @@
 //! dashboards in a terminal.
 
 use crate::dashboard::model::{Dashboard, Panel};
-use pmove_tsdb::Database;
+use pmove_tsdb::query::Projection;
+use pmove_tsdb::{Database, Query};
 
 const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
 
@@ -42,12 +43,19 @@ pub fn sparkline(values: &[f64], width: usize) -> String {
 pub fn render_panel(db: &Database, panel: &Panel, tag: Option<&str>, width: usize) -> String {
     let mut out = format!("── {} ──\n", panel.title);
     for t in &panel.targets {
-        let where_clause = tag.map(|v| format!(" WHERE tag='{v}'")).unwrap_or_default();
-        let q = format!(
-            "SELECT \"{}\" FROM \"{}\"{}",
-            t.params, t.measurement, where_clause
-        );
-        match db.query(&q) {
+        // Structured query (no parser round-trip): every target renders
+        // through the same normalized cache key the engine uses.
+        let q = Query {
+            projections: vec![Projection::Field(t.params.clone())],
+            measurement: t.measurement.clone(),
+            tag_filters: tag
+                .map(|v| vec![("tag".to_string(), v.to_string())])
+                .unwrap_or_default(),
+            time_start: None,
+            time_end: None,
+            group_by_time: None,
+        };
+        match db.query_parsed(&q) {
             Ok(r) => {
                 let series: Vec<f64> = r
                     .column_series(&t.params)

@@ -2,10 +2,12 @@
 //! subscriptions, and the ingest limiter that models database-side
 //! backpressure.
 
+use crate::cache::{CacheLookup, QueryCache};
 use crate::error::TsdbError;
+use crate::exec::{self, ExecMode, ExecStats};
 use crate::line_protocol::{parse_series_key, render_series_key};
 use crate::point::Point;
-use crate::query::{self, Query, QueryResult};
+use crate::query::{Query, QueryResult};
 use crate::retention::RetentionPolicy;
 use crate::storage::Storage;
 use crate::subscribe::{Subscription, SubscriptionHub};
@@ -17,7 +19,7 @@ use pmove_store::{
     ChunkInfo, ColumnValue, CompactionReport, RecoveryReport, RowRecord, StoreObs, StoreOptions,
     TsStore, Vfs,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Translate a stored field value into its durable column form.
@@ -153,6 +155,18 @@ struct EngineObs {
     queries: Arc<Counter>,
     ingest_ns: Arc<Histogram>,
     query_ns: Arc<Histogram>,
+    // Sharded query engine accounting.
+    query_executions: Arc<Counter>,
+    query_parallel: Arc<Counter>,
+    query_shards_scanned: Arc<Counter>,
+    query_rows_scanned: Arc<Counter>,
+    query_series_pruned: Arc<Counter>,
+    // Query-result cache accounting.
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_insertions: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_invalidations: Arc<Counter>,
 }
 
 impl EngineObs {
@@ -177,6 +191,16 @@ impl EngineObs {
             queries: c("tsdb.queries"),
             ingest_ns: registry.histogram("tsdb.ingest_ns", &[], buckets.clone()),
             query_ns: registry.histogram("tsdb.query_ns", &[], buckets),
+            query_executions: c("tsdb.query.executions"),
+            query_parallel: c("tsdb.query.parallel"),
+            query_shards_scanned: c("tsdb.query.shards_scanned"),
+            query_rows_scanned: c("tsdb.query.rows_scanned"),
+            query_series_pruned: c("tsdb.query.series_pruned"),
+            cache_hits: c("tsdb.cache.hits"),
+            cache_misses: c("tsdb.cache.misses"),
+            cache_insertions: c("tsdb.cache.insertions"),
+            cache_evictions: c("tsdb.cache.evictions"),
+            cache_invalidations: c("tsdb.cache.invalidations"),
             registry,
         }
     }
@@ -193,6 +217,13 @@ pub struct Database {
     obs: Option<EngineObs>,
     /// Durable storage engine; `None` for a memory-only database.
     store: Option<Mutex<TsStore>>,
+    /// Execution mode used by `query`/`query_parsed`.
+    exec_mode: Mutex<ExecMode>,
+    /// Normalized-text query-result cache.
+    cache: Mutex<QueryCache>,
+    /// Per-measurement write version: bumped on every accepted write and
+    /// on retention/recovery, validating cache entries lazily.
+    versions: Mutex<HashMap<String, u64>>,
 }
 
 impl Database {
@@ -208,6 +239,9 @@ impl Database {
             hub: SubscriptionHub::new(),
             obs: None,
             store: None,
+            exec_mode: Mutex::new(ExecMode::default()),
+            cache: Mutex::new(QueryCache::default()),
+            versions: Mutex::new(HashMap::new()),
         }
     }
 
@@ -267,6 +301,9 @@ impl Database {
                 });
             }
         }
+        // Recovered points bypass `write_point`, so refresh every
+        // measurement's write version from what storage now holds.
+        self.bump_all_versions();
         self.store = Some(Mutex::new(store));
         Ok(())
     }
@@ -364,7 +401,9 @@ impl Database {
                 .record(EngineObs::INGEST_BASE_NS + EngineObs::INGEST_PER_VALUE_NS * n);
         }
         self.hub.publish(&point);
+        let measurement = point.measurement.clone();
         self.storage.write().insert(point);
+        self.bump_version(&measurement);
         Ok(())
     }
 
@@ -390,16 +429,161 @@ impl Database {
         self.query_parsed(&q)
     }
 
-    /// Run a pre-parsed query.
+    /// Run a pre-parsed query in the database's current execution mode.
     pub fn query_parsed(&self, q: &Query) -> Result<QueryResult, TsdbError> {
-        let result = query::execute(&self.storage.read(), q);
+        self.query_with_mode(q, *self.exec_mode.lock())
+    }
+
+    /// Run a pre-parsed query in an explicit execution mode.
+    pub fn query_with_mode(&self, q: &Query, mode: ExecMode) -> Result<QueryResult, TsdbError> {
+        self.query_arc_with_mode(q, mode).map(|r| (*r).clone())
+    }
+
+    /// Like [`Database::query_with_mode`] but returns the shared result,
+    /// avoiding a row copy on cache hits (hot dashboard/bench path).
+    pub fn query_arc_with_mode(
+        &self,
+        q: &Query,
+        mode: ExecMode,
+    ) -> Result<Arc<QueryResult>, TsdbError> {
+        // Capture the measurement's write version BEFORE executing: if a
+        // write lands mid-query the entry is recorded under the older
+        // version and fails validation on its next lookup — conservative,
+        // never stale.
+        let cache_enabled = self.cache.lock().capacity() > 0;
+        let (cache_key, version) = if cache_enabled {
+            let version = self.measurement_version(&q.measurement);
+            let key = q.normalized();
+            if let Some(hit) = self.cache_lookup(&key, version) {
+                self.record_query_served(hit.rows.len() as u64);
+                return Ok(hit);
+            }
+            (Some(key), version)
+        } else {
+            (None, 0)
+        };
+
+        let run = {
+            let storage = self.storage.read();
+            exec::run(&storage, q, mode)
+        };
+        if let Some(o) = &self.obs {
+            o.query_executions.inc();
+        }
+        match run {
+            Ok((result, stats)) => {
+                self.record_query_served(result.rows.len() as u64);
+                self.record_exec_stats(&stats);
+                let result = Arc::new(result);
+                if let Some(key) = cache_key {
+                    let evicted = self.cache.lock().insert(
+                        key,
+                        q.measurement.clone(),
+                        version,
+                        result.clone(),
+                    );
+                    if let Some(o) = &self.obs {
+                        o.cache_insertions.inc();
+                        o.cache_evictions.add(evicted as u64);
+                    }
+                }
+                Ok(result)
+            }
+            Err(e) => {
+                self.record_query_served(0);
+                Err(e)
+            }
+        }
+    }
+
+    /// Legacy served-query accounting: one `tsdb.queries` tick plus the
+    /// modelled latency — identical for executed and cache-served queries,
+    /// so enabling the cache never changes the exported histograms.
+    fn record_query_served(&self, rows: u64) {
         if let Some(o) = &self.obs {
             o.queries.inc();
-            let rows = result.as_ref().map(|r| r.rows.len() as u64).unwrap_or(0);
             o.query_ns
                 .record(EngineObs::QUERY_BASE_NS + EngineObs::QUERY_PER_ROW_NS * rows);
         }
-        result
+    }
+
+    fn record_exec_stats(&self, stats: &ExecStats) {
+        if let Some(o) = &self.obs {
+            if stats.parallel {
+                o.query_parallel.inc();
+            }
+            o.query_shards_scanned.add(stats.shards_scanned);
+            o.query_rows_scanned.add(stats.rows_scanned);
+            o.query_series_pruned.add(stats.series_pruned);
+        }
+    }
+
+    fn cache_lookup(&self, key: &str, version: u64) -> Option<Arc<QueryResult>> {
+        let lookup = self.cache.lock().get(key, version);
+        match lookup {
+            CacheLookup::Hit(r) => {
+                if let Some(o) = &self.obs {
+                    o.cache_hits.inc();
+                }
+                Some(r)
+            }
+            CacheLookup::Stale => {
+                if let Some(o) = &self.obs {
+                    o.cache_invalidations.inc();
+                    o.cache_misses.inc();
+                }
+                None
+            }
+            CacheLookup::Miss => {
+                if let Some(o) = &self.obs {
+                    o.cache_misses.inc();
+                }
+                None
+            }
+        }
+    }
+
+    fn measurement_version(&self, measurement: &str) -> u64 {
+        self.versions.lock().get(measurement).copied().unwrap_or(0)
+    }
+
+    fn bump_version(&self, measurement: &str) {
+        *self
+            .versions
+            .lock()
+            .entry(measurement.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Bump every measurement's version. Iterates storage's measurement
+    /// names (not the version map) so measurements populated outside
+    /// `write_point` — e.g. recovered from the durable store — are covered.
+    fn bump_all_versions(&self) {
+        let names = self.storage.read().measurement_names();
+        let mut versions = self.versions.lock();
+        for name in names {
+            *versions.entry(name).or_insert(0) += 1;
+        }
+    }
+
+    /// Set the execution mode used by `query`/`query_parsed`.
+    pub fn set_exec_mode(&self, mode: ExecMode) {
+        *self.exec_mode.lock() = mode;
+    }
+
+    /// The current execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        *self.exec_mode.lock()
+    }
+
+    /// Resize the query-result cache (0 disables and clears it).
+    pub fn set_query_cache_capacity(&self, capacity: usize) {
+        self.cache.lock().set_capacity(capacity);
+    }
+
+    /// Number of currently cached query results.
+    pub fn query_cache_len(&self) -> usize {
+        self.cache.lock().len()
     }
 
     /// Current ingest statistics snapshot.
@@ -432,6 +616,9 @@ impl Database {
             return Ok(0);
         };
         let removed = self.storage.write().drop_before(cutoff);
+        if removed > 0 {
+            self.bump_all_versions();
+        }
         if let Some(store) = &self.store {
             store.lock().enforce_retention(cutoff)?;
         }

@@ -11,6 +11,11 @@
 //! * an InfluxQL-like query layer: `SELECT f1, f2 FROM m WHERE tag='v' AND
 //!   time >= a AND time < b` with aggregations (`MIN`/`MAX`/`MEAN`/...) and
 //!   `GROUP BY time(interval)` downsampling ([`query`]);
+//! * a **parallel sharded query engine**: series are hash-partitioned
+//!   across fixed shards, scanned concurrently, and merged deterministically
+//!   so results are bit-identical to the sequential reference executor at
+//!   any thread count ([`exec`]), fronted by a write-invalidated LRU
+//!   query-result cache ([`cache`]);
 //! * **retention policies** that age out old points ([`retention`]);
 //! * **live subscriptions** feeding dashboards ([`subscribe`]);
 //! * an **ingest throughput limit** modelling the database-side backpressure
@@ -33,8 +38,10 @@
 //! ```
 
 pub mod aggregate;
+pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod index;
 pub mod line_protocol;
 pub mod point;
@@ -52,11 +59,14 @@ pub mod value;
 /// direct `pmove-store` dependency).
 pub use pmove_store as store;
 
+pub use cache::{QueryCache, DEFAULT_CACHE_CAPACITY};
 pub use engine::{Database, IngestLimiter, IngestStats};
 pub use error::TsdbError;
+pub use exec::{ExecMode, ExecStats};
 pub use point::Point;
-pub use query::{Query, QueryResult, ResultRow};
+pub use query::{Query, QueryPlan, QueryResult, ResultRow};
 pub use retention::RetentionPolicy;
 pub use self_export::export_snapshot;
 pub use series::{SeriesId, SeriesKey};
+pub use storage::DEFAULT_SHARD_COUNT;
 pub use value::FieldValue;

@@ -13,8 +13,10 @@
 
 use crate::aggregate::{Accumulator, AggregateFn};
 use crate::error::TsdbError;
-use crate::storage::Storage;
+use crate::series::SeriesId;
+use crate::storage::{MeasurementView, Storage};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// One projected column: a raw field or an aggregate over a field.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +51,146 @@ impl Query {
     pub fn parse(text: &str) -> Result<Self, TsdbError> {
         Parser::new(text).parse()
     }
+
+    /// Canonical textual rendering, used as the query-cache key: fixed
+    /// spacing and quoting, tag filters sorted and deduplicated (their
+    /// order and multiplicity don't affect results — `lookup_all`
+    /// intersects posting sets). Two queries with the same normalized text
+    /// produce the same result against the same storage state.
+    pub fn normalized(&self) -> String {
+        let mut s = String::from("SELECT ");
+        for (i, p) in self.projections.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            match p {
+                Projection::Wildcard => s.push('*'),
+                Projection::Field(f) => {
+                    let _ = write!(s, "\"{f}\"");
+                }
+                Projection::Aggregate(func, f) => {
+                    let _ = write!(s, "{}(\"{f}\")", func.name());
+                }
+            }
+        }
+        let _ = write!(s, " FROM \"{}\"", self.measurement);
+        let mut clauses: Vec<String> = Vec::new();
+        let mut tags = self.tag_filters.clone();
+        tags.sort();
+        tags.dedup();
+        for (k, v) in tags {
+            clauses.push(format!("{k}='{v}'"));
+        }
+        if let Some(t) = self.time_start {
+            clauses.push(format!("time >= {t}"));
+        }
+        if let Some(t) = self.time_end {
+            clauses.push(format!("time < {t}"));
+        }
+        if !clauses.is_empty() {
+            let _ = write!(s, " WHERE {}", clauses.join(" AND "));
+        }
+        if let Some(b) = self.group_by_time {
+            let _ = write!(s, " GROUP BY time({b})");
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+/// Resolved physical plan for one query: wildcards expanded against the
+/// measurement's field keys, time bounds concretized, the matching series
+/// set resolved through the inverted index and then pruned by each series'
+/// stored time bounds. The plan is what both executors agree on; pruning is
+/// semantics-preserving because a pruned series contributes zero rows to
+/// the scanned window.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Projections with `Wildcard` expanded (never contains `Wildcard`).
+    pub projections: Vec<Projection>,
+    /// Output column names, one per projection.
+    pub columns: Vec<String>,
+    /// Inclusive scan start.
+    pub start: i64,
+    /// Exclusive scan end.
+    pub end: i64,
+    /// Matching series ids in ascending order, time-pruned.
+    pub ids: Vec<SeriesId>,
+    /// Series the index matched but whose `[min, max]` timestamps fall
+    /// entirely outside the scan window.
+    pub series_pruned: usize,
+    /// `GROUP BY time(b)` bucket width.
+    pub bucket: Option<i64>,
+    /// Whether any projection is an aggregate (bucketed output).
+    pub aggregated: bool,
+}
+
+/// Plan a query against storage, returning the plan plus the measurement
+/// view it was planned over.
+pub fn plan<'a>(
+    storage: &'a Storage,
+    q: &Query,
+) -> Result<(QueryPlan, MeasurementView<'a>), TsdbError> {
+    let m = storage
+        .measurement(&q.measurement)
+        .ok_or_else(|| TsdbError::UnknownMeasurement(q.measurement.clone()))?;
+
+    let mut projections = Vec::new();
+    for p in &q.projections {
+        match p {
+            Projection::Wildcard => {
+                for f in m.field_keys() {
+                    projections.push(Projection::Field(f));
+                }
+            }
+            other => projections.push(other.clone()),
+        }
+    }
+    let columns: Vec<String> = projections
+        .iter()
+        .map(|p| match p {
+            Projection::Field(f) => f.clone(),
+            Projection::Aggregate(func, f) => format!("{}({f})", func.name()),
+            Projection::Wildcard => unreachable!("expanded above"),
+        })
+        .collect();
+
+    let start = q.time_start.unwrap_or(i64::MIN);
+    let end = q.time_end.unwrap_or(i64::MAX);
+    let mut ids = Vec::new();
+    let mut series_pruned = 0;
+    for id in m.matching_series(&q.tag_filters) {
+        let overlaps = m
+            .series(id)
+            .and_then(|s| s.time_bounds())
+            .map(|(lo, hi)| lo < end && hi >= start)
+            .unwrap_or(false);
+        if overlaps {
+            ids.push(id);
+        } else {
+            series_pruned += 1;
+        }
+    }
+
+    let aggregated = projections
+        .iter()
+        .any(|p| matches!(p, Projection::Aggregate(..)));
+    Ok((
+        QueryPlan {
+            projections,
+            columns,
+            start,
+            end,
+            ids,
+            series_pruned,
+            bucket: q.group_by_time,
+            aggregated,
+        },
+        m,
+    ))
 }
 
 /// One output row.
@@ -592,5 +734,59 @@ mod tests {
         let q = Query::parse("SELECT sum(\"v\") FROM \"m\" GROUP BY time(5)").unwrap();
         let r = execute(&s, &q).unwrap();
         assert_eq!(r.rows[0].timestamp, -10); // floor division
+    }
+
+    #[test]
+    fn normalized_is_canonical() {
+        let a = Query::parse(
+            "SELECT sum(\"v\") FROM \"m\" WHERE b='2' AND a='1' AND time >= 3 AND time < 9 GROUP BY time(5)",
+        )
+        .unwrap();
+        let b = Query::parse(
+            "SELECT sum( \"v\" )  FROM m WHERE a='1' AND a='1' AND b='2' AND time<9 AND time>=3 GROUP BY time(5)",
+        )
+        .unwrap();
+        assert_eq!(a.normalized(), b.normalized());
+        assert_eq!(
+            a.normalized(),
+            "SELECT sum(\"v\") FROM \"m\" WHERE a='1' AND b='2' AND time >= 3 AND time < 9 GROUP BY time(5)"
+        );
+        // Different filters keep distinct keys.
+        let c = Query::parse("SELECT sum(\"v\") FROM \"m\" WHERE a='2'").unwrap();
+        assert_ne!(a.normalized(), c.normalized());
+    }
+
+    #[test]
+    fn plan_expands_wildcard_and_prunes_series() {
+        let s = filled(); // obs1 spans ts 0..9, obs2 only ts 5
+        let q = Query::parse("SELECT * FROM \"m\" WHERE time >= 7 AND time < 20").unwrap();
+        let (plan, m) = plan(&s, &q).unwrap();
+        assert_eq!(plan.columns, vec!["_cpu0".to_string(), "_cpu1".to_string()]);
+        assert_eq!(plan.start, 7);
+        assert_eq!(plan.end, 20);
+        // obs2's only row (ts 5) is outside [7, 20): pruned.
+        assert_eq!(plan.ids.len(), 1);
+        assert_eq!(plan.series_pruned, 1);
+        assert!(m.series(plan.ids[0]).is_some());
+        assert!(!plan.aggregated);
+
+        let q = Query::parse("SELECT \"_cpu0\" FROM \"m\"").unwrap();
+        let (plan, _) = plan_unbounded(&s, &q);
+        assert_eq!(plan.ids.len(), 2);
+        assert_eq!(plan.series_pruned, 0);
+    }
+
+    fn plan_unbounded<'a>(s: &'a Storage, q: &Query) -> (QueryPlan, MeasurementView<'a>) {
+        plan(s, q).unwrap()
+    }
+
+    #[test]
+    fn plan_unknown_measurement_errors() {
+        let s = filled();
+        let q = Query::parse("SELECT \"f\" FROM \"nosuch\"").unwrap();
+        assert!(matches!(
+            plan(&s, &q),
+            Err(TsdbError::UnknownMeasurement(_))
+        ));
     }
 }

@@ -61,6 +61,37 @@ where
     (a(), b())
 }
 
+/// Genuinely parallel scoped fork/join, mirroring `rayon::scope`.
+///
+/// Unlike the sequential iterator surface above (kept sequential so the
+/// numeric kernels stay deterministic), `scope` is backed by
+/// [`std::thread::scope`]: every [`Scope::spawn`] starts a real OS thread
+/// and all of them are joined before `scope` returns. The one divergence
+/// from `rayon`'s signature is that spawned closures take no `&Scope`
+/// argument (no nested spawning) — the tsdb query engine only needs a
+/// flat fan-out.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Handle passed to the [`scope`] closure; spawns scoped worker threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn one worker; it is joined when the enclosing [`scope`] ends.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(f);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
