@@ -1,0 +1,41 @@
+//! Print (and capture) the loss-vs-RF curve: the chaos workload through
+//! the quorum coordinator while the primary sits out a 20 s partition.
+
+use std::io::Write;
+
+fn main() {
+    let cells = pmove_bench::replication::run();
+    let table = pmove_bench::replication::format(&cells);
+    print!("{table}");
+    if let Ok(mut f) = std::fs::File::create("docs/results/replication.txt") {
+        let _ = f.write_all(table.as_bytes());
+    }
+    // Hard gates: conservation and convergence everywhere; the majority
+    // quorum must lose strictly less than the single-node baseline.
+    let mut failed = false;
+    for c in &cells {
+        if !c.conserved {
+            println!("rf={}: conservation VIOLATED", c.rf);
+            failed = true;
+        }
+        if !c.converged {
+            println!("rf={}: replicas did not converge after repair", c.rf);
+            failed = true;
+        }
+    }
+    let rf1 = cells.iter().find(|c| c.rf == 1);
+    let rf3 = cells.iter().find(|c| c.rf == 3);
+    if let (Some(rf1), Some(rf3)) = (rf1, rf3) {
+        if rf3.loss_pct() >= rf1.loss_pct() {
+            println!(
+                "RF=3/W=2 did not beat RF=1 ({:.2}% vs {:.2}%)",
+                rf3.loss_pct(),
+                rf1.loss_pct()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -28,6 +28,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod query;
+pub mod replication;
 pub mod storage;
 pub mod table1;
 pub mod table2;

@@ -139,6 +139,7 @@ pub fn self_dashboard(kb: &KnowledgeBase, snap: &pmove_obs::Snapshot) -> Dashboa
         .iter()
         .filter(|(key, _)| {
             key.name.starts_with("wal.")
+                || key.name.starts_with("store.wal.")
                 || key.name.starts_with("compaction.")
                 || key.name.starts_with("docdb.journal.")
         })
@@ -203,6 +204,32 @@ pub fn self_dashboard(kb: &KnowledgeBase, snap: &pmove_obs::Snapshot) -> Dashboa
         .collect();
     if !resilience_targets.is_empty() {
         d = d.panel("transport resilience", resilience_targets);
+    }
+
+    // Replication: quorum-write, hinted-handoff, and anti-entropy
+    // counters plus the coordinator's health gauges, when the daemon
+    // boots the replicated store. Non-replicated runs register none of
+    // these names, so they grow no panel.
+    let mut repl_names: Vec<String> = snap
+        .counters
+        .iter()
+        .filter(|(key, value)| key.name.starts_with("tsdb.repl.") && *value > 0)
+        .map(|(key, _)| key.name.clone())
+        .chain(
+            snap.gauges
+                .iter()
+                .filter(|(key, _)| key.name.starts_with("tsdb.repl."))
+                .map(|(key, _)| key.name.clone()),
+        )
+        .collect();
+    repl_names.sort();
+    repl_names.dedup();
+    let repl_targets: Vec<Target> = repl_names
+        .iter()
+        .map(|name| target(&format!("{SELF_PREFIX}{name}"), "value"))
+        .collect();
+    if !repl_targets.is_empty() {
+        d = d.panel("replication", repl_targets);
     }
 
     // Span timings: daemon boot steps get their own panel.
@@ -455,6 +482,52 @@ mod tests {
         assert!(ms.contains(&"pmove.self.pcp.resilience.values_recovered"));
         assert!(ms.contains(&"pmove.self.pcp.resilience.spill_pending"));
         assert!(ms.contains(&"pmove.self.pcp.resilience.breaker_state"));
+        // The targeted series exist once self telemetry is exported.
+        d.export_self_telemetry();
+        let exported = d.ts.measurements();
+        for t in &panel.targets {
+            assert!(
+                exported.contains(&t.measurement),
+                "missing {}",
+                t.measurement
+            );
+        }
+    }
+
+    #[test]
+    fn self_dashboard_adds_replication_panel_only_for_replicated_daemons() {
+        use pmove_hwsim::{FaultKind, FaultSchedule};
+        // A non-replicated daemon registers no tsdb.repl.* names at all.
+        let mut d0 = crate::telemetry::daemon::PMoveDaemon::for_preset("icl").unwrap();
+        d0.monitor(5.0, 1.0);
+        assert!(d0
+            .self_dashboard()
+            .panels
+            .iter()
+            .all(|p| p.title != "replication"));
+
+        // A replicated window through a partition grows the panel with
+        // both the health gauges and the active hint counters.
+        let mut d = crate::telemetry::daemon::PMoveDaemon::for_preset_replicated("icl", 7).unwrap();
+        let mut schedules = vec![FaultSchedule::none(); 3];
+        schedules[1] = FaultSchedule::none().with_window(2.0, 8.0, FaultKind::LinkDown);
+        d.monitor_replicated(15.0, 1.0, Some(schedules)).unwrap();
+        let dash = d.self_dashboard();
+        let panel = dash
+            .panels
+            .iter()
+            .find(|p| p.title == "replication")
+            .expect("replicated run exposes a replication panel");
+        let ms: Vec<&str> = panel
+            .targets
+            .iter()
+            .map(|t| t.measurement.as_str())
+            .collect();
+        assert!(ms.contains(&"pmove.self.tsdb.repl.quorum_writes"), "{ms:?}");
+        assert!(ms.contains(&"pmove.self.tsdb.repl.hints_queued"), "{ms:?}");
+        assert!(ms.contains(&"pmove.self.tsdb.repl.replicas_healthy"));
+        assert!(ms.contains(&"pmove.self.tsdb.repl.primary"));
+        assert!(ms.contains(&"pmove.self.tsdb.repl.hints_pending"));
         // The targeted series exist once self telemetry is exported.
         d.export_self_telemetry();
         let exported = d.ts.measurements();

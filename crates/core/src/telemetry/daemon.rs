@@ -13,13 +13,14 @@ use crate::ids::IdFactory;
 use crate::kb::observation::{BenchmarkInterface, BenchmarkResult};
 use crate::kb::{builder, store, DbParams, KnowledgeBase};
 use crate::probe::ProbeReport;
-use crate::telemetry::scenario_a;
+use crate::telemetry::scenario_a::{self, ReplicatedOutcome};
 use crate::telemetry::scenario_b::{self, ProfileOutcome, ProfileRequest};
 use pmove_hwsim::kernel_profile::{KernelProfile, Precision};
 use pmove_hwsim::{ExecModel, FaultSchedule, Machine};
 use pmove_kernels::hpcg;
 use pmove_obs::Registry;
 use pmove_pcp::{ResilienceConfig, SamplingReport};
+use pmove_tsdb::repl::{RepairReport, ReplConfig, ReplicaSet};
 use std::sync::Arc;
 
 /// Convert virtual-clock seconds to integer nanoseconds for span stamps.
@@ -67,6 +68,12 @@ pub struct PMoveDaemon {
     pub doc_journal: Option<pmove_docdb::DurableDatabase>,
     /// Step ④ recovery outcome; `None` on memory-only daemons.
     pub recovery: Option<BootRecovery>,
+    /// Replicated telemetry store (RF durable replicas behind a quorum
+    /// coordinator); `None` unless booted via [`PMoveDaemon::new_replicated`].
+    pub repl: Option<ReplicaSet>,
+    /// Per-replica recovery reports from the replicated boot (empty
+    /// otherwise).
+    pub repl_recovery: Vec<pmove_tsdb::store::RecoveryReport>,
     /// Observation-id factory.
     pub ids: IdFactory,
     /// Virtual clock (seconds since daemon start).
@@ -93,6 +100,13 @@ const STEP3_PER_DOC_NS: u64 = 12_000;
 /// Supervisor decision step (⑤): checking the boot outcome and wiring
 /// the chosen mode is a fixed cost.
 const STEP5_SUPERVISE_NS: u64 = 40_000;
+/// Modeled fixed cost of one anti-entropy repair pass.
+const REPAIR_BASE_NS: u64 = 60_000;
+/// Modeled per-cell cost of streaming a divergent range during repair.
+const REPAIR_PER_CELL_NS: u64 = 700;
+/// Degradation reason prefix for replication-driven monitor-only mode;
+/// used to recognise (and lift) it when the quorum returns.
+const REPL_DEGRADED_REASON: &str = "replication write quorum unreachable";
 
 /// Steps ⓪–②: environment, probe, KB generation. Returns the KB and the
 /// boot-timeline position after step ②.
@@ -145,6 +159,8 @@ impl PMoveDaemon {
             doc,
             doc_journal: None,
             recovery: None,
+            repl: None,
+            repl_recovery: Vec::new(),
             ids,
             now_s: 0.0,
             background_busy: Vec::new(),
@@ -205,6 +221,8 @@ impl PMoveDaemon {
             doc,
             doc_journal: Some(doc_journal),
             recovery: Some(recovery),
+            repl: None,
+            repl_recovery: Vec::new(),
             ids,
             now_s: 0.0,
             background_busy: Vec::new(),
@@ -262,6 +280,180 @@ impl PMoveDaemon {
             DaemonMode::DegradedMonitorOnly => 1.0,
         };
         self.obs.gauge("daemon.mode", &[]).set(mode_value);
+    }
+
+    /// Replicated boot: steps ⓪–③ as usual, then the telemetry store
+    /// comes up as `cfg.replication_factor` durable replicas (each on its
+    /// own seeded disk) behind a quorum coordinator instead of a single
+    /// database. Replica recovery is stamped as the step ④ span (the sum
+    /// of the per-replica modeled replay times), and the chosen RF/W/R
+    /// are published as `daemon.replication.*` gauges.
+    ///
+    /// Monitoring then routes through [`PMoveDaemon::monitor_replicated`];
+    /// the plain `ts` database stays available for self-telemetry and
+    /// non-replicated scenarios.
+    pub fn new_replicated(
+        machine: Machine,
+        env: DbParams,
+        cfg: ReplConfig,
+        seed: u64,
+    ) -> Result<Self, PmoveError> {
+        let mut daemon = Self::new(machine, env.clone())?;
+        let snap = daemon.obs.snapshot();
+        let boot_ns = snap
+            .span("daemon.step3.kb_insert")
+            .map(|s| s.last_end_ns)
+            .unwrap_or(0);
+        let (set, reports) = ReplicaSet::durable(
+            &env.influx_db,
+            cfg,
+            seed,
+            pmove_tsdb::store::StoreOptions::default(),
+        )?;
+        let set = set.with_obs(&daemon.obs);
+        let recovery_ns: u64 = reports.iter().map(|r| r.modeled_ns).sum();
+        daemon
+            .obs
+            .record_span("daemon.step4.recovery", boot_ns, boot_ns + recovery_ns);
+        daemon
+            .obs
+            .gauge("daemon.replication.rf", &[])
+            .set(cfg.replication_factor as f64);
+        daemon
+            .obs
+            .gauge("daemon.replication.write_quorum", &[])
+            .set(cfg.write_quorum as f64);
+        daemon
+            .obs
+            .gauge("daemon.replication.read_quorum", &[])
+            .set(cfg.read_quorum as f64);
+        daemon.repl = Some(set);
+        daemon.repl_recovery = reports;
+        Ok(daemon)
+    }
+
+    /// Convenience: replicated daemon for a preset machine, default env
+    /// and quorum config (RF=3, W=2, R=2).
+    pub fn for_preset_replicated(key: &str, seed: u64) -> Result<Self, PmoveError> {
+        let machine = Machine::preset(key)
+            .ok_or_else(|| PmoveError::BadProbeReport(format!("unknown preset {key}")))?;
+        Self::new_replicated(machine, DbParams::default(), ReplConfig::default(), seed)
+    }
+
+    /// True when the telemetry store is a quorum-replicated set.
+    pub fn is_replicated(&self) -> bool {
+        self.repl.is_some()
+    }
+
+    /// Scenario A through the replication coordinator: quorum writes,
+    /// hinted handoff, heartbeat-driven failover. `schedules` carries one
+    /// fault schedule per replica (relative to the current daemon clock,
+    /// like [`PMoveDaemon::monitor_resilient`]); `None` means no faults.
+    ///
+    /// Failure handling is graduated: a quarantined primary is *failed
+    /// over* (the coordinator promotes the lowest healthy replica) and
+    /// the daemon stays fully operational; the daemon drops to
+    /// [`DaemonMode::DegradedMonitorOnly`] only when the window ends with
+    /// fewer than W replicas reachable — and that degradation lifts by
+    /// itself once a later window ends with the quorum restored.
+    pub fn monitor_replicated(
+        &mut self,
+        duration_s: f64,
+        freq_hz: f64,
+        schedules: Option<Vec<FaultSchedule>>,
+    ) -> Result<ReplicatedOutcome, PmoveError> {
+        let set = self
+            .repl
+            .as_ref()
+            .ok_or_else(|| PmoveError::Collector("daemon is not replicated".into()))?;
+        let start_s = self.now_s;
+        let schedules = match schedules {
+            Some(list) => list
+                .into_iter()
+                .map(|schedule| {
+                    let mut shifted = FaultSchedule::none();
+                    for w in schedule.windows() {
+                        shifted =
+                            shifted.with_window(start_s + w.start_s, start_s + w.end_s, w.kind);
+                    }
+                    shifted
+                })
+                .collect(),
+            None => vec![FaultSchedule::none(); set.len()],
+        };
+        let outcome = scenario_a::monitor_system_replicated(
+            &self.machine,
+            &self.kb,
+            set,
+            self.now_s,
+            duration_s,
+            freq_hz,
+            &self.background_busy,
+            Some(&self.obs),
+            schedules,
+        )?;
+        self.now_s += duration_s;
+        self.obs
+            .record_span("daemon.monitor", s_to_ns(start_s), s_to_ns(self.now_s));
+        self.apply_replication_health(&outcome);
+        Ok(outcome)
+    }
+
+    /// Translate the coordinator's end-of-window health into the daemon
+    /// mode: degrade to monitor-only exactly while the write quorum is
+    /// unreachable, and lift that (and only that) degradation when the
+    /// quorum returns. Boot-supervision degradation is never overwritten.
+    fn apply_replication_health(&mut self, outcome: &ReplicatedOutcome) {
+        let repl_degraded = self
+            .degraded_reason
+            .as_deref()
+            .is_some_and(|r| r.starts_with(REPL_DEGRADED_REASON));
+        if outcome.degraded {
+            if self.mode == DaemonMode::Normal || repl_degraded {
+                self.mode = DaemonMode::DegradedMonitorOnly;
+                self.degraded_reason = Some(format!(
+                    "{REPL_DEGRADED_REASON}: {} of {} replicas reachable",
+                    outcome.healthy,
+                    self.repl.as_ref().map(|s| s.len()).unwrap_or(0)
+                ));
+                self.obs.gauge("daemon.mode", &[]).set(1.0);
+                self.obs
+                    .counter("daemon.replication.degraded_windows", &[])
+                    .inc();
+            }
+        } else if repl_degraded {
+            self.mode = DaemonMode::Normal;
+            self.degraded_reason = None;
+            self.obs.gauge("daemon.mode", &[]).set(0.0);
+        }
+    }
+
+    /// Run anti-entropy until the replicas converge bit-identically (or
+    /// `max_rounds` is hit), stamped as a `daemon.repair` span whose
+    /// modeled length scales with the cells streamed.
+    pub fn repair_replicas(&mut self, max_rounds: u64) -> Result<RepairReport, PmoveError> {
+        let set = self
+            .repl
+            .as_ref()
+            .ok_or_else(|| PmoveError::Collector("daemon is not replicated".into()))?;
+        let report = set.repair_until_converged(max_rounds)?;
+        let start_ns = s_to_ns(self.now_s);
+        let repair_ns =
+            REPAIR_BASE_NS * report.rounds.max(1) + REPAIR_PER_CELL_NS * report.cells_streamed;
+        self.obs
+            .record_span("daemon.repair", start_ns, start_ns + repair_ns);
+        self.now_s += repair_ns as f64 / 1e9;
+        Ok(report)
+    }
+
+    /// R-quorum read over the replica set (every replica assumed
+    /// reachable — post-run analytics path).
+    pub fn quorum_query(&self, text: &str) -> Result<pmove_tsdb::QueryResult, PmoveError> {
+        let set = self
+            .repl
+            .as_ref()
+            .ok_or_else(|| PmoveError::Collector("daemon is not replicated".into()))?;
+        Ok(set.quorum_read(text)?)
     }
 
     /// Guard for operations that mutate the KB: refused while degraded.
@@ -903,5 +1095,129 @@ mod tests {
         assert!(b.result("final_rel_residual").unwrap() < 1e-9);
         assert!(b.result("hpcg_gflops").unwrap() > 0.0);
         assert!(b.result("iterations").unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn replicated_boot_brings_up_a_quorum_set() {
+        let mut d = PMoveDaemon::for_preset_replicated("icl", 7).unwrap();
+        assert!(d.is_replicated());
+        let set = d.repl.as_ref().unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(d.repl_recovery.len(), 3);
+        // Fresh disks: nothing to replay on any replica.
+        assert!(d.repl_recovery.iter().all(|r| r.wal_rows == 0));
+        let snap = d.obs.snapshot();
+        assert_eq!(snap.gauge("daemon.replication.rf", &[]), Some(3.0));
+        assert_eq!(
+            snap.gauge("daemon.replication.write_quorum", &[]),
+            Some(2.0)
+        );
+        assert_eq!(snap.gauge("daemon.replication.read_quorum", &[]), Some(2.0));
+        // Replica recovery is stamped as the step ④ span off step ③.
+        let s3 = snap.span("daemon.step3.kb_insert").unwrap();
+        let s4 = snap.span("daemon.step4.recovery").unwrap();
+        assert_eq!(s3.last_end_ns, s4.last_start_ns);
+
+        // A fault-free window quorum-writes everywhere: replicas converge
+        // with no repair, and the quorum read answers like a local one.
+        let out = d.monitor_replicated(10.0, 1.0, None).unwrap();
+        assert_eq!(out.report.ticks, 10);
+        assert!(!out.degraded);
+        assert_eq!(out.primary, 0);
+        assert_eq!(out.healthy, 3);
+        assert!(
+            out.report.transport.conserved(),
+            "{:?}",
+            out.report.transport
+        );
+        assert_eq!(out.report.transport.values_lost, 0);
+        assert_eq!(d.now_s, 10.0);
+        assert!(d.repl.as_ref().unwrap().converged());
+        let r = d
+            .quorum_query("SELECT mean(\"value\") FROM \"kernel_all_load\"")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        // Plain (non-replicated) daemons refuse the quorum paths.
+        let plain = PMoveDaemon::for_preset("icl").unwrap();
+        assert!(!plain.is_replicated());
+        assert!(plain.quorum_query("SELECT 1").is_err());
+    }
+
+    #[test]
+    fn replicated_monitor_fails_over_and_repairs_to_convergence() {
+        use pmove_hwsim::{FaultKind, FaultSchedule};
+        let mut d = PMoveDaemon::for_preset_replicated("icl", 13).unwrap();
+        // Warm the clock so the per-replica schedule shift is exercised.
+        d.monitor_replicated(5.0, 1.0, None).unwrap();
+        // Primary down for the whole second window: the coordinator must
+        // promote a healthy replica and keep the quorum writable.
+        let mut schedules = vec![FaultSchedule::none(); 3];
+        schedules[0] = FaultSchedule::none().with_window(0.0, 100.0, FaultKind::LinkDown);
+        let out = d.monitor_replicated(20.0, 1.0, Some(schedules)).unwrap();
+        assert_ne!(out.primary, 0, "primary was not failed over");
+        assert!(!out.degraded, "W=2 of 3 reachable is not degraded");
+        assert_eq!(out.healthy, 2);
+        assert_eq!(d.mode, DaemonMode::Normal);
+        assert!(
+            out.report.transport.conserved(),
+            "{:?}",
+            out.report.transport
+        );
+        // The downed replica missed writes; anti-entropy converges the set
+        // bit-identically and stamps a repair span.
+        let set = d.repl.as_ref().unwrap();
+        assert!(!set.converged());
+        let before_s = d.now_s;
+        let rep = d.repair_replicas(8).unwrap();
+        assert!(rep.converged, "{rep:?}");
+        assert!(rep.cells_streamed > 0);
+        assert!(d.now_s > before_s, "repair consumed modeled time");
+        let snap = d.obs.snapshot();
+        let span = snap.span("daemon.repair").unwrap();
+        assert!(span.last_end_ns > span.last_start_ns);
+        assert!(d.repl.as_ref().unwrap().converged());
+        // Post-repair quorum reads see the whole window.
+        let r = d
+            .quorum_query("SELECT \"value\" FROM \"kernel_all_load\"")
+            .unwrap();
+        assert_eq!(r.rows.len(), 25);
+    }
+
+    #[test]
+    fn replication_degrades_only_without_quorum_and_lifts_itself() {
+        use pmove_hwsim::{FaultKind, FaultSchedule};
+        let mut d = PMoveDaemon::for_preset_replicated("icl", 29).unwrap();
+        // Two of three replicas unreachable through the end of the window:
+        // the write quorum (W=2) is gone, so the daemon degrades.
+        let mut schedules = vec![FaultSchedule::none(); 3];
+        schedules[1] = FaultSchedule::none().with_window(0.0, 100.0, FaultKind::LinkDown);
+        schedules[2] = FaultSchedule::none().with_window(0.0, 100.0, FaultKind::LinkDown);
+        let out = d.monitor_replicated(10.0, 1.0, Some(schedules)).unwrap();
+        assert!(out.degraded);
+        assert_eq!(out.healthy, 1);
+        assert_eq!(d.mode, DaemonMode::DegradedMonitorOnly);
+        let reason = d.degraded_reason.clone().unwrap();
+        assert!(reason.starts_with(REPL_DEGRADED_REASON), "{reason}");
+        // Monitor-only: KB mutation is refused while the quorum is gone.
+        assert!(matches!(
+            d.run_stream_benchmark(1 << 20),
+            Err(PmoveError::DegradedMode(_))
+        ));
+        let snap = d.obs.snapshot();
+        assert_eq!(snap.gauge("daemon.mode", &[]), Some(1.0));
+        assert_eq!(
+            snap.counter("daemon.replication.degraded_windows", &[]),
+            Some(1)
+        );
+        // The replicas come back: the next healthy window lifts the
+        // replication degradation on its own.
+        let out2 = d.monitor_replicated(10.0, 1.0, None).unwrap();
+        assert!(!out2.degraded);
+        assert_eq!(d.mode, DaemonMode::Normal);
+        assert!(d.degraded_reason.is_none());
+        assert_eq!(d.obs.snapshot().gauge("daemon.mode", &[]), Some(0.0));
+        // Hints replayed during recovery + one repair pass reconverge.
+        let rep = d.repair_replicas(8).unwrap();
+        assert!(rep.converged);
     }
 }

@@ -6,14 +6,18 @@
 //! so they are ready before the target starts reporting (steps A1/A2 run
 //! concurrently).
 
+use crate::error::PmoveError;
 use crate::kb::KnowledgeBase;
 use pmove_hwsim::network::LinkSpec;
 use pmove_hwsim::{FaultSchedule, Machine};
 use pmove_obs::Registry;
 use pmove_pcp::pmda_linux::LinuxAgent;
 use pmove_pcp::pmda_proc::{ProcAgent, TrackedProcess};
-use pmove_pcp::{Pmcd, ResilienceConfig, SamplingConfig, SamplingLoop, SamplingReport, Shipper};
-use pmove_tsdb::Database;
+use pmove_pcp::{
+    run_replicated, Pmcd, ReplSamplingReport, ReplShipper, ResilienceConfig, SamplingConfig,
+    SamplingLoop, SamplingReport, Shipper,
+};
+use pmove_tsdb::{Database, ReplicaSet};
 use std::sync::Arc;
 
 /// Default SW metric set of Scenario A (≈20 pmdalinux metrics in the
@@ -102,8 +106,37 @@ pub fn monitor_system_resilient(
     resilience: Option<ResilienceConfig>,
     fault: Option<FaultSchedule>,
 ) -> SamplingReport {
-    // The metric selection comes from the KB: only metrics some twin
-    // actually declares as SWTelemetry are sampled.
+    let (mut pmcd, metrics) = configure_collectors(machine, kb, busy, obs);
+
+    let mut shipper = Shipper::new(
+        ts,
+        LinkSpec::mbit_100(),
+        1.0 / freq_hz,
+        &[machine.key(), "scenario_a"],
+    );
+    if let Some(reg) = obs {
+        shipper = shipper.with_obs(reg.clone());
+    }
+    if let Some(schedule) = fault {
+        shipper = shipper.with_fault_schedule(schedule);
+    }
+    if let Some(cfg) = resilience {
+        shipper = shipper.with_resilience(cfg);
+    }
+    let config = SamplingConfig::new(metrics, freq_hz, start_s, duration_s);
+    SamplingLoop::run(&config, &mut pmcd, &mut shipper)
+}
+
+/// Configure the PCP collector stack from the KB: register the agents the
+/// machine calls for and select the metrics some twin actually declares
+/// as SWTelemetry. Shared by the plain, resilient, and replicated
+/// monitoring paths so their collector behaviour is identical.
+fn configure_collectors(
+    machine: &Machine,
+    kb: &KnowledgeBase,
+    busy: &[(u32, f64)],
+    obs: Option<&Arc<Registry>>,
+) -> (Pmcd, Vec<String>) {
     let declared: Vec<String> = kb
         .interfaces
         .iter()
@@ -137,25 +170,58 @@ pub fn monitor_system_resilient(
         rss_bytes: 9.0e6,
         lifetime: None,
     }])));
-
-    let mut shipper = Shipper::new(
-        ts,
-        LinkSpec::mbit_100(),
-        1.0 / freq_hz,
-        &[machine.key(), "scenario_a"],
-    );
     if let Some(reg) = obs {
-        shipper = shipper.with_obs(reg.clone());
         pmcd.set_obs(reg);
     }
-    if let Some(schedule) = fault {
-        shipper = shipper.with_fault_schedule(schedule);
-    }
-    if let Some(cfg) = resilience {
-        shipper = shipper.with_resilience(cfg);
+    (pmcd, metrics)
+}
+
+/// How a replicated monitoring window left the coordinator: the sampling
+/// report plus the cluster-health view the daemon uses for failover and
+/// degradation decisions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicatedOutcome {
+    /// The sampling run (ticks, expected values, conservation ledger).
+    pub report: ReplSamplingReport,
+    /// Replicas the coordinator last saw answering heartbeats.
+    pub healthy: usize,
+    /// Primary replica index after any failovers.
+    pub primary: usize,
+    /// True when fewer than W replicas were reachable at the end of the
+    /// window — the only condition that degrades the daemon.
+    pub degraded: bool,
+}
+
+/// [`monitor_system_with_load`] routed through the replication
+/// coordinator: samples are quorum-written to `set` (one fault schedule
+/// per replica, virtual-clock absolute), misses park as hinted handoffs,
+/// and heartbeats drive hint replay, quarantine, and primary failover
+/// every tick.
+#[allow(clippy::too_many_arguments)]
+pub fn monitor_system_replicated(
+    machine: &Machine,
+    kb: &KnowledgeBase,
+    set: &ReplicaSet,
+    start_s: f64,
+    duration_s: f64,
+    freq_hz: f64,
+    busy: &[(u32, f64)],
+    obs: Option<&Arc<Registry>>,
+    schedules: Vec<FaultSchedule>,
+) -> Result<ReplicatedOutcome, PmoveError> {
+    let (mut pmcd, metrics) = configure_collectors(machine, kb, busy, obs);
+    let mut coord = ReplShipper::new(set, schedules, &[machine.key(), "scenario_a", set.name()])?;
+    if let Some(reg) = obs {
+        coord = coord.with_obs(reg.clone());
     }
     let config = SamplingConfig::new(metrics, freq_hz, start_s, duration_s);
-    SamplingLoop::run(&config, &mut pmcd, &mut shipper)
+    let report = run_replicated(&config, &mut pmcd, &mut coord);
+    Ok(ReplicatedOutcome {
+        report,
+        healthy: coord.healthy_count(),
+        primary: coord.primary(),
+        degraded: coord.is_degraded(),
+    })
 }
 
 #[cfg(test)]
@@ -203,6 +269,36 @@ mod tests {
             let v = row.values["_gpu0"].unwrap();
             (30.0..80.0).contains(&v)
         }));
+    }
+
+    #[test]
+    fn replicated_monitoring_matches_the_plain_path_bit_for_bit() {
+        use pmove_tsdb::repl::ReplConfig;
+        // The replicated coordinator with no faults must ingest exactly
+        // the series the single-node shipper does: same collector stack,
+        // same tick grid, bit-identical values on every replica.
+        let machine = Machine::preset("icl").unwrap();
+        let kb = build_kb(&ProbeReport::collect(&machine)).unwrap();
+        let ts = Database::new("pmove");
+        let plain = monitor_system(&machine, &kb, &ts, 0.0, 10.0, 1.0);
+
+        let set = ReplicaSet::in_memory("pmove", ReplConfig::default()).unwrap();
+        let schedules = vec![FaultSchedule::none(); set.len()];
+        let out =
+            monitor_system_replicated(&machine, &kb, &set, 0.0, 10.0, 1.0, &[], None, schedules)
+                .unwrap();
+        assert_eq!(out.report.ticks, plain.ticks);
+        assert_eq!(out.report.transport.values_lost, 0);
+        assert!(!out.degraded);
+        assert!(set.converged());
+        for m in ts.measurements() {
+            let q = format!("SELECT * FROM \"{m}\"");
+            let want = ts.query(&q).unwrap();
+            for i in 0..set.len() {
+                let got = set.replica(i).query(&q).unwrap();
+                assert_eq!(got.rows, want.rows, "series {m} differs on replica {i}");
+            }
+        }
     }
 
     #[test]

@@ -333,6 +333,21 @@ impl FaultSchedule {
         }
         s
     }
+
+    /// Seed-derived *per-replica* schedules: `n` independent random
+    /// schedules over `[0, duration_s)`, each deterministically derived
+    /// from `seed` and the replica index, so a replicated store can give
+    /// every node its own uncorrelated fault history. Same seed → same set.
+    pub fn random_set(seed: u64, duration_s: f64, n: usize) -> Vec<FaultSchedule> {
+        (0..n)
+            .map(|i| {
+                FaultSchedule::random(
+                    seed ^ (i as u64 + 1).wrapping_mul(0xa076_1d64_78bd_642f),
+                    duration_s,
+                )
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -472,6 +487,16 @@ mod tests {
             FaultSchedule::random(1, 20.0),
             FaultSchedule::random(2, 20.0)
         );
+    }
+
+    #[test]
+    fn random_set_is_deterministic_and_per_replica() {
+        let a = FaultSchedule::random_set(11, 30.0, 3);
+        let b = FaultSchedule::random_set(11, 30.0, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        // Replica schedules are mutually independent draws.
+        assert!(a[0] != a[1] || a[1] != a[2] || a[0].is_empty());
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod pmda_linux;
 pub mod pmda_nvidia;
 pub mod pmda_perfevent;
 pub mod pmda_proc;
+pub mod replication;
 pub mod resilience;
 pub mod resource;
 pub mod sampler;
@@ -33,6 +34,9 @@ pub use agent::{Agent, ConstantAgent, FlakyAgent};
 pub use error::PcpError;
 pub use metric::{InstanceDomain, MetricDesc};
 pub use pmcd::{AgentHealth, Pmcd};
+pub use replication::{
+    run_replicated, ReplSamplingReport, ReplShipOutcome, ReplShipper, ReplStats,
+};
 pub use resilience::{BreakerState, CircuitBreaker, ResilienceConfig};
 pub use sampler::{SamplingConfig, SamplingLoop, SamplingReport};
 pub use transport::{ShipOutcome, Shipper, ShipperStats, GAP_MEASUREMENT};

@@ -1,0 +1,726 @@
+//! Replication-aware transport coordinator: quorum writes, hinted
+//! handoff, heartbeat-driven hint replay, and primary failover.
+//!
+//! The coordinator is the routing half of the replication layer (the
+//! storage half — replicas, Merkle trees, anti-entropy — lives in
+//! `pmove_tsdb::repl`). Each shipped report is written to every replica
+//! whose fault schedule currently lets writes through; the write counts
+//! as **inserted** once `W` replicas acknowledge. Replicas that missed a
+//! quorum-successful write get a *non-ledger* hint (repair bookkeeping:
+//! the value is already safely counted as inserted). When fewer than `W`
+//! replicas acknowledge, the report itself is parked as a *ledger* hint
+//! on the first failed replica, counted in the `hinted` conservation
+//! term; it graduates to `inserted` when the replica's heartbeat returns
+//! and the hint replays, or to `evicted` if the bounded drop-oldest queue
+//! pushes it out first.
+//!
+//! ## The widened conservation equation
+//!
+//! ```text
+//! offered == inserted + zeroed + lost + pending + evicted + hinted
+//! ```
+//!
+//! `pending` is PR 3's spill term — always 0 in coordinator mode, kept so
+//! the equation is uniform across transports. `hinted` is the *currently
+//! parked* ledger values; a finished run can legitimately end with
+//! `hinted > 0` when a replica never came back.
+
+use crate::error::PcpError;
+use crate::sampler::SamplingConfig;
+use crate::transport::Shipper;
+use pmove_hwsim::network::FaultSchedule;
+use pmove_hwsim::noise::NoiseSource;
+use pmove_obs::{Counter, Gauge, Histogram, Registry};
+use pmove_tsdb::repl::ReplicaSet;
+use pmove_tsdb::{ExecMode, FieldValue, Point, Query, QueryResult, TsdbError};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Outcome of offering one report to the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplShipOutcome {
+    /// W or more replicas acknowledged the true values.
+    Inserted,
+    /// Stale-read artefact: the report landed as batched zeros.
+    InsertedZero,
+    /// Quorum missed; the report is parked as a ledger hint.
+    Hinted,
+    /// Quorum missed and the hint queue could not hold the report.
+    Lost,
+}
+
+/// Conservation-audited coordinator statistics. Field names mirror
+/// [`crate::transport::ShipperStats`] so audits read uniformly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplStats {
+    /// Reports offered to the coordinator.
+    pub reports_offered: u64,
+    /// Field values offered.
+    pub values_offered: u64,
+    /// Values acknowledged by a W-quorum (true values).
+    pub values_inserted: u64,
+    /// Values that arrived as batched zeros (stale-read artefact).
+    pub values_zeroed: u64,
+    /// Values lost outright (quorum missed and hint queue unable to hold).
+    pub values_lost: u64,
+    /// PR 3 spill term; always 0 in coordinator mode.
+    pub values_spill_pending: u64,
+    /// Ledger values evicted from a hint queue by drop-oldest overflow.
+    pub values_evicted: u64,
+    /// Ledger values currently parked as hints (not yet replayed).
+    pub values_hinted: u64,
+    /// Hint entries queued (ledger and non-ledger).
+    pub hints_queued: u64,
+    /// Hint entries successfully replayed.
+    pub hints_replayed: u64,
+    /// Hint entries dropped by overflow or oversize.
+    pub hints_dropped: u64,
+    /// Writes that reached a W-quorum.
+    pub quorum_writes: u64,
+    /// Writes that missed the W-quorum.
+    pub quorum_write_failures: u64,
+    /// Individual replica acknowledgements across all writes.
+    pub replica_acks: u64,
+    /// Primary promotions after quarantine.
+    pub failovers: u64,
+}
+
+impl ReplStats {
+    /// Sum of the six accounted fates.
+    pub fn accounted(&self) -> u64 {
+        self.values_inserted
+            + self.values_zeroed
+            + self.values_lost
+            + self.values_spill_pending
+            + self.values_evicted
+            + self.values_hinted
+    }
+
+    /// The widened conservation equation: every offered value has exactly
+    /// one fate.
+    pub fn conserved(&self) -> bool {
+        self.accounted() == self.values_offered
+    }
+
+    /// Values that never became quorum-durable: lost outright, evicted
+    /// from a hint queue, or still parked when the run ended.
+    pub fn unrecovered(&self) -> u64 {
+        self.values_lost + self.values_evicted + self.values_hinted
+    }
+
+    /// Unrecovered values as a percentage of offered (the replication
+    /// bench's loss metric).
+    pub fn loss_pct(&self) -> f64 {
+        if self.values_offered == 0 {
+            0.0
+        } else {
+            100.0 * self.unrecovered() as f64 / self.values_offered as f64
+        }
+    }
+}
+
+/// One parked report. `ledger` marks the single hint that carries the
+/// report's conservation accounting (a quorum-missed write); non-ledger
+/// hints exist purely so a returning replica converges faster.
+#[derive(Debug, Clone)]
+struct HintEntry {
+    point: Point,
+    values: u64,
+    ledger: bool,
+}
+
+/// Per-replica health as the coordinator sees it through heartbeats.
+#[derive(Debug, Clone, Copy, Default)]
+struct ReplicaHealth {
+    down: bool,
+    misses: u32,
+    quarantined: bool,
+}
+
+/// Hoisted `tsdb.repl.*` metric handles.
+struct ReplObs {
+    registry: Arc<Registry>,
+    quorum_writes: Arc<Counter>,
+    quorum_write_failures: Arc<Counter>,
+    hints_queued: Arc<Counter>,
+    hints_replayed: Arc<Counter>,
+    hints_dropped: Arc<Counter>,
+    failovers: Arc<Counter>,
+    hints_pending: Arc<Gauge>,
+    replicas_healthy: Arc<Gauge>,
+    primary: Arc<Gauge>,
+    quorum_write_ns: Arc<Histogram>,
+}
+
+impl ReplObs {
+    fn new(registry: Arc<Registry>) -> ReplObs {
+        let c = |name: &str| registry.counter(name, &[]);
+        let g = |name: &str| registry.gauge(name, &[]);
+        let buckets = pmove_obs::latency_buckets();
+        ReplObs {
+            quorum_writes: c("tsdb.repl.quorum_writes"),
+            quorum_write_failures: c("tsdb.repl.quorum_write_failures"),
+            hints_queued: c("tsdb.repl.hints_queued"),
+            hints_replayed: c("tsdb.repl.hints_replayed"),
+            hints_dropped: c("tsdb.repl.hints_dropped"),
+            failovers: c("tsdb.repl.failovers"),
+            hints_pending: g("tsdb.repl.hints_pending"),
+            replicas_healthy: g("tsdb.repl.replicas_healthy"),
+            primary: g("tsdb.repl.primary"),
+            quorum_write_ns: registry.histogram("tsdb.repl.quorum_write_ns", &[], buckets),
+            registry,
+        }
+    }
+}
+
+/// The replication-aware coordinator. Borrows the [`ReplicaSet`]
+/// (replicas use interior mutability) and owns one fault schedule and one
+/// hint queue per replica.
+pub struct ReplShipper<'a> {
+    set: &'a ReplicaSet,
+    schedules: Vec<FaultSchedule>,
+    hints: Vec<VecDeque<HintEntry>>,
+    queued_values: Vec<u64>,
+    health: Vec<ReplicaHealth>,
+    primary: usize,
+    stats: ReplStats,
+    noise: NoiseSource,
+    obs: Option<ReplObs>,
+}
+
+impl<'a> ReplShipper<'a> {
+    /// Modelled fixed cost of a quorum fan-out (ns).
+    const QUORUM_BASE_NS: u64 = 9_000;
+    /// Modelled per-acknowledgement cost (ns).
+    const QUORUM_PER_ACK_NS: u64 = 2_500;
+    /// Modelled per-field-value serialization cost (ns).
+    const QUORUM_PER_VALUE_NS: u64 = 450;
+
+    /// New coordinator over `set`, one fault schedule per replica.
+    pub fn new(
+        set: &'a ReplicaSet,
+        schedules: Vec<FaultSchedule>,
+        seed_labels: &[&str],
+    ) -> Result<ReplShipper<'a>, PcpError> {
+        if schedules.len() != set.len() {
+            return Err(PcpError::InvalidConfig {
+                field: "schedules",
+                value: schedules.len() as f64,
+                reason: "one fault schedule per replica required",
+            });
+        }
+        let n = set.len();
+        Ok(ReplShipper {
+            set,
+            schedules,
+            hints: vec![VecDeque::new(); n],
+            queued_values: vec![0; n],
+            health: vec![ReplicaHealth::default(); n],
+            primary: 0,
+            stats: ReplStats::default(),
+            noise: NoiseSource::from_labels(seed_labels),
+            obs: None,
+        })
+    }
+
+    /// Attach an observability registry: every ship/heartbeat updates the
+    /// `tsdb.repl.*` counters, gauges, and the modelled quorum latency.
+    pub fn with_obs(mut self, registry: Arc<Registry>) -> ReplShipper<'a> {
+        self.obs = Some(ReplObs::new(registry));
+        self
+    }
+
+    /// The attached observability registry, if any.
+    pub fn obs_registry(&self) -> Option<&Arc<Registry>> {
+        self.obs.as_ref().map(|o| &o.registry)
+    }
+
+    /// The replica set being coordinated.
+    pub fn replica_set(&self) -> &ReplicaSet {
+        self.set
+    }
+
+    /// Index of the current primary (query routing preference).
+    pub fn primary(&self) -> usize {
+        self.primary
+    }
+
+    /// Replicas currently believed up (last heartbeat saw the link).
+    pub fn healthy_count(&self) -> usize {
+        self.health.iter().filter(|h| !h.down).count()
+    }
+
+    /// True when fewer than W replicas are reachable — the daemon drops
+    /// to monitor-only mode exactly while this holds.
+    pub fn is_degraded(&self) -> bool {
+        self.healthy_count() < self.set.config().write_quorum
+    }
+
+    /// Ledger and non-ledger values currently parked across all queues.
+    pub fn hints_pending_values(&self) -> u64 {
+        self.queued_values.iter().sum()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ReplStats {
+        self.stats
+    }
+
+    /// Reachability vector for quorum reads: replicas not currently down.
+    pub fn reachable(&self) -> Vec<bool> {
+        self.health.iter().map(|h| !h.down).collect()
+    }
+
+    /// R-quorum read routed through the coordinator's reachability view.
+    pub fn quorum_read(&self, q: &Query, mode: ExecMode) -> Result<QueryResult, TsdbError> {
+        self.set.quorum_read_with_mode(q, &self.reachable(), mode)
+    }
+
+    /// Can a write reach replica `i` at time `t`? Link partitions are
+    /// absolute; degraded bandwidth and backend brown-outs reject
+    /// probabilistically from the coordinator's seeded noise stream.
+    fn replica_write_ok(&mut self, t: f64, i: usize) -> bool {
+        let st = self.schedules[i].state_at(t);
+        if !st.link_up {
+            return false;
+        }
+        if st.capacity_factor < 1.0 && !self.noise.happens(st.capacity_factor) {
+            return false;
+        }
+        if st.backend_availability < 1.0 && !self.noise.happens(st.backend_availability) {
+            return false;
+        }
+        true
+    }
+
+    /// Ship one report through a quorum write at time `t`.
+    pub fn ship(&mut self, t: f64, point: Point, freq_hz: f64) -> ReplShipOutcome {
+        let n = point.field_count() as u64;
+        self.stats.reports_offered += 1;
+        self.stats.values_offered += n;
+
+        // Stale-read zeros at high frequency — same artefact model as the
+        // single-node shipper.
+        let read_zero = self.noise.happens(Shipper::zero_probability(freq_hz));
+        let point = if read_zero {
+            let mut zeroed = point;
+            for v in zeroed.fields.values_mut() {
+                *v = FieldValue::Float(0.0);
+            }
+            zeroed
+        } else {
+            point
+        };
+
+        let w = self.set.config().write_quorum;
+        let rf = self.set.len();
+        let mut acks = vec![false; rf];
+        let mut ack_count = 0usize;
+        for (i, ack) in acks.iter_mut().enumerate() {
+            if self.replica_write_ok(t, i) && self.set.replica(i).write_point(point.clone()).is_ok()
+            {
+                *ack = true;
+                ack_count += 1;
+            }
+        }
+        self.stats.replica_acks += ack_count as u64;
+        if let Some(o) = &self.obs {
+            o.quorum_write_ns.record(
+                Self::QUORUM_BASE_NS
+                    + Self::QUORUM_PER_ACK_NS * ack_count as u64
+                    + Self::QUORUM_PER_VALUE_NS * n,
+            );
+        }
+
+        let quorum = ack_count >= w;
+        if quorum {
+            self.stats.quorum_writes += 1;
+            if let Some(o) = &self.obs {
+                o.quorum_writes.inc();
+            }
+        } else {
+            self.stats.quorum_write_failures += 1;
+            if let Some(o) = &self.obs {
+                o.quorum_write_failures.inc();
+            }
+        }
+
+        if read_zero {
+            // Zeros are terminal at offer time: the ledger counts them
+            // zeroed whether or not the quorum landed; misses still get
+            // non-ledger hints so replicas converge on the zero rows.
+            self.stats.values_zeroed += n;
+            for (i, &acked) in acks.iter().enumerate() {
+                if !acked {
+                    self.park(i, point.clone(), n, false);
+                }
+            }
+            self.export_gauges();
+            return ReplShipOutcome::InsertedZero;
+        }
+
+        let outcome = if quorum {
+            self.stats.values_inserted += n;
+            for (i, &acked) in acks.iter().enumerate() {
+                if !acked {
+                    self.park(i, point.clone(), n, false);
+                }
+            }
+            ReplShipOutcome::Inserted
+        } else {
+            // Quorum missed: the first failed replica's hint carries the
+            // ledger; the rest are repair bookkeeping.
+            let mut ledger_parked = false;
+            let mut ledger_pending = true;
+            for (i, &acked) in acks.iter().enumerate() {
+                if acked {
+                    continue;
+                }
+                if ledger_pending {
+                    ledger_pending = false;
+                    ledger_parked = self.park(i, point.clone(), n, true);
+                } else {
+                    self.park(i, point.clone(), n, false);
+                }
+            }
+            if ledger_parked {
+                ReplShipOutcome::Hinted
+            } else {
+                ReplShipOutcome::Lost
+            }
+        };
+        self.export_gauges();
+        outcome
+    }
+
+    /// Park a report on replica `i`'s bounded hint queue (drop-oldest).
+    /// Returns whether the entry was parked; a ledger entry that cannot
+    /// be parked is counted lost here.
+    fn park(&mut self, i: usize, point: Point, values: u64, ledger: bool) -> bool {
+        let cap = self.set.config().hint_capacity_values;
+        if values > cap {
+            self.stats.hints_dropped += 1;
+            if let Some(o) = &self.obs {
+                o.hints_dropped.inc();
+            }
+            if ledger {
+                self.stats.values_lost += values;
+            }
+            return false;
+        }
+        while self.queued_values[i] + values > cap {
+            let old = self.hints[i].pop_front().expect("capacity implies entries");
+            self.queued_values[i] -= old.values;
+            self.stats.hints_dropped += 1;
+            if let Some(o) = &self.obs {
+                o.hints_dropped.inc();
+            }
+            if old.ledger {
+                self.stats.values_hinted -= old.values;
+                self.stats.values_evicted += old.values;
+            }
+        }
+        self.hints[i].push_back(HintEntry {
+            point,
+            values,
+            ledger,
+        });
+        self.queued_values[i] += values;
+        self.stats.hints_queued += 1;
+        if let Some(o) = &self.obs {
+            o.hints_queued.inc();
+        }
+        if ledger {
+            self.stats.values_hinted += values;
+        }
+        true
+    }
+
+    /// Heartbeat every replica at time `t`: a link that answers clears
+    /// the miss counter, lifts quarantine, and triggers hint replay; a
+    /// link that misses `heartbeat_miss_limit` beats in a row is
+    /// quarantined, promoting a new primary if it held the role.
+    pub fn heartbeat(&mut self, t: f64) {
+        for i in 0..self.set.len() {
+            let up = self.schedules[i].state_at(t).link_up;
+            if up {
+                self.health[i].down = false;
+                self.health[i].misses = 0;
+                if self.health[i].quarantined {
+                    // The replica rejoined; hint replay below brings it
+                    // back toward convergence before anti-entropy runs.
+                    self.health[i].quarantined = false;
+                }
+                if !self.hints[i].is_empty() {
+                    self.replay_hints(t, i);
+                }
+            } else {
+                self.health[i].down = true;
+                self.health[i].misses += 1;
+                if self.health[i].misses >= self.set.config().heartbeat_miss_limit
+                    && !self.health[i].quarantined
+                {
+                    self.health[i].quarantined = true;
+                    if i == self.primary {
+                        self.promote();
+                    }
+                }
+            }
+        }
+        self.export_gauges();
+    }
+
+    /// Replay replica `i`'s hints, oldest first, stopping at the first
+    /// write the replica rejects (retried on the next heartbeat).
+    fn replay_hints(&mut self, t: f64, i: usize) {
+        while let Some(front) = self.hints[i].front() {
+            let values = front.values;
+            if !self.replica_write_ok(t, i) {
+                break;
+            }
+            let entry = self.hints[i].pop_front().expect("checked non-empty");
+            if self
+                .set
+                .replica(i)
+                .apply_remote(entry.point.clone())
+                .is_err()
+            {
+                self.hints[i].push_front(entry);
+                break;
+            }
+            self.queued_values[i] -= values;
+            self.stats.hints_replayed += 1;
+            if let Some(o) = &self.obs {
+                o.hints_replayed.inc();
+            }
+            if entry.ledger {
+                // The report is now durable on one replica; anti-entropy
+                // spreads it to the rest, so it graduates to inserted.
+                self.stats.values_hinted -= values;
+                self.stats.values_inserted += values;
+            }
+        }
+    }
+
+    /// Promote the lowest-indexed unquarantined replica to primary.
+    fn promote(&mut self) {
+        let next = (0..self.set.len()).find(|&i| !self.health[i].quarantined);
+        if let Some(next) = next {
+            if next != self.primary {
+                self.primary = next;
+                self.stats.failovers += 1;
+                if let Some(o) = &self.obs {
+                    o.failovers.inc();
+                }
+            }
+        }
+    }
+
+    fn export_gauges(&self) {
+        if let Some(o) = &self.obs {
+            o.hints_pending.set(self.hints_pending_values() as f64);
+            o.replicas_healthy.set(self.healthy_count() as f64);
+            o.primary.set(self.primary as f64);
+        }
+    }
+}
+
+/// Result of one replicated sampling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplSamplingReport {
+    /// Ticks scheduled.
+    pub ticks: u64,
+    /// Field values expected (ticks × total domain size).
+    pub expected_values: u64,
+    /// Coordinator statistics.
+    pub transport: ReplStats,
+}
+
+/// Drive one sampling run through the replication coordinator: the same
+/// unbuffered tick loop as [`crate::sampler::SamplingLoop::run`], with a
+/// coordinator heartbeat (hint replay, quarantine, failover) every tick.
+pub fn run_replicated(
+    config: &SamplingConfig,
+    pmcd: &mut crate::pmcd::Pmcd,
+    coord: &mut ReplShipper<'_>,
+) -> ReplSamplingReport {
+    let period = 1.0 / config.freq_hz;
+    let mut t_prev = config.start_s;
+    let mut total_domain = 0u64;
+    let mut domain_counted = false;
+    let obs = coord.obs_registry().cloned();
+    let tick_counter = obs.as_ref().map(|r| r.counter("pcp.sampler.ticks", &[]));
+    let point_counter = obs
+        .as_ref()
+        .map(|r| r.counter("pcp.sampler.points_fetched", &[]));
+
+    for tick in 0..config.ticks() {
+        let t_now = config.start_s + (tick + 1) as f64 * period;
+        pmcd.heartbeat_all(t_now);
+        coord.heartbeat(t_now);
+        let points = pmcd.fetch_all(&config.metrics, t_prev, t_now);
+        if !domain_counted && !points.is_empty() {
+            total_domain = points.iter().map(|p| p.field_count() as u64).sum();
+            domain_counted = true;
+        }
+        if let Some(c) = &tick_counter {
+            c.inc();
+        }
+        if let Some(c) = &point_counter {
+            c.add(points.len() as u64);
+        }
+        for point in points {
+            coord.ship(t_now, point, config.freq_hz);
+        }
+        t_prev = t_now;
+    }
+
+    // Final heartbeat at the end of the run so hints whose replica
+    // recovered near the end still replay.
+    coord.heartbeat(config.start_s + config.duration_s);
+
+    if let Some(registry) = &obs {
+        let start_ns = (config.start_s * 1e9).round().max(0.0) as u64;
+        let end_ns = (t_prev * 1e9).round().max(0.0) as u64;
+        registry.record_span("pcp.sampling", start_ns, end_ns);
+    }
+
+    ReplSamplingReport {
+        ticks: config.ticks(),
+        expected_values: config.ticks() * total_domain,
+        transport: coord.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmove_hwsim::network::FaultKind;
+    use pmove_tsdb::repl::ReplConfig;
+
+    fn report(ts: i64, fields: usize) -> Point {
+        let mut p = Point::new("m").tag("tag", "o1").timestamp(ts);
+        for i in 0..fields {
+            p = p.field(format!("_cpu{i}"), 5.0 + i as f64);
+        }
+        p
+    }
+
+    fn healthy_schedules(n: usize) -> Vec<FaultSchedule> {
+        vec![FaultSchedule::none(); n]
+    }
+
+    #[test]
+    fn healthy_quorum_writes_land_everywhere() {
+        let set = ReplicaSet::in_memory("s", ReplConfig::default()).unwrap();
+        let mut coord = ReplShipper::new(&set, healthy_schedules(3), &["t1"]).unwrap();
+        for t in 0..10 {
+            let out = coord.ship(t as f64, report(t, 4), 2.0);
+            assert_eq!(out, ReplShipOutcome::Inserted);
+        }
+        let s = coord.stats();
+        assert_eq!(s.values_inserted, 40);
+        assert_eq!(s.quorum_writes, 10);
+        assert_eq!(s.replica_acks, 30);
+        assert!(s.conserved(), "{s:?}");
+        assert!(set.converged());
+    }
+
+    #[test]
+    fn single_replica_outage_keeps_quorum_and_hints() {
+        let set = ReplicaSet::in_memory("s", ReplConfig::default()).unwrap();
+        let mut schedules = healthy_schedules(3);
+        schedules[1] = FaultSchedule::none().with_window(2.0, 6.0, FaultKind::LinkDown);
+        let mut coord = ReplShipper::new(&set, schedules, &["t2"]).unwrap();
+        for t in 0..10 {
+            let out = coord.ship(t as f64, report(t, 4), 2.0);
+            assert_eq!(out, ReplShipOutcome::Inserted, "t={t}");
+            coord.heartbeat(t as f64);
+        }
+        coord.heartbeat(10.0); // replica 1 is back: hints replay
+        let s = coord.stats();
+        assert_eq!(s.values_inserted, 40);
+        assert_eq!(s.values_lost, 0);
+        assert!(s.hints_queued > 0);
+        assert_eq!(s.hints_replayed, s.hints_queued);
+        assert!(s.conserved(), "{s:?}");
+        assert!(set.converged(), "hint replay restored convergence");
+    }
+
+    #[test]
+    fn quorum_miss_parks_ledger_hint_and_replays() {
+        let set = ReplicaSet::in_memory("s", ReplConfig::default()).unwrap();
+        // Replicas 1 and 2 partitioned: acks = 1 < W = 2.
+        let mut schedules = healthy_schedules(3);
+        schedules[1] = FaultSchedule::none().with_window(0.0, 5.0, FaultKind::LinkDown);
+        schedules[2] = FaultSchedule::none().with_window(0.0, 5.0, FaultKind::LinkDown);
+        let mut coord = ReplShipper::new(&set, schedules, &["t3"]).unwrap();
+        let out = coord.ship(1.0, report(1, 4), 2.0);
+        assert_eq!(out, ReplShipOutcome::Hinted);
+        let s = coord.stats();
+        assert_eq!(s.values_hinted, 4);
+        assert_eq!(s.quorum_write_failures, 1);
+        assert!(s.conserved(), "{s:?}");
+        assert!(coord.is_degraded() || coord.healthy_count() == 3); // pre-heartbeat view
+        coord.heartbeat(6.0); // both back: ledger hint graduates
+        let s = coord.stats();
+        assert_eq!(s.values_hinted, 0);
+        assert_eq!(s.values_inserted, 4);
+        assert!(s.conserved(), "{s:?}");
+    }
+
+    #[test]
+    fn hint_overflow_evicts_oldest_and_conserves() {
+        let cfg = ReplConfig {
+            hint_capacity_values: 8, // two 4-field reports
+            ..ReplConfig::default()
+        };
+        let set = ReplicaSet::in_memory("s", cfg).unwrap();
+        let mut schedules = healthy_schedules(3);
+        schedules[1] = FaultSchedule::none().with_window(0.0, 100.0, FaultKind::LinkDown);
+        schedules[2] = FaultSchedule::none().with_window(0.0, 100.0, FaultKind::LinkDown);
+        let mut coord = ReplShipper::new(&set, schedules, &["t4"]).unwrap();
+        for t in 0..10 {
+            coord.ship(t as f64, report(t, 4), 2.0);
+        }
+        let s = coord.stats();
+        assert!(s.values_evicted > 0, "{s:?}");
+        assert_eq!(s.values_hinted, 8);
+        assert!(s.conserved(), "{s:?}");
+    }
+
+    #[test]
+    fn primary_failover_after_quarantine() {
+        let set = ReplicaSet::in_memory("s", ReplConfig::default()).unwrap();
+        let mut schedules = healthy_schedules(3);
+        schedules[0] = FaultSchedule::none().with_window(0.0, 50.0, FaultKind::LinkDown);
+        let mut coord = ReplShipper::new(&set, schedules, &["t5"]).unwrap();
+        assert_eq!(coord.primary(), 0);
+        for t in 0..4 {
+            coord.heartbeat(t as f64);
+        }
+        assert_eq!(coord.primary(), 1, "promoted past the quarantined node");
+        assert_eq!(coord.stats().failovers, 1);
+        // Two of three replicas are still up: not degraded.
+        assert!(!coord.is_degraded());
+    }
+
+    #[test]
+    fn degraded_only_when_quorum_unreachable() {
+        let set = ReplicaSet::in_memory("s", ReplConfig::default()).unwrap();
+        let mut schedules = healthy_schedules(3);
+        schedules[0] = FaultSchedule::none().with_window(0.0, 50.0, FaultKind::LinkDown);
+        schedules[1] = FaultSchedule::none().with_window(0.0, 50.0, FaultKind::LinkDown);
+        let mut coord = ReplShipper::new(&set, schedules, &["t6"]).unwrap();
+        coord.heartbeat(1.0);
+        assert!(coord.is_degraded(), "1 of 3 up < W = 2");
+        coord.heartbeat(51.0);
+        assert!(!coord.is_degraded());
+    }
+
+    #[test]
+    fn schedule_count_must_match_replicas() {
+        let set = ReplicaSet::in_memory("s", ReplConfig::default()).unwrap();
+        assert!(ReplShipper::new(&set, healthy_schedules(2), &["t7"]).is_err());
+    }
+}

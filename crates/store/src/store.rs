@@ -65,6 +65,9 @@ pub struct RecoveryReport {
     pub wal_rows: u64,
     /// WAL tail bytes discarded as torn/corrupt.
     pub wal_bytes_dropped: u64,
+    /// WAL frames rejected as provably corrupt (CRC mismatch on a fully
+    /// present frame, or an absurd length header) — torn tails excluded.
+    pub wal_corrupt_frames: u64,
     /// Modeled time to re-read the persisted state, in nanoseconds.
     pub modeled_ns: u64,
 }
@@ -97,6 +100,7 @@ pub struct StoreObs {
     wal_commits: Arc<Counter>,
     wal_bytes_committed: Arc<Counter>,
     wal_records_replayed: Arc<Counter>,
+    wal_corrupt_frames: Arc<Counter>,
     wal_resets: Arc<Counter>,
     wal_commit_ns: Arc<Histogram>,
     compaction_snapshots: Arc<Counter>,
@@ -120,6 +124,7 @@ impl StoreObs {
             wal_commits: registry.counter("wal.commits", l),
             wal_bytes_committed: registry.counter("wal.bytes_committed", l),
             wal_records_replayed: registry.counter("wal.records_replayed", l),
+            wal_corrupt_frames: registry.counter("store.wal.corrupt_frames", l),
             wal_resets: registry.counter("wal.resets", l),
             wal_commit_ns: registry.histogram("wal.commit_ns", l, latency_buckets()),
             compaction_snapshots: registry.counter("compaction.snapshots", l),
@@ -292,9 +297,11 @@ impl TsStore {
         }
         report.wal_rows = memtable.len() as u64;
         report.wal_bytes_dropped = replay.bytes_dropped;
+        report.wal_corrupt_frames = replay.corrupt_frames;
         report.modeled_ns = (spec.write_time(bytes_read, IO_BLOCK_SIZE) * 1e9) as u64;
         if let Some(obs) = &obs {
             obs.wal_records_replayed.add(replay.records);
+            obs.wal_corrupt_frames.add(replay.corrupt_frames);
         }
         Ok((
             TsStore {

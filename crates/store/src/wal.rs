@@ -36,31 +36,45 @@ pub struct WalReplay {
     pub records: u64,
     /// Bytes of tail damage discarded (0 on a clean log).
     pub bytes_dropped: u64,
+    /// Frames that were structurally complete but provably damaged — a
+    /// CRC mismatch on a fully present payload or an absurd length field.
+    /// A short frame at the tail is a torn write, not corruption, and is
+    /// not counted here.
+    pub corrupt_frames: u64,
 }
 
-/// Parse every valid frame in `data`; returns the payloads and the byte
-/// length of the valid prefix.
-pub fn scan_frames(data: &[u8]) -> (Vec<Vec<u8>>, usize) {
+/// Parse every valid frame in `data`; returns the payloads, the byte
+/// length of the valid prefix, and how many frames were rejected as
+/// corrupt (as opposed to merely torn short at the tail).
+pub fn scan_frames(data: &[u8]) -> (Vec<Vec<u8>>, usize, u64) {
     let mut payloads = Vec::new();
     let mut pos = 0usize;
+    let mut corrupt = 0u64;
     while data.len() - pos >= 8 {
         let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
         let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
         if len > MAX_RECORD_LEN {
+            // A header this large was never written by `append`; the
+            // length field itself took the damage.
+            corrupt += 1;
             break;
         }
         let end = pos + 8 + len as usize;
         if end > data.len() {
+            // Torn tail: the frame simply never finished reaching disk.
             break;
         }
         let payload = &data[pos + 8..end];
         if crc32(payload) != crc {
+            // Every byte of the frame is present yet the checksum fails:
+            // a bit flip inside the record, not a truncated write.
+            corrupt += 1;
             break;
         }
         payloads.push(payload.to_vec());
         pos = end;
     }
-    (payloads, pos)
+    (payloads, pos, corrupt)
 }
 
 /// The write-ahead log over one [`Vfs`] file.
@@ -85,7 +99,7 @@ impl Wal {
         } else {
             Vec::new()
         };
-        let (payloads, valid_len) = scan_frames(&existing);
+        let (payloads, valid_len, corrupt_frames) = scan_frames(&existing);
         let bytes_dropped = (existing.len() - valid_len) as u64;
         let file = if bytes_dropped > 0 {
             // Rewrite to the valid prefix so future frames append after
@@ -100,6 +114,7 @@ impl Wal {
         let replay = WalReplay {
             records: payloads.len() as u64,
             bytes_dropped,
+            corrupt_frames,
         };
         Ok((
             Wal {
@@ -264,13 +279,33 @@ mod tests {
         // Corrupt the second record's payload.
         let n = data.len();
         data[n - 1] ^= 0x01;
-        let (payloads, valid) = scan_frames(&data);
+        let (payloads, valid, corrupt) = scan_frames(&data);
         assert_eq!(payloads, vec![b"aaa".to_vec()]);
         assert_eq!(valid, 11);
+        assert_eq!(corrupt, 1);
         // Oversized length field is corruption, not an allocation.
         let mut huge = vec![0xFF; 12];
         huge[0..4].copy_from_slice(&(MAX_RECORD_LEN + 1).to_le_bytes());
-        assert_eq!(scan_frames(&huge).0.len(), 0);
+        let (payloads, _, corrupt) = scan_frames(&huge);
+        assert!(payloads.is_empty());
+        assert_eq!(corrupt, 1);
+    }
+
+    #[test]
+    fn torn_short_frame_is_not_counted_as_corrupt() {
+        let mut data = Vec::new();
+        let payload = b"complete";
+        data.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        data.extend_from_slice(&crc32(payload).to_le_bytes());
+        data.extend_from_slice(payload);
+        // A frame header promising more bytes than the file holds: torn.
+        data.extend_from_slice(&64u32.to_le_bytes());
+        data.extend_from_slice(&0u32.to_le_bytes());
+        data.extend_from_slice(b"short");
+        let (payloads, valid, corrupt) = scan_frames(&data);
+        assert_eq!(payloads, vec![payload.to_vec()]);
+        assert_eq!(valid, 8 + payload.len());
+        assert_eq!(corrupt, 0);
     }
 
     #[test]

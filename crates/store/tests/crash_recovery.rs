@@ -11,8 +11,9 @@
 //! `PMOVE_CRASH_CASES` environment variable (the `persistence` job runs
 //! at an elevated count).
 
+use pmove_obs::Registry;
 use pmove_store::{
-    ColumnValue, FaultMode, FaultPlan, MemDisk, RowRecord, StoreOptions, TsStore, Vfs,
+    ColumnValue, FaultMode, FaultPlan, MemDisk, RowRecord, StoreObs, StoreOptions, TsStore, Vfs,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -260,13 +261,13 @@ fn recovered_store_accepts_new_writes() {
             FaultMode::TornTail,
             FaultMode::BitFlip,
         ][(case % 3) as usize];
-        let plan = Some(FaultPlan {
+        let plan = FaultPlan {
             crash_at_op: 1 + rng.below(30),
             mode,
-        });
+        };
         let disk = MemDisk::new(seed);
         let vfs: Arc<dyn Vfs> = Arc::new(disk.clone());
-        disk.schedule_fault(plan.unwrap());
+        disk.schedule_fault(plan);
         let opts = StoreOptions {
             flush_threshold_rows: 4,
             compact_min_chunks: 2,
@@ -291,4 +292,99 @@ fn recovered_store_accepts_new_writes() {
             "seed {seed}: post-recovery write lost"
         );
     }
+}
+
+#[test]
+fn bit_flip_inside_wal_record_truncates_at_corrupt_frame() {
+    // A durable bit flip inside an acknowledged, CRC-framed WAL record is
+    // not a torn tail: every byte of the frame is present, the checksum
+    // just no longer matches. Recovery must truncate the log at that
+    // frame (keeping the prefix before it), count it in the
+    // `store.wal.corrupt_frames` metric, and never replay garbage.
+    //
+    // The MemDisk places the flip at a seeded pseudo-random offset, so a
+    // small seed sweep covers both landings: inside an acked frame (the
+    // corrupt-frame signature under test) and inside the torn tail of
+    // the in-flight commit (plain truncation, not corruption).
+    let opts = StoreOptions {
+        // Keep every batch in the WAL — no flushes, no chunks.
+        flush_threshold_rows: 1 << 20,
+        compact_min_chunks: 1 << 10,
+    };
+    let mut corrupt_cases = 0u64;
+    for seed in 0..64u64 {
+        let disk = MemDisk::new(seed);
+        let vfs: Arc<dyn Vfs> = Arc::new(disk.clone());
+        let mut rng = Rng(seed ^ 0xB17_F11B);
+        let batches: Vec<Vec<RowRecord>> = (0..6).map(|i| gen_batch(&mut rng, i)).collect();
+        let (mut store, _) = TsStore::open(vfs.clone(), opts).unwrap();
+        for batch in &batches {
+            store.append(batch);
+            store.commit().expect("no fault scheduled yet");
+        }
+        // Flip a durable bit while one more commit is in flight.
+        disk.schedule_fault(FaultPlan {
+            crash_at_op: disk.ops_done() + 2,
+            mode: FaultMode::BitFlip,
+        });
+        store.append(&gen_batch(&mut rng, 6));
+        assert!(store.commit().is_err(), "seed {seed}: fault did not fire");
+        drop(store);
+        disk.restart();
+
+        let registry = Registry::new();
+        let obs = StoreObs::new(&registry, "walcrash");
+        let (mut store, report) = TsStore::open_with_obs(vfs.clone(), opts, Some(obs))
+            .unwrap_or_else(|e| panic!("seed {seed}: recovery panicked on corruption: {e}"));
+        let recovered = store.scan().unwrap();
+        let metric = registry
+            .counter("store.wal.corrupt_frames", &[("db", "walcrash")])
+            .get();
+        assert_eq!(
+            metric, report.wal_corrupt_frames,
+            "seed {seed}: metric disagrees with the recovery report"
+        );
+        // Whatever survived must be the LWW view of an exact batch
+        // prefix — one batch per WAL frame, so frame truncation is batch
+        // truncation.
+        let j = (0..=batches.len())
+            .find(|&j| view_of_prefix(&batches, j) == recovered)
+            .unwrap_or_else(|| panic!("seed {seed}: recovered rows match no batch prefix"));
+        if report.wal_corrupt_frames > 0 {
+            corrupt_cases += 1;
+            assert_eq!(
+                report.wal_corrupt_frames, 1,
+                "seed {seed}: replay stops at the first corrupt frame"
+            );
+            assert!(
+                report.wal_bytes_dropped > 0,
+                "seed {seed}: corrupt frame counted but nothing dropped"
+            );
+            assert!(
+                j < batches.len(),
+                "seed {seed}: corrupt frame counted but every acked batch survived"
+            );
+        }
+        // Recovery rewrote the log to the valid prefix: a second open is
+        // clean, byte-identical, and the store accepts new writes.
+        store.append(&[RowRecord::new(
+            "post,host=x",
+            "alive",
+            9_999_999,
+            ColumnValue::Bool(true),
+        )]);
+        store.commit().unwrap();
+        drop(store);
+        let (store, report2) = TsStore::open(vfs, opts).unwrap();
+        assert_eq!(
+            report2.wal_corrupt_frames, 0,
+            "seed {seed}: corruption survived recovery"
+        );
+        assert_eq!(report2.wal_bytes_dropped, 0);
+        assert_eq!(store.scan().unwrap().len(), recovered.len() + 1);
+    }
+    assert!(
+        corrupt_cases > 0,
+        "seed sweep never landed a flip inside an acked frame"
+    );
 }

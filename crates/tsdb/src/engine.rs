@@ -9,6 +9,7 @@ use crate::line_protocol::{parse_series_key, render_series_key};
 use crate::point::Point;
 use crate::query::{Query, QueryResult};
 use crate::retention::RetentionPolicy;
+use crate::series::SeriesKey;
 use crate::storage::Storage;
 use crate::subscribe::{Subscription, SubscriptionHub};
 use crate::value::FieldValue;
@@ -405,6 +406,61 @@ impl Database {
         self.storage.write().insert(point);
         self.bump_version(&measurement);
         Ok(())
+    }
+
+    /// Apply a point replicated from another node (hinted-handoff replay
+    /// or anti-entropy repair). Unlike [`Database::write_point`] this
+    /// bypasses the ingest limiter and the client-facing [`IngestStats`]
+    /// ledger — the replication coordinator owns value accounting and a
+    /// repaired cell was already counted when it was first accepted — but
+    /// it keeps the WAL durability barrier, the live-subscription publish,
+    /// and the per-measurement write-version bump, so the LRU query cache
+    /// can never serve pre-repair rows.
+    pub fn apply_remote(&self, point: Point) -> Result<(), TsdbError> {
+        if point.fields.is_empty() {
+            return Err(TsdbError::EmptyFields);
+        }
+        if let Some(store) = &self.store {
+            let rows = rows_of_point(&point);
+            let mut st = store.lock();
+            st.append(&rows);
+            st.commit()?;
+        }
+        if let Some(o) = &self.obs {
+            o.registry.counter("tsdb.repl.remote_applied", &[]).inc();
+        }
+        self.hub.publish(&point);
+        let measurement = point.measurement.clone();
+        self.storage.write().insert(point);
+        self.bump_version(&measurement);
+        Ok(())
+    }
+
+    /// Current write version of one measurement: bumped on every accepted
+    /// local or remote write (and on retention/recovery). Exposed so the
+    /// replication tests can audit cache freshness.
+    pub fn write_version(&self, measurement: &str) -> u64 {
+        self.measurement_version(measurement)
+    }
+
+    /// Visit every stored cell in a deterministic order: measurements
+    /// sorted by name, series ascending by id, rows ascending by
+    /// timestamp, fields sorted by name. This is the walk the replication
+    /// layer's Merkle trees are built over.
+    pub fn for_each_cell(&self, f: &mut dyn FnMut(&SeriesKey, i64, &str, &FieldValue)) {
+        let storage = self.storage.read();
+        for name in storage.measurement_names() {
+            let Some(view) = storage.measurement(&name) else {
+                continue;
+            };
+            for series in view.series_iter() {
+                for row in &series.rows {
+                    for (field, value) in &row.fields {
+                        f(&series.key, row.timestamp, field, value);
+                    }
+                }
+            }
+        }
     }
 
     /// Write a batch; returns how many points were accepted. Rejected points

@@ -25,6 +25,9 @@ pub enum TsdbError {
     /// The durable storage engine failed (WAL commit, chunk flush,
     /// compaction, or recovery).
     Storage(String),
+    /// The replication layer failed: invalid quorum configuration or a
+    /// quorum that cannot currently be assembled.
+    Replication(String),
 }
 
 impl From<pmove_store::StoreError> for TsdbError {
@@ -46,6 +49,7 @@ impl fmt::Display for TsdbError {
             TsdbError::UnknownMeasurement(m) => write!(f, "unknown measurement: {m}"),
             TsdbError::UnknownRetentionPolicy(p) => write!(f, "unknown retention policy: {p}"),
             TsdbError::Storage(msg) => write!(f, "storage engine error: {msg}"),
+            TsdbError::Replication(msg) => write!(f, "replication error: {msg}"),
         }
     }
 }

@@ -568,7 +568,9 @@ mod tests {
     use crate::point::Point;
     use crate::query::execute;
 
-    fn bits(r: &QueryResult) -> Vec<(i64, Vec<(String, Option<u64>)>)> {
+    type BitRows = Vec<(i64, Vec<(String, Option<u64>)>)>;
+
+    fn bits(r: &QueryResult) -> BitRows {
         r.rows
             .iter()
             .map(|row| {

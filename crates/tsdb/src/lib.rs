@@ -46,6 +46,7 @@ pub mod index;
 pub mod line_protocol;
 pub mod point;
 pub mod query;
+pub mod repl;
 pub mod retention;
 pub mod self_export;
 pub mod series;
@@ -65,6 +66,7 @@ pub use error::TsdbError;
 pub use exec::{ExecMode, ExecStats};
 pub use point::Point;
 pub use query::{Query, QueryPlan, QueryResult, ResultRow};
+pub use repl::{MerkleSnapshot, RepairReport, ReplConfig, ReplicaSet, MERKLE_BUCKETS};
 pub use retention::RetentionPolicy;
 pub use self_export::export_snapshot;
 pub use series::{SeriesId, SeriesKey};
