@@ -34,4 +34,5 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod tracing;
 pub mod variability;

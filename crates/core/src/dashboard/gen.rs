@@ -232,6 +232,25 @@ pub fn self_dashboard(kb: &KnowledgeBase, snap: &pmove_obs::Snapshot) -> Dashboa
         d = d.panel("replication", repl_targets);
     }
 
+    // Tracing & SLO: the SLO engine's meta-metrics and the tracer's
+    // lifetime counters. Both families live in the `pmove.` namespace and
+    // export under their own names (no `pmove.self.` prefix), so the
+    // targets address them directly. Untraced runs register none of
+    // these, so they grow no panel.
+    let mut obs_names: Vec<String> = snap
+        .counters
+        .iter()
+        .map(|(key, _)| key.name.clone())
+        .chain(snap.gauges.iter().map(|(key, _)| key.name.clone()))
+        .filter(|name| name.starts_with("pmove.slo.") || name.starts_with("pmove.trace."))
+        .collect();
+    obs_names.sort();
+    obs_names.dedup();
+    let obs_targets: Vec<Target> = obs_names.iter().map(|name| target(name, "value")).collect();
+    if !obs_targets.is_empty() {
+        d = d.panel("tracing & SLO", obs_targets);
+    }
+
     // Span timings: daemon boot steps get their own panel.
     let step_targets: Vec<Target> = snap
         .spans
@@ -320,6 +339,40 @@ mod tests {
             }
         }
         assert!(level_dashboard(&kb, "gpu").is_none());
+    }
+
+    #[test]
+    fn self_dashboard_adds_tracing_slo_panel_when_observed() {
+        let kb = kb();
+        let reg = pmove_obs::Registry::new();
+        reg.gauge("pmove.slo.state", &[("slo", "ingest_p99")])
+            .set(0.0);
+        reg.counter("pmove.slo.transitions", &[("slo", "ingest_p99")])
+            .inc();
+        reg.gauge("pmove.trace.started", &[]).set(5.0);
+        let d = self_dashboard(&kb, &reg.snapshot());
+        let panel = d
+            .panels
+            .iter()
+            .find(|p| p.title == "tracing & SLO")
+            .expect("tracing & SLO panel");
+        // The pmove.* names address their own measurements — no
+        // pmove.self. prefix.
+        assert!(panel
+            .targets
+            .iter()
+            .any(|t| t.measurement == "pmove.slo.state"));
+        assert!(panel
+            .targets
+            .iter()
+            .any(|t| t.measurement == "pmove.trace.started"));
+        assert!(panel
+            .targets
+            .iter()
+            .all(|t| !t.measurement.starts_with("pmove.self.")));
+        // Untraced registries grow no panel.
+        let d0 = self_dashboard(&kb, &pmove_obs::Registry::new().snapshot());
+        assert!(d0.panels.iter().all(|p| p.title != "tracing & SLO"));
     }
 
     #[test]

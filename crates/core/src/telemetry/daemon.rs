@@ -18,7 +18,10 @@ use crate::telemetry::scenario_b::{self, ProfileOutcome, ProfileRequest};
 use pmove_hwsim::kernel_profile::{KernelProfile, Precision};
 use pmove_hwsim::{ExecModel, FaultSchedule, Machine};
 use pmove_kernels::hpcg;
-use pmove_obs::Registry;
+use pmove_obs::{
+    AlertState, BurnWindow, Objective, Registry, SloEngine, SloSpec, TraceConfig, Tracer,
+    Transition,
+};
 use pmove_pcp::{ResilienceConfig, SamplingReport};
 use pmove_tsdb::repl::{RepairReport, ReplConfig, ReplicaSet};
 use std::sync::Arc;
@@ -84,6 +87,10 @@ pub struct PMoveDaemon {
     /// Self-observability registry: every subsystem the daemon owns
     /// (transport, pmcd, tsdb, docdb, KB builder) reports into it.
     pub obs: Arc<Registry>,
+    /// SLO engine over the registry's metrics; objectives install via
+    /// [`PMoveDaemon::install_default_slos`] or [`SloEngine::add`] and
+    /// evaluate on the daemon's virtual clock.
+    pub slo: SloEngine,
     /// Which stack the daemon booted with (see [`DaemonMode`]).
     pub mode: DaemonMode,
     /// Why the supervisor degraded the boot, when it did.
@@ -164,6 +171,7 @@ impl PMoveDaemon {
             ids,
             now_s: 0.0,
             background_busy: Vec::new(),
+            slo: SloEngine::new().with_meta(obs.clone()),
             obs,
             mode: DaemonMode::Normal,
             degraded_reason: None,
@@ -226,6 +234,7 @@ impl PMoveDaemon {
             ids,
             now_s: 0.0,
             background_busy: Vec::new(),
+            slo: SloEngine::new().with_meta(obs.clone()),
             obs,
             mode: DaemonMode::Normal,
             degraded_reason: None,
@@ -598,8 +607,197 @@ impl PMoveDaemon {
     /// time-series database as `pmove.self.*` series stamped at the
     /// current virtual time. Returns the number of points written.
     pub fn export_self_telemetry(&self) -> usize {
+        self.publish_trace_meta();
         let snap = self.obs.snapshot();
         pmove_tsdb::export_snapshot(&self.ts, &snap, (self.now_s * 1e9).round() as i64)
+    }
+
+    /// Deterministic tracer seed: FNV-1a of the machine key, so two
+    /// daemons on the same preset mint identical trace ids.
+    fn trace_seed(key: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Attach a deterministic tracer to the registry so every pipeline
+    /// stage (transport, replication, tsdb, WAL) records causal trace
+    /// trees, and synthesize the boot trace from the already-stamped
+    /// `daemon.stepN.*` spans. Returns the tracer for direct inspection;
+    /// it is also reachable via `obs.tracer()`.
+    pub fn enable_tracing(&mut self, config: TraceConfig) -> Arc<Tracer> {
+        let tracer = Arc::new(Tracer::new(Self::trace_seed(self.machine.key()), config));
+        self.obs.set_tracer(tracer.clone());
+        self.record_boot_trace(&tracer);
+        tracer
+    }
+
+    /// Replay the boot timeline (steps ⓪–⑤ plus recovery, whichever ran)
+    /// into one `daemon.boot` trace so the flight recorder holds the boot
+    /// alongside request traces.
+    fn record_boot_trace(&self, tracer: &Tracer) {
+        let snap = self.obs.snapshot();
+        let steps = [
+            "daemon.step0.environment",
+            "daemon.step1.probe",
+            "daemon.step2.kb_generation",
+            "daemon.step3.kb_insert",
+            "daemon.step4.recovery",
+            "daemon.step5.supervise",
+        ];
+        let present: Vec<(&str, u64, u64)> = steps
+            .iter()
+            .filter_map(|name| {
+                snap.span(name)
+                    .map(|s| (*name, s.last_start_ns, s.last_end_ns))
+            })
+            .collect();
+        let Some(&(_, root_start, _)) = present.first() else {
+            return;
+        };
+        let root_end = present
+            .iter()
+            .map(|&(_, _, e)| e)
+            .max()
+            .unwrap_or(root_start);
+        let ctx = tracer.start_trace("daemon.boot", root_start);
+        for (name, start_ns, end_ns) in present {
+            let child = tracer.child(ctx, name, start_ns);
+            tracer.end_span(child, end_ns);
+        }
+        tracer.finish_trace(ctx, root_end, "booted");
+    }
+
+    /// Publish tracer lifetime counters as `pmove.trace.*` gauges so the
+    /// self-dashboard and self-telemetry exports can show them.
+    fn publish_trace_meta(&self) {
+        if let Some(tracer) = self.obs.tracer() {
+            let s = tracer.stats();
+            let g = |name: &str, v: u64| self.obs.gauge(name, &[]).set(v as f64);
+            g("pmove.trace.started", s.started);
+            g("pmove.trace.finished", s.finished);
+            g("pmove.trace.retained", s.retained);
+            g("pmove.trace.ring_evicted", s.ring_evicted);
+            g("pmove.trace.fault_upgrades", s.fault_upgrades);
+            g("pmove.trace.spans_recorded", s.spans_recorded);
+        }
+    }
+
+    /// Human-readable tracing report: the most recently finished trace
+    /// tree, its critical path + stage attribution, and the tracer's
+    /// lifetime counters. Deterministic for same-seed runs.
+    pub fn trace_report(&self) -> String {
+        let Some(tracer) = self.obs.tracer() else {
+            return "tracing disabled (call enable_tracing first)\n".to_string();
+        };
+        let mut out = String::new();
+        match tracer.last_finished() {
+            None => out.push_str("no finished traces recorded\n"),
+            Some(tree) => {
+                out.push_str(&tree.render());
+                out.push_str(&tree.render_critical_path());
+            }
+        }
+        let s = tracer.stats();
+        out.push_str(&format!(
+            "tracer: started={} finished={} retained={} ring_evicted={} \
+             fault_upgrades={} spans_recorded={}\n",
+            s.started, s.finished, s.retained, s.ring_evicted, s.fault_upgrades, s.spans_recorded
+        ));
+        out
+    }
+
+    /// Install the default SLO set over metrics the pipeline already
+    /// publishes: ingest p99 latency, query p99 latency, transport
+    /// conservation, and (meaningful only when replicated) quorum
+    /// availability. Idempotent: a non-empty engine is left untouched.
+    pub fn install_default_slos(&mut self) {
+        if !self.slo.is_empty() {
+            return;
+        }
+        let windows = || {
+            vec![
+                BurnWindow {
+                    name: "fast".into(),
+                    window_ns: 10_000_000_000, // 10 s
+                    burn_threshold: 8.0,
+                    severity: AlertState::Page,
+                },
+                BurnWindow {
+                    name: "slow".into(),
+                    window_ns: 60_000_000_000, // 60 s
+                    burn_threshold: 2.0,
+                    severity: AlertState::Warning,
+                },
+            ]
+        };
+        self.slo.add(SloSpec {
+            name: "ingest_p99".into(),
+            objective: Objective::LatencyBelow {
+                histogram: "tsdb.ingest_ns".into(),
+                threshold_ns: 100_000,
+            },
+            target: 0.99,
+            windows: windows(),
+            clear_evals: 2,
+        });
+        self.slo.add(SloSpec {
+            name: "query_p99".into(),
+            objective: Objective::LatencyBelow {
+                histogram: "tsdb.query_ns".into(),
+                threshold_ns: 2_500_000,
+            },
+            target: 0.99,
+            windows: windows(),
+            clear_evals: 2,
+        });
+        self.slo.add(SloSpec {
+            name: "conservation".into(),
+            objective: Objective::Conservation {
+                offered: "pcp.transport.values_offered".into(),
+                accounted: vec![
+                    "pcp.transport.values_inserted".into(),
+                    "pcp.transport.values_zeroed".into(),
+                    "pcp.transport.values_lost".into(),
+                    "pcp.resilience.values_evicted".into(),
+                ],
+                pending_gauges: vec!["pcp.resilience.spill_pending".into()],
+            },
+            target: 0.999,
+            windows: windows(),
+            clear_evals: 2,
+        });
+        self.slo.add(SloSpec {
+            name: "quorum_availability".into(),
+            objective: Objective::GaugeAtLeast {
+                gauge: "tsdb.repl.replicas_healthy".into(),
+                min: self
+                    .repl
+                    .as_ref()
+                    .map(|s| s.config().write_quorum as f64)
+                    .unwrap_or(2.0),
+            },
+            target: 0.99,
+            windows: windows(),
+            clear_evals: 2,
+        });
+    }
+
+    /// Evaluate every installed SLO against the current registry state at
+    /// the daemon's virtual time; publishes `pmove.slo.*` meta-metrics
+    /// and returns the transitions that fired.
+    pub fn evaluate_slos(&mut self) -> Vec<Transition> {
+        self.publish_trace_meta();
+        let snap = self.obs.snapshot();
+        self.slo.evaluate(&snap, s_to_ns(self.now_s))
+    }
+
+    /// Deterministic text rendering of the alert timeline.
+    pub fn slo_timeline_report(&self) -> String {
+        self.slo.render_timeline()
     }
 
     /// Generate the self-observability dashboard (pipeline loss, ingest
@@ -1095,6 +1293,112 @@ mod tests {
         assert!(b.result("final_rel_residual").unwrap() < 1e-9);
         assert!(b.result("hpcg_gflops").unwrap() > 0.0);
         assert!(b.result("iterations").unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn tracing_records_boot_and_monitor_traces() {
+        let mut d = PMoveDaemon::for_preset("icl").unwrap();
+        let tracer = d.enable_tracing(TraceConfig::default());
+        // The boot trace is synthesized from the recorded step spans.
+        let boot = tracer
+            .flight_recorder()
+            .into_iter()
+            .find(|t| t.root().name == "daemon.boot")
+            .expect("boot trace recorded");
+        assert_eq!(boot.terminal_status(), "booted");
+        assert!(boot.spans.len() >= 5, "{}", boot.render());
+
+        d.monitor(5.0, 2.0);
+        assert_eq!(tracer.active_count(), 0, "no orphaned traces");
+        let s = tracer.stats();
+        assert_eq!(s.started, s.finished);
+        assert!(s.started > 1);
+        let report = d.trace_report();
+        assert!(report.contains("pcp.sample"), "{report}");
+        assert!(report.contains("critical path"), "{report}");
+        assert!(report.contains("tracer: started="), "{report}");
+
+        // Same-seed determinism: the last finished tree renders
+        // identically across runs.
+        let mut d2 = PMoveDaemon::for_preset("icl").unwrap();
+        let t2 = d2.enable_tracing(TraceConfig::default());
+        d2.monitor(5.0, 2.0);
+        assert_eq!(
+            tracer.last_finished().unwrap().render(),
+            t2.last_finished().unwrap().render()
+        );
+    }
+
+    #[test]
+    fn traced_monitor_matches_untraced_goldens() {
+        // Tracing must not perturb what the pipeline actually does: same
+        // report, same rows, same series with and without a tracer.
+        let mut plain = PMoveDaemon::for_preset("icl").unwrap();
+        let r_plain = plain.monitor(5.0, 2.0);
+        let mut traced = PMoveDaemon::for_preset("icl").unwrap();
+        traced.enable_tracing(TraceConfig::default());
+        let r_traced = traced.monitor(5.0, 2.0);
+        assert_eq!(r_plain.transport, r_traced.transport);
+        assert_eq!(plain.ts.total_rows(), traced.ts.total_rows());
+        let q = "SELECT \"value\" FROM \"kernel_all_load\"";
+        assert_eq!(
+            plain.ts.query(q).unwrap().rows,
+            traced.ts.query(q).unwrap().rows
+        );
+    }
+
+    #[test]
+    fn default_slos_stay_quiet_on_healthy_runs() {
+        let mut d = PMoveDaemon::for_preset("icl").unwrap();
+        d.install_default_slos();
+        assert_eq!(d.slo.len(), 4);
+        d.install_default_slos(); // idempotent
+        assert_eq!(d.slo.len(), 4);
+        d.monitor(5.0, 2.0);
+        let fired = d.evaluate_slos();
+        assert!(fired.is_empty(), "{fired:?}");
+        assert_eq!(d.slo.state("ingest_p99"), Some(AlertState::Ok));
+        assert_eq!(d.slo.state("conservation"), Some(AlertState::Ok));
+        // Meta-gauges are published under the pmove.slo.* namespace.
+        let snap = d.obs.snapshot();
+        assert!(snap.gauges.iter().any(|(k, _)| k.name == "pmove.slo.state"));
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(k, _)| k.name == "pmove.slo.burn_rate"));
+    }
+
+    #[test]
+    fn induced_ingest_regression_pages_at_the_same_virtual_time() {
+        let run = || {
+            let mut d = PMoveDaemon::for_preset("icl").unwrap();
+            d.install_default_slos();
+            d.monitor(2.0, 2.0);
+            d.evaluate_slos();
+            // Regress the ingest path: a burst of samples far above the
+            // objective threshold.
+            let h = d
+                .obs
+                .histogram("tsdb.ingest_ns", &[], pmove_obs::latency_buckets());
+            for _ in 0..500 {
+                h.record(2_000_000);
+            }
+            d.now_s += 1.0;
+            let fired = d.evaluate_slos();
+            (fired, d.slo_timeline_report())
+        };
+        let (fired_a, timeline_a) = run();
+        let (fired_b, timeline_b) = run();
+        assert!(
+            fired_a
+                .iter()
+                .any(|t| t.slo == "ingest_p99" && t.to == AlertState::Page),
+            "{fired_a:?}"
+        );
+        assert_eq!(fired_a, fired_b, "fired transitions are deterministic");
+        assert_eq!(timeline_a, timeline_b, "alert timeline is deterministic");
+        assert!(timeline_a.contains("ingest_p99 ok -> page"), "{timeline_a}");
+        assert!(timeline_a.contains("t=3000000000ns"), "{timeline_a}");
     }
 
     #[test]

@@ -41,10 +41,18 @@
 
 mod audit;
 mod metrics;
+mod prometheus;
+mod slo;
 mod snapshot;
 mod span;
+mod trace;
 
 pub use audit::{AuditError, ConservationAudit, ConservationCell};
 pub use metrics::{latency_buckets, Counter, Gauge, Histogram, MetricKey, Registry};
+pub use slo::{AlertState, BurnWindow, Objective, SloEngine, SloSpec, Transition};
 pub use snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot};
 pub use span::SpanGuard;
+pub use trace::{
+    SpanId, StageShare, TraceConfig, TraceContext, TraceId, TraceSpan, TraceTree, Tracer,
+    TracerStats,
+};

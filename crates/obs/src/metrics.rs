@@ -1,11 +1,12 @@
 //! Metric primitives and the registry that owns them.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot};
 use crate::span::{SpanGuard, SpanStats};
+use crate::trace::Tracer;
 
 /// Identity of one metric: name plus sorted `label=value` pairs.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -85,6 +86,9 @@ pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    /// Largest tagged sample and the trace it belongs to, so a p99
+    /// outlier links straight to its trace tree. `(trace_id, value)`.
+    exemplar: Mutex<Option<(u64, u64)>>,
 }
 
 impl Histogram {
@@ -102,6 +106,7 @@ impl Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            exemplar: Mutex::new(None),
         }
     }
 
@@ -112,6 +117,33 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record one sample and tag it with the trace it belongs to. The
+    /// exemplar kept is the largest tagged sample (ties: lowest trace
+    /// id), so the retained exemplar is deterministic regardless of
+    /// arrival order and always points at the tail of the distribution.
+    pub fn record_exemplar(&self, v: u64, trace_id: u64) {
+        self.record(v);
+        let mut slot = match self.exemplar.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        let replace = match *slot {
+            None => true,
+            Some((t, cur)) => v > cur || (v == cur && trace_id < t),
+        };
+        if replace {
+            *slot = Some((trace_id, v));
+        }
+    }
+
+    /// The current exemplar, if any sample was tagged: `(trace_id, value)`.
+    pub fn exemplar(&self) -> Option<(u64, u64)> {
+        match self.exemplar.lock() {
+            Ok(g) => *g,
+            Err(poison) => *poison.into_inner(),
+        }
     }
 
     /// Number of recorded samples.
@@ -142,31 +174,12 @@ impl Histogram {
     /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
     /// within the bucket containing the target rank.
     pub fn quantile(&self, q: f64) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            return 0.0;
-        }
-        let target = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (idx, bucket) in self.buckets.iter().enumerate() {
-            let c = bucket.load(Ordering::Relaxed);
-            if seen + c >= target {
-                let lower = if idx == 0 { 0 } else { self.bounds[idx - 1] };
-                let upper = if idx < self.bounds.len() {
-                    self.bounds[idx]
-                } else {
-                    // Overflow bucket: bounded above by the observed max.
-                    self.max().max(lower)
-                };
-                if c == 0 {
-                    return upper as f64;
-                }
-                let frac = (target - seen) as f64 / c as f64;
-                return lower as f64 + (upper - lower) as f64 * frac;
-            }
-            seen += c;
-        }
-        self.max() as f64
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        quantile_from_counts(&self.bounds, &counts, self.count(), self.max(), q)
     }
 
     pub(crate) fn snapshot(&self) -> HistogramSnapshot {
@@ -184,32 +197,79 @@ impl Histogram {
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
+            exemplar: self.exemplar(),
         }
     }
 }
 
+/// Shared quantile estimator over fixed buckets, used by histograms and
+/// per-span duration aggregates. Linear interpolation within the winning
+/// bucket; when no sample lies *above* that bucket, the observed max is
+/// the tightest upper bound — without the clamp, a histogram whose
+/// samples all sit in the first bucket reports the bucket's static bound
+/// as p99 and inflates low-latency tails.
+pub(crate) fn quantile_from_counts(
+    bounds: &[u64],
+    counts: &[u64],
+    n: u64,
+    max: u64,
+    q: f64,
+) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let target = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (idx, &c) in counts.iter().enumerate() {
+        if seen + c >= target {
+            let lower = if idx == 0 { 0 } else { bounds[idx - 1] };
+            let mut upper = if idx < bounds.len() {
+                bounds[idx]
+            } else {
+                // Overflow bucket: bounded above by the observed max.
+                max.max(lower)
+            };
+            if seen + c == n {
+                // Nothing above this bucket: the max caps it.
+                upper = upper.min(max).max(lower);
+            }
+            if c == 0 {
+                return upper as f64;
+            }
+            let frac = (target - seen) as f64 / c as f64;
+            return lower as f64 + (upper - lower) as f64 * frac;
+        }
+        seen += c;
+    }
+    max as f64
+}
+
+/// Default latency bucket bounds in nanoseconds: 1µs → 10s, log-ish
+/// spaced. Span duration aggregates bucket against the same bounds.
+pub(crate) const LATENCY_BOUNDS: [u64; 18] = [
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    100_000_000,
+    500_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
 /// Default latency bucket bounds in nanoseconds: 1µs → 10s, log-ish spaced.
 pub fn latency_buckets() -> Vec<u64> {
-    vec![
-        1_000,
-        2_500,
-        5_000,
-        10_000,
-        25_000,
-        50_000,
-        100_000,
-        250_000,
-        500_000,
-        1_000_000,
-        2_500_000,
-        5_000_000,
-        10_000_000,
-        50_000_000,
-        100_000_000,
-        500_000_000,
-        1_000_000_000,
-        10_000_000_000,
-    ]
+    LATENCY_BOUNDS.to_vec()
 }
 
 #[derive(Default)]
@@ -228,6 +288,10 @@ struct RegistryInner {
 #[derive(Default)]
 pub struct Registry {
     inner: Mutex<RegistryInner>,
+    /// Fast-path flag so untraced pipelines pay one relaxed load, not a
+    /// lock, to discover there is no tracer.
+    tracing_on: AtomicBool,
+    tracer: Mutex<Option<Arc<Tracer>>>,
 }
 
 impl Registry {
@@ -291,6 +355,40 @@ impl Registry {
         stats.record(start_ns, end_ns);
     }
 
+    /// Attach a tracer so pipeline stages holding this registry can
+    /// start and propagate trace trees without extra plumbing.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        let mut slot = match self.tracer.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        *slot = Some(tracer);
+        self.tracing_on.store(true, Ordering::Release);
+    }
+
+    /// Detach the tracer; subsequent [`Registry::tracer`] calls return
+    /// `None` and tracing reverts to zero-cost.
+    pub fn clear_tracer(&self) {
+        self.tracing_on.store(false, Ordering::Release);
+        let mut slot = match self.tracer.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        *slot = None;
+    }
+
+    /// The attached tracer, if any. Cheap when tracing is off.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        if !self.tracing_on.load(Ordering::Acquire) {
+            return None;
+        }
+        let slot = match self.tracer.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        slot.clone()
+    }
+
     /// Deterministic point-in-time export of every metric and span.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.lock();
@@ -323,6 +421,9 @@ impl Registry {
                             max_ns: s.max_ns,
                             last_start_ns: s.last_start_ns,
                             last_end_ns: s.last_end_ns,
+                            p50_ns: s.quantile(0.50),
+                            p90_ns: s.quantile(0.90),
+                            p99_ns: s.quantile(0.99),
                         },
                     )
                 })
@@ -380,6 +481,52 @@ mod tests {
         assert!(h.quantile(1.0) >= 30.0);
         assert!(h.quantile(0.0) <= p50);
         assert_eq!(Histogram::new(vec![10]).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_returns_tightest_bound_for_single_bucket() {
+        // Regression: all samples in the first bucket must not report
+        // the bucket's static upper bound as p99.
+        let h = Histogram::new(latency_buckets());
+        for _ in 0..100 {
+            h.record(500);
+        }
+        assert_eq!(h.quantile(0.99), 495.0);
+        assert_eq!(h.quantile(0.50), 250.0);
+
+        // Same when the samples sit in an interior bucket.
+        let h = Histogram::new(latency_buckets());
+        for _ in 0..100 {
+            h.record(1_500);
+        }
+        let p99 = h.quantile(0.99);
+        assert!(p99 <= 1_500.0, "p99 {p99} must not exceed the observed max");
+        assert!(p99 > 1_000.0);
+    }
+
+    #[test]
+    fn exemplar_keeps_largest_tagged_sample() {
+        let h = Histogram::new(vec![10, 100]);
+        assert_eq!(h.exemplar(), None);
+        h.record_exemplar(5, 111);
+        h.record_exemplar(50, 222);
+        h.record_exemplar(7, 333);
+        assert_eq!(h.exemplar(), Some((222, 50)));
+        // Ties resolve to the lowest trace id, order-independently.
+        h.record_exemplar(50, 200);
+        assert_eq!(h.exemplar(), Some((200, 50)));
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn registry_tracer_slot_round_trips() {
+        use crate::trace::{TraceConfig, Tracer};
+        let reg = Registry::new();
+        assert!(reg.tracer().is_none());
+        reg.set_tracer(Arc::new(Tracer::new(1, TraceConfig::default())));
+        assert!(reg.tracer().is_some());
+        reg.clear_tracer();
+        assert!(reg.tracer().is_none());
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Prometheus-style text exposition of a [`Snapshot`].
+//!
+//! The rendering is deterministic: snapshots are already sorted by
+//! metric key, names sanitize the same way every time, and floats print
+//! via Rust's shortest-round-trip formatter. Names are namespaced the
+//! same way the tsdb self-exporter namespaces series: `pmove.self.` is
+//! prefixed unless the metric already lives under `pmove.` (the SLO
+//! engine's meta-metrics do), then dots become underscores.
+//!
+//! Histograms render as cumulative `_bucket{le=...}` series plus
+//! `_sum`/`_count`; a trace exemplar, when present, is appended
+//! OpenMetrics-style to the bucket the exemplar value falls in. Spans
+//! render as summaries with `quantile` labels fed by the per-span
+//! duration buckets.
+
+use crate::metrics::MetricKey;
+use crate::snapshot::Snapshot;
+
+fn sanitize(name: &str) -> String {
+    let full = if name.starts_with("pmove.") {
+        name.to_string()
+    } else {
+        format!("pmove.self.{name}")
+    };
+    full.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_label(k), escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{}=\"{}\"", k, escape(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn sanitize_label(k: &str) -> String {
+    k.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn type_line(out: &mut String, emitted: &mut Vec<String>, name: &str, kind: &str) {
+    if !emitted.iter().any(|n| n == name) {
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        emitted.push(name.to_string());
+    }
+}
+
+impl Snapshot {
+    /// Render every metric as Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut emitted: Vec<String> = Vec::new();
+
+        let group = |key: &MetricKey| sanitize(&key.name);
+
+        for (key, total) in &self.counters {
+            let name = group(key);
+            type_line(&mut out, &mut emitted, &name, "counter");
+            out.push_str(&format!(
+                "{name}{} {total}\n",
+                label_block(&key.labels, None)
+            ));
+        }
+        for (key, value) in &self.gauges {
+            let name = group(key);
+            type_line(&mut out, &mut emitted, &name, "gauge");
+            out.push_str(&format!(
+                "{name}{} {value}\n",
+                label_block(&key.labels, None)
+            ));
+        }
+        for (key, h) in &self.histograms {
+            let name = group(key);
+            type_line(&mut out, &mut emitted, &name, "histogram");
+            let mut cum = 0u64;
+            for (i, c) in h.buckets.iter().enumerate() {
+                cum += c;
+                let le = if i < h.bounds.len() {
+                    h.bounds[i].to_string()
+                } else {
+                    "+Inf".to_string()
+                };
+                let mut line = format!(
+                    "{name}_bucket{} {cum}",
+                    label_block(&key.labels, Some(("le", &le)))
+                );
+                if let Some((trace, value)) = h.exemplar {
+                    // Attach the exemplar to the bucket its value falls in.
+                    let here = match i.checked_sub(1).map(|p| h.bounds[p]) {
+                        Some(lower) => value > lower,
+                        None => true,
+                    } && (i >= h.bounds.len() || value <= h.bounds[i]);
+                    if here {
+                        line.push_str(&format!(" # {{trace_id=\"{trace:016x}\"}} {value}"));
+                    }
+                }
+                line.push('\n');
+                out.push_str(&line);
+            }
+            out.push_str(&format!(
+                "{name}_sum{} {}\n",
+                label_block(&key.labels, None),
+                h.sum
+            ));
+            out.push_str(&format!(
+                "{name}_count{} {}\n",
+                label_block(&key.labels, None),
+                h.count
+            ));
+        }
+        for (span_name, s) in &self.spans {
+            let name = format!("{}_duration_ns", sanitize(&format!("span.{span_name}")));
+            type_line(&mut out, &mut emitted, &name, "summary");
+            for (q, v) in [("0.5", s.p50_ns), ("0.9", s.p90_ns), ("0.99", s.p99_ns)] {
+                out.push_str(&format!(
+                    "{name}{} {v}\n",
+                    label_block(&[], Some(("quantile", q)))
+                ));
+            }
+            out.push_str(&format!("{name}_sum {}\n", s.total_ns));
+            out.push_str(&format!("{name}_count {}\n", s.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{latency_buckets, Registry};
+
+    #[test]
+    fn exposition_golden() {
+        let reg = Registry::new();
+        reg.counter("pcp.transport.values_lost", &[("host", "skx")])
+            .add(7);
+        reg.counter("pcp.transport.values_lost", &[("host", "icl")])
+            .add(2);
+        reg.gauge("pmove.slo.state", &[("slo", "ingest_latency")])
+            .set(2.0);
+        reg.histogram("tsdb.ingest_ns", &[], vec![1_000, 10_000])
+            .record(500);
+        reg.histogram("tsdb.ingest_ns", &[], vec![1_000, 10_000])
+            .record_exemplar(50_000, 0xabcd);
+        reg.record_span("daemon.step2.build_kb", 1_000, 3_000);
+        let text = reg.snapshot().render_prometheus();
+        let expected = "\
+# TYPE pmove_self_pcp_transport_values_lost counter
+pmove_self_pcp_transport_values_lost{host=\"icl\"} 2
+pmove_self_pcp_transport_values_lost{host=\"skx\"} 7
+# TYPE pmove_slo_state gauge
+pmove_slo_state{slo=\"ingest_latency\"} 2
+# TYPE pmove_self_tsdb_ingest_ns histogram
+pmove_self_tsdb_ingest_ns_bucket{le=\"1000\"} 1
+pmove_self_tsdb_ingest_ns_bucket{le=\"10000\"} 1
+pmove_self_tsdb_ingest_ns_bucket{le=\"+Inf\"} 2 # {trace_id=\"000000000000abcd\"} 50000
+pmove_self_tsdb_ingest_ns_sum 50500
+pmove_self_tsdb_ingest_ns_count 2
+# TYPE pmove_self_span_daemon_step2_build_kb_duration_ns summary
+pmove_self_span_daemon_step2_build_kb_duration_ns{quantile=\"0.5\"} 2000
+pmove_self_span_daemon_step2_build_kb_duration_ns{quantile=\"0.9\"} 2000
+pmove_self_span_daemon_step2_build_kb_duration_ns{quantile=\"0.99\"} 2000
+pmove_self_span_daemon_step2_build_kb_duration_ns_sum 2000
+pmove_self_span_daemon_step2_build_kb_duration_ns_count 1
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = Registry::new();
+        reg.counter("m", &[("path", "a\"b\\c\nd")]).inc();
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("path=\"a\\\"b\\\\c\\nd\""), "{text}");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            let reg = Registry::new();
+            reg.counter("z", &[]).inc();
+            reg.counter("a", &[("x", "1")]).add(3);
+            reg.gauge("g", &[]).set(0.25);
+            reg.histogram("h", &[], latency_buckets()).record(2_000);
+            reg.snapshot().render_prometheus()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -28,10 +28,12 @@ pub struct HistogramSnapshot {
     pub bounds: Vec<u64>,
     /// Per-bucket counts; one longer than `bounds` (overflow bucket last).
     pub buckets: Vec<u64>,
+    /// Largest trace-tagged sample, if any: `(trace_id, value)`.
+    pub exemplar: Option<(u64, u64)>,
 }
 
 /// Exported aggregate for one span name.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpanSnapshot {
     /// Completed span count.
     pub count: u64,
@@ -45,6 +47,12 @@ pub struct SpanSnapshot {
     pub last_start_ns: u64,
     /// End timestamp of the most recent span.
     pub last_end_ns: u64,
+    /// Interpolated median duration.
+    pub p50_ns: f64,
+    /// Interpolated 90th-percentile duration.
+    pub p90_ns: f64,
+    /// Interpolated 99th-percentile duration.
+    pub p99_ns: f64,
 }
 
 impl SpanSnapshot {

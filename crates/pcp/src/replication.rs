@@ -27,10 +27,10 @@
 
 use crate::error::PcpError;
 use crate::sampler::SamplingConfig;
-use crate::transport::Shipper;
+use crate::transport::{upgrade_on_fault, Shipper, TraceHandle, FETCH_NS, RETRY_NS};
 use pmove_hwsim::network::FaultSchedule;
 use pmove_hwsim::noise::NoiseSource;
-use pmove_obs::{Counter, Gauge, Histogram, Registry};
+use pmove_obs::{Counter, Gauge, Histogram, Registry, TraceContext};
 use pmove_tsdb::repl::ReplicaSet;
 use pmove_tsdb::{ExecMode, FieldValue, Point, Query, QueryResult, TsdbError};
 use std::collections::VecDeque;
@@ -127,6 +127,10 @@ struct HintEntry {
     point: Point,
     values: u64,
     ledger: bool,
+    /// The report's trace, kept open while parked (ledger entries only:
+    /// non-ledger hints belong to reports already terminated at offer
+    /// time). Terminates on replay, eviction, or end-of-run seal.
+    trace: Option<TraceHandle>,
 }
 
 /// Per-replica health as the coordinator sees it through heartbeats.
@@ -295,6 +299,28 @@ impl<'a> ReplShipper<'a> {
 
     /// Ship one report through a quorum write at time `t`.
     pub fn ship(&mut self, t: f64, point: Point, freq_hz: f64) -> ReplShipOutcome {
+        self.ship_traced(t, point, freq_hz, None)
+    }
+
+    /// Like [`ReplShipper::ship`] but carrying an optional trace context:
+    /// the quorum fan-out records one `repl.replica_write` child per
+    /// replica (acked writes nest the replica's WAL group commit and
+    /// shard ingest), quorum misses upgrade the trace, park it with the
+    /// ledger hint, and heartbeat replay continues the same tree
+    /// (`repl.hint_replay`) to a terminal status.
+    pub fn ship_traced(
+        &mut self,
+        t: f64,
+        point: Point,
+        freq_hz: f64,
+        ctx: Option<TraceContext>,
+    ) -> ReplShipOutcome {
+        let tr: Option<TraceHandle> = ctx.and_then(|c| {
+            self.obs
+                .as_ref()
+                .and_then(|o| o.registry.tracer())
+                .map(|tracer| (tracer, c))
+        });
         let n = point.field_count() as u64;
         self.stats.reports_offered += 1;
         self.stats.values_offered += n;
@@ -314,22 +340,73 @@ impl<'a> ReplShipper<'a> {
 
         let w = self.set.config().write_quorum;
         let rf = self.set.len();
+        let t_ns = (t * 1e9) as u64;
+        let quorum_start = t_ns + FETCH_NS;
+        let mut cursor = quorum_start + Self::QUORUM_BASE_NS;
+        // Replica writes are laid out sequentially on the virtual clock
+        // so the critical-path analyzer attributes the fan-out exactly.
+        let qspan = tr.as_ref().filter(|(_, c)| c.sampled).map(|(tracer, c)| {
+            let fetch = tracer.child(*c, "pcp.fetch", t_ns);
+            tracer.end_span(fetch, t_ns + FETCH_NS);
+            (
+                tracer.clone(),
+                tracer.child(*c, "repl.quorum_write", quorum_start),
+            )
+        });
         let mut acks = vec![false; rf];
         let mut ack_count = 0usize;
         for (i, ack) in acks.iter_mut().enumerate() {
-            if self.replica_write_ok(t, i) && self.set.replica(i).write_point(point.clone()).is_ok()
-            {
-                *ack = true;
-                ack_count += 1;
+            let reachable = self.replica_write_ok(t, i);
+            match &qspan {
+                Some((tracer, q)) => {
+                    let rspan = tracer.child(*q, "repl.replica_write", cursor);
+                    if reachable {
+                        let (res, end_ns) = self.set.replica(i).write_point_traced(
+                            point.clone(),
+                            tracer,
+                            rspan,
+                            cursor + Self::QUORUM_PER_ACK_NS,
+                        );
+                        let end_ns = end_ns.max(cursor + Self::QUORUM_PER_ACK_NS);
+                        if res.is_ok() {
+                            *ack = true;
+                            ack_count += 1;
+                            tracer.end_span_status(rspan, end_ns, "acked");
+                        } else {
+                            tracer.end_span_status(rspan, end_ns, "rejected");
+                        }
+                        cursor = end_ns;
+                    } else {
+                        tracer.end_span_status(
+                            rspan,
+                            cursor + Self::QUORUM_PER_ACK_NS,
+                            "unreachable",
+                        );
+                        cursor += Self::QUORUM_PER_ACK_NS;
+                    }
+                }
+                None => {
+                    if reachable && self.set.replica(i).write_point(point.clone()).is_ok() {
+                        *ack = true;
+                        ack_count += 1;
+                    }
+                }
             }
+        }
+        if let Some((tracer, q)) = &qspan {
+            tracer.end_span(*q, cursor);
         }
         self.stats.replica_acks += ack_count as u64;
         if let Some(o) = &self.obs {
-            o.quorum_write_ns.record(
-                Self::QUORUM_BASE_NS
-                    + Self::QUORUM_PER_ACK_NS * ack_count as u64
-                    + Self::QUORUM_PER_VALUE_NS * n,
-            );
+            let modeled_ns = Self::QUORUM_BASE_NS
+                + Self::QUORUM_PER_ACK_NS * ack_count as u64
+                + Self::QUORUM_PER_VALUE_NS * n;
+            match &tr {
+                Some((_, c)) if c.sampled => {
+                    o.quorum_write_ns.record_exemplar(modeled_ns, c.trace.0)
+                }
+                _ => o.quorum_write_ns.record(modeled_ns),
+            }
         }
 
         let quorum = ack_count >= w;
@@ -352,8 +429,11 @@ impl<'a> ReplShipper<'a> {
             self.stats.values_zeroed += n;
             for (i, &acked) in acks.iter().enumerate() {
                 if !acked {
-                    self.park(i, point.clone(), n, false);
+                    self.park(i, point.clone(), n, false, None, cursor);
                 }
+            }
+            if let Some((tracer, c)) = &tr {
+                tracer.finish_trace(*c, cursor, "zeroed");
             }
             self.export_gauges();
             return ReplShipOutcome::InsertedZero;
@@ -363,13 +443,23 @@ impl<'a> ReplShipper<'a> {
             self.stats.values_inserted += n;
             for (i, &acked) in acks.iter().enumerate() {
                 if !acked {
-                    self.park(i, point.clone(), n, false);
+                    self.park(i, point.clone(), n, false, None, cursor);
                 }
+            }
+            if let Some((tracer, c)) = &tr {
+                tracer.finish_trace(*c, cursor, "inserted");
             }
             ReplShipOutcome::Inserted
         } else {
             // Quorum missed: the first failed replica's hint carries the
-            // ledger; the rest are repair bookkeeping.
+            // ledger; the rest are repair bookkeeping. A miss is a fault
+            // site — unsampled traces upgrade here.
+            let tr = upgrade_on_fault(tr, cursor);
+            if let Some((tracer, c)) = &tr {
+                let park_span = tracer.child(*c, "repl.hint_park", cursor);
+                tracer.end_span_status(park_span, cursor, "hinted");
+            }
+            let mut tr = tr;
             let mut ledger_parked = false;
             let mut ledger_pending = true;
             for (i, &acked) in acks.iter().enumerate() {
@@ -378,9 +468,9 @@ impl<'a> ReplShipper<'a> {
                 }
                 if ledger_pending {
                     ledger_pending = false;
-                    ledger_parked = self.park(i, point.clone(), n, true);
+                    ledger_parked = self.park(i, point.clone(), n, true, tr.take(), cursor);
                 } else {
-                    self.park(i, point.clone(), n, false);
+                    self.park(i, point.clone(), n, false, None, cursor);
                 }
             }
             if ledger_parked {
@@ -395,8 +485,17 @@ impl<'a> ReplShipper<'a> {
 
     /// Park a report on replica `i`'s bounded hint queue (drop-oldest).
     /// Returns whether the entry was parked; a ledger entry that cannot
-    /// be parked is counted lost here.
-    fn park(&mut self, i: usize, point: Point, values: u64, ledger: bool) -> bool {
+    /// be parked is counted lost here. `trace` rides on ledger entries
+    /// and terminates with the entry's fate.
+    fn park(
+        &mut self,
+        i: usize,
+        point: Point,
+        values: u64,
+        ledger: bool,
+        trace: Option<TraceHandle>,
+        now_ns: u64,
+    ) -> bool {
         let cap = self.set.config().hint_capacity_values;
         if values > cap {
             self.stats.hints_dropped += 1;
@@ -405,6 +504,9 @@ impl<'a> ReplShipper<'a> {
             }
             if ledger {
                 self.stats.values_lost += values;
+            }
+            if let Some((tracer, c)) = trace {
+                tracer.finish_trace(c, now_ns, "lost");
             }
             return false;
         }
@@ -419,11 +521,15 @@ impl<'a> ReplShipper<'a> {
                 self.stats.values_hinted -= old.values;
                 self.stats.values_evicted += old.values;
             }
+            if let Some((tracer, c)) = old.trace {
+                tracer.finish_trace(c, now_ns, "evicted");
+            }
         }
         self.hints[i].push_back(HintEntry {
             point,
             values,
             ledger,
+            trace,
         });
         self.queued_values[i] += values;
         self.stats.hints_queued += 1;
@@ -471,20 +577,38 @@ impl<'a> ReplShipper<'a> {
     }
 
     /// Replay replica `i`'s hints, oldest first, stopping at the first
-    /// write the replica rejects (retried on the next heartbeat).
+    /// write the replica rejects (retried on the next heartbeat). A
+    /// parked trace gains one `repl.hint_replay` child per attempt and
+    /// terminates `recovered` when the replay lands.
     fn replay_hints(&mut self, t: f64, i: usize) {
+        let t_ns = (t * 1e9) as u64;
         while let Some(front) = self.hints[i].front() {
             let values = front.values;
             if !self.replica_write_ok(t, i) {
                 break;
             }
             let entry = self.hints[i].pop_front().expect("checked non-empty");
-            if self
-                .set
-                .replica(i)
-                .apply_remote(entry.point.clone())
-                .is_err()
-            {
+            let applied = match &entry.trace {
+                Some((tracer, c)) if c.sampled => {
+                    let replay = tracer.child(*c, "repl.hint_replay", t_ns);
+                    let (res, end_ns) = self.set.replica(i).apply_remote_traced(
+                        entry.point.clone(),
+                        tracer,
+                        replay,
+                        t_ns + RETRY_NS,
+                    );
+                    let end_ns = end_ns.max(t_ns + RETRY_NS);
+                    let status = if res.is_ok() { "ok" } else { "rejected" };
+                    tracer.end_span_status(replay, end_ns, status);
+                    res.is_ok()
+                }
+                _ => self
+                    .set
+                    .replica(i)
+                    .apply_remote(entry.point.clone())
+                    .is_ok(),
+            };
+            if !applied {
                 self.hints[i].push_front(entry);
                 break;
             }
@@ -498,6 +622,23 @@ impl<'a> ReplShipper<'a> {
                 // spreads it to the rest, so it graduates to inserted.
                 self.stats.values_hinted -= values;
                 self.stats.values_inserted += values;
+            }
+            if let Some((tracer, c)) = entry.trace {
+                tracer.finish_trace(c, t_ns + RETRY_NS, "recovered");
+            }
+        }
+    }
+
+    /// Close the trace of every report still parked in a hint queue with
+    /// terminal status `hinted`. Called once at the end of a run so the
+    /// flight recorder never holds open trees for parked reports.
+    pub fn seal_pending_traces(&mut self, t: f64) {
+        let t_ns = (t * 1e9) as u64;
+        for queue in &mut self.hints {
+            for entry in queue.iter_mut() {
+                if let Some((tracer, c)) = entry.trace.take() {
+                    tracer.finish_trace(c, t_ns, "hinted");
+                }
             }
         }
     }
@@ -549,6 +690,7 @@ pub fn run_replicated(
     let mut total_domain = 0u64;
     let mut domain_counted = false;
     let obs = coord.obs_registry().cloned();
+    let tracer = obs.as_ref().and_then(|r| r.tracer());
     let tick_counter = obs.as_ref().map(|r| r.counter("pcp.sampler.ticks", &[]));
     let point_counter = obs
         .as_ref()
@@ -570,14 +712,19 @@ pub fn run_replicated(
             c.add(points.len() as u64);
         }
         for point in points {
-            coord.ship(t_now, point, config.freq_hz);
+            let ctx = tracer
+                .as_ref()
+                .map(|tr| tr.start_trace("pcp.sample", (t_now * 1e9) as u64));
+            coord.ship_traced(t_now, point, config.freq_hz, ctx);
         }
         t_prev = t_now;
     }
 
     // Final heartbeat at the end of the run so hints whose replica
-    // recovered near the end still replay.
+    // recovered near the end still replay; any trace still parked after
+    // that seals with terminal status `hinted`.
     coord.heartbeat(config.start_s + config.duration_s);
+    coord.seal_pending_traces(config.start_s + config.duration_s);
 
     if let Some(registry) = &obs {
         let start_ns = (config.start_s * 1e9).round().max(0.0) as u64;

@@ -116,6 +116,10 @@ impl SamplingLoop {
         // Hoisted self-observability handles (shared with the shipper's
         // registry, so one snapshot covers the whole pipeline).
         let obs = shipper.obs_registry().cloned();
+        // Causal tracing: when the registry carries a tracer, every
+        // shipped report gets a `pcp.sample` root trace the transport
+        // then threads through retries and spill to a terminal status.
+        let tracer = obs.as_ref().and_then(|r| r.tracer());
         let tick_counter = obs.as_ref().map(|r| r.counter("pcp.sampler.ticks", &[]));
         let point_counter = obs
             .as_ref()
@@ -160,7 +164,10 @@ impl SamplingLoop {
                 c.add(points.len() as u64);
             }
             for point in points {
-                shipper.ship(t_now, point, config.freq_hz);
+                let ctx = tracer
+                    .as_ref()
+                    .map(|tr| tr.start_trace("pcp.sample", (t_now * 1e9) as u64));
+                shipper.ship_traced(t_now, point, config.freq_hz, ctx);
             }
             t_prev = t_now;
         }
@@ -170,6 +177,10 @@ impl SamplingLoop {
             // left over from a fault that ended near the end can land.
             shipper.idle_tick(config.start_s + config.duration_s);
         }
+        // Reports still parked in the spill buffer terminate their trace
+        // as `spill_pending` — the trace-side twin of the conservation
+        // ledger's pending term.
+        shipper.seal_pending_traces(config.start_s + config.duration_s);
 
         if let Some(registry) = &obs {
             // The loop ran from start_s to the last tick's timestamp on the

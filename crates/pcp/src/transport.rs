@@ -24,13 +24,35 @@ use crate::error::{require_non_negative, require_positive, PcpError};
 use crate::resilience::{BreakerState, CircuitBreaker, ResilienceConfig};
 use pmove_hwsim::network::{FaultSchedule, FaultState, LinkSpec};
 use pmove_hwsim::noise::NoiseSource;
-use pmove_obs::{Counter, Gauge, Registry};
+use pmove_obs::{Counter, Gauge, Registry, TraceContext, Tracer};
 use pmove_tsdb::{Database, Point};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Measurement name of the gap-marker points written on recovery.
 pub const GAP_MEASUREMENT: &str = "pmove_gap";
+
+/// Modeled PDU fetch time preceding each ship attempt (ns).
+pub(crate) const FETCH_NS: u64 = 8_000;
+/// Modeled fixed cost of one delivery attempt (ns).
+pub(crate) const ATTEMPT_BASE_NS: u64 = 12_000;
+/// Modeled per-field-value cost of one delivery attempt (ns).
+const ATTEMPT_PER_VALUE_NS: u64 = 120;
+/// Modeled cost of one spill-replay attempt (ns).
+pub(crate) const RETRY_NS: u64 = 15_000;
+
+/// A live trace riding on one report: the tracer it belongs to plus the
+/// context whose trace the shipper must terminate.
+pub(crate) type TraceHandle = (Arc<Tracer>, TraceContext);
+
+/// Upgrade an unsampled trace at a fault site when the tracer's
+/// always-sample-on-fault policy asks for it; flag sampled ones.
+pub(crate) fn upgrade_on_fault(tr: Option<TraceHandle>, now_ns: u64) -> Option<TraceHandle> {
+    tr.map(|(tracer, ctx)| {
+        let ctx = tracer.mark_fault(ctx, "pcp.sample", now_ns);
+        (tracer, ctx)
+    })
+}
 
 /// Outcome of shipping one report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,6 +202,9 @@ struct SpilledReport {
     point: Point,
     values: u64,
     attempts: u32,
+    /// The report's trace, kept open while parked: it terminates when
+    /// the entry is recovered, evicted, lost, or sealed at run end.
+    trace: Option<TraceHandle>,
 }
 
 /// The unbuffered shipping path: target sampler → network → host DB.
@@ -350,8 +375,31 @@ impl<'a> Shipper<'a> {
     /// Ship one report (a [`Point`] carrying one field per instance) sampled
     /// at `t` with sampling frequency `freq_hz`.
     pub fn ship(&mut self, t: f64, point: Point, freq_hz: f64) -> ShipOutcome {
+        self.ship_traced(t, point, freq_hz, None)
+    }
+
+    /// Like [`Shipper::ship`] but carrying an optional trace context.
+    /// The shipper owns the trace from here on: every terminal fate —
+    /// inserted, zeroed, lost, evicted, recovered, spill_pending —
+    /// finishes the trace with a matching status, and fault paths
+    /// upgrade unsampled traces when the tracer's `sample_on_fault`
+    /// policy is set. The context survives spill parking and replays, so
+    /// one tree shows the report's whole journey.
+    pub fn ship_traced(
+        &mut self,
+        t: f64,
+        point: Point,
+        freq_hz: f64,
+        ctx: Option<TraceContext>,
+    ) -> ShipOutcome {
         let before = self.stats;
-        let outcome = self.ship_inner(t, point, freq_hz);
+        let tr = ctx.and_then(|c| {
+            self.obs
+                .as_ref()
+                .and_then(|o| o.registry.tracer())
+                .map(|tracer| (tracer, c))
+        });
+        let outcome = self.ship_inner(t, point, freq_hz, tr);
         self.stats.breaker_opens = self.breaker.opens;
         self.export_obs(before);
         outcome
@@ -456,10 +504,17 @@ impl<'a> Shipper<'a> {
         self.window_failed = 0;
     }
 
-    fn ship_inner(&mut self, t: f64, point: Point, freq_hz: f64) -> ShipOutcome {
+    fn ship_inner(
+        &mut self,
+        t: f64,
+        point: Point,
+        freq_hz: f64,
+        tr: Option<TraceHandle>,
+    ) -> ShipOutcome {
         let values = point.field_count() as u64;
         self.stats.reports_offered += 1;
         self.stats.values_offered += values;
+        let t_ns = (t * 1e9) as u64;
 
         let fault = self.fault_state_at(t);
         if self.rescfg.is_some() {
@@ -473,12 +528,12 @@ impl<'a> Shipper<'a> {
 
         // Link down (partition / flap): nothing crosses.
         if !fault.link_up {
-            return self.fail_or_spill(t, point, values);
+            return self.fail_or_spill(t, point, values, tr, "link_down");
         }
 
         // Windowed service capacity, degraded by active faults.
         if self.values_in_window > self.window_capacity * fault.capacity_factor {
-            return self.fail_or_spill(t, point, values);
+            return self.fail_or_spill(t, point, values, tr, "over_capacity");
         }
 
         self.stats.bytes_shipped += point.wire_size() as u64 + self.link.overhead_bytes as u64;
@@ -489,13 +544,13 @@ impl<'a> Shipper<'a> {
 
         // DB path: circuit breaker, then backend brown-out.
         if self.rescfg.is_some() && !self.breaker.allow(t) {
-            return self.fail_or_spill(t, point, values);
+            return self.fail_or_spill(t, point, values, tr, "breaker_open");
         }
         if fault.backend_availability < 1.0 && !self.noise.happens(fault.backend_availability) {
             if self.rescfg.is_some() {
                 self.breaker.record_failure(t);
             }
-            return self.fail_or_spill(t, point, values);
+            return self.fail_or_spill(t, point, values, tr, "backend_down");
         }
         if self.rescfg.is_some() {
             self.breaker.record_success();
@@ -506,24 +561,68 @@ impl<'a> Shipper<'a> {
             for v in zeroed.fields.values_mut() {
                 *v = pmove_tsdb::FieldValue::Float(0.0);
             }
-            if self.db.write_point(zeroed).is_ok() {
+            let (ok, end_ns) = self.deliver(t_ns, zeroed, values, &tr);
+            if ok {
                 self.stats.values_zeroed += values;
                 self.note_success(t);
+                if let Some((tracer, ctx)) = &tr {
+                    tracer.finish_trace(*ctx, end_ns, "zeroed");
+                }
                 return ShipOutcome::InsertedZero;
             }
             self.stats.values_lost += values;
+            if let Some((tracer, ctx)) = upgrade_on_fault(tr, t_ns) {
+                tracer.finish_trace(ctx, end_ns, "lost");
+            }
             return ShipOutcome::Lost;
         }
 
-        match self.db.write_point(point) {
-            Ok(()) => {
-                self.stats.values_inserted += values;
-                self.note_success(t);
-                ShipOutcome::Inserted
+        let (ok, end_ns) = self.deliver(t_ns, point, values, &tr);
+        if ok {
+            self.stats.values_inserted += values;
+            self.note_success(t);
+            if let Some((tracer, ctx)) = &tr {
+                tracer.finish_trace(*ctx, end_ns, "inserted");
             }
-            Err(_) => {
-                self.stats.values_lost += values;
-                ShipOutcome::Lost
+            ShipOutcome::Inserted
+        } else {
+            self.stats.values_lost += values;
+            if let Some((tracer, ctx)) = upgrade_on_fault(tr, t_ns) {
+                tracer.finish_trace(ctx, end_ns, "lost");
+            }
+            ShipOutcome::Lost
+        }
+    }
+
+    /// Write `point` to the DB, laying out the modeled fetch + attempt +
+    /// ingest spans under the trace when one is attached. Returns whether
+    /// the write landed plus the modeled end timestamp.
+    fn deliver(
+        &self,
+        t_ns: u64,
+        point: Point,
+        values: u64,
+        tr: &Option<TraceHandle>,
+    ) -> (bool, u64) {
+        match tr {
+            Some((tracer, ctx)) if ctx.sampled => {
+                let fetch = tracer.child(*ctx, "pcp.fetch", t_ns);
+                tracer.end_span(fetch, t_ns + FETCH_NS);
+                let att_start = t_ns + FETCH_NS;
+                let att = tracer.child(*ctx, "pcp.ship_attempt", att_start);
+                let wire_end = att_start + ATTEMPT_BASE_NS + ATTEMPT_PER_VALUE_NS * values;
+                let (res, ingest_end) = self.db.write_point_traced(point, tracer, att, wire_end);
+                let end_ns = ingest_end.max(wire_end);
+                if res.is_ok() {
+                    tracer.end_span(att, end_ns);
+                } else {
+                    tracer.end_span_status(att, end_ns, "db_rejected");
+                }
+                (res.is_ok(), end_ns)
+            }
+            _ => {
+                let end_ns = t_ns + FETCH_NS + ATTEMPT_BASE_NS + ATTEMPT_PER_VALUE_NS * values;
+                (self.db.write_point(point).is_ok(), end_ns)
             }
         }
     }
@@ -531,9 +630,27 @@ impl<'a> Shipper<'a> {
     /// A report could not be delivered at `t`. Default mode: lost, as the
     /// paper measures. Resilient mode: park it in the bounded spill
     /// buffer, evicting the oldest entries when full.
-    fn fail_or_spill(&mut self, t: f64, point: Point, values: u64) -> ShipOutcome {
+    fn fail_or_spill(
+        &mut self,
+        t: f64,
+        point: Point,
+        values: u64,
+        tr: Option<TraceHandle>,
+        reason: &str,
+    ) -> ShipOutcome {
+        let t_ns = (t * 1e9) as u64;
+        // A failed delivery is a fault site: upgrade unsampled traces so
+        // the flight recorder always holds the interesting journeys.
+        let tr = upgrade_on_fault(tr, t_ns);
+        if let Some((tracer, ctx)) = &tr {
+            let att = tracer.child(*ctx, "pcp.ship_attempt", t_ns);
+            tracer.end_span_status(att, t_ns + ATTEMPT_BASE_NS, reason);
+        }
         let Some(cfg) = self.rescfg else {
             self.stats.values_lost += values;
+            if let Some((tracer, ctx)) = &tr {
+                tracer.finish_trace(*ctx, t_ns + ATTEMPT_BASE_NS, "lost");
+            }
             return ShipOutcome::Lost;
         };
         self.window_failed += values;
@@ -543,17 +660,28 @@ impl<'a> Shipper<'a> {
         if values > cfg.spill_capacity_values {
             // Could never fit; count it lost rather than churn the buffer.
             self.stats.values_lost += values;
+            if let Some((tracer, ctx)) = &tr {
+                tracer.finish_trace(*ctx, t_ns + ATTEMPT_BASE_NS, "lost");
+            }
             return ShipOutcome::Lost;
         }
         while self.stats.values_spill_pending + values > cfg.spill_capacity_values {
             let old = self.spill.pop_front().expect("pending implies entries");
             self.stats.values_spill_pending -= old.values;
             self.stats.values_evicted += old.values;
+            if let Some((tracer, ctx)) = old.trace {
+                tracer.finish_trace(ctx, t_ns, "evicted");
+            }
+        }
+        if let Some((tracer, ctx)) = &tr {
+            let park = tracer.child(*ctx, "pcp.spill_park", t_ns + ATTEMPT_BASE_NS);
+            tracer.end_span(park, t_ns + ATTEMPT_BASE_NS);
         }
         self.spill.push_back(SpilledReport {
             point,
             values,
             attempts: 0,
+            trace: tr,
         });
         self.stats.values_spilled += values;
         self.stats.values_spill_pending += values;
@@ -572,6 +700,7 @@ impl<'a> Shipper<'a> {
             return;
         }
         self.roll_window(t);
+        let t_ns = (t * 1e9) as u64;
         while let Some(front) = self.spill.front() {
             if self.values_in_window + front.values as f64
                 > self.window_capacity * fault.capacity_factor
@@ -585,10 +714,17 @@ impl<'a> Shipper<'a> {
                 self.breaker.record_failure(t);
                 let front = self.spill.front_mut().expect("checked non-empty");
                 front.attempts += 1;
+                if let Some((tracer, ctx)) = &front.trace {
+                    let retry = tracer.child(*ctx, "pcp.retry", t_ns);
+                    tracer.end_span_status(retry, t_ns + RETRY_NS, "backend_down");
+                }
                 if front.attempts >= cfg.max_retries {
                     let dead = self.spill.pop_front().expect("checked non-empty");
                     self.stats.values_spill_pending -= dead.values;
                     self.stats.values_lost += dead.values;
+                    if let Some((tracer, ctx)) = dead.trace {
+                        tracer.finish_trace(ctx, t_ns + RETRY_NS, "lost");
+                    }
                 }
                 // Capped exponential backoff with deterministic jitter.
                 self.backoff_s =
@@ -603,16 +739,52 @@ impl<'a> Shipper<'a> {
             self.stats.values_spill_pending -= entry.values;
             self.stats.bytes_shipped +=
                 entry.point.wire_size() as u64 + self.link.overhead_bytes as u64;
-            match self.db.write_point(entry.point) {
-                Ok(()) => {
-                    self.stats.values_inserted += entry.values;
-                    self.stats.values_recovered += entry.values;
+            match &entry.trace {
+                Some((tracer, ctx)) if ctx.sampled => {
+                    let retry = tracer.child(*ctx, "pcp.retry", t_ns);
+                    let (res, ingest_end) =
+                        self.db
+                            .write_point_traced(entry.point, tracer, retry, t_ns + RETRY_NS);
+                    let end_ns = ingest_end.max(t_ns + RETRY_NS);
+                    tracer.end_span(retry, end_ns);
+                    if res.is_ok() {
+                        self.stats.values_inserted += entry.values;
+                        self.stats.values_recovered += entry.values;
+                        tracer.finish_trace(*ctx, end_ns, "recovered");
+                    } else {
+                        self.stats.values_lost += entry.values;
+                        tracer.finish_trace(*ctx, end_ns, "lost");
+                    }
                 }
-                Err(_) => self.stats.values_lost += entry.values,
+                _ => {
+                    let res = self.db.write_point(entry.point);
+                    if res.is_ok() {
+                        self.stats.values_inserted += entry.values;
+                        self.stats.values_recovered += entry.values;
+                    } else {
+                        self.stats.values_lost += entry.values;
+                    }
+                    if let Some((tracer, ctx)) = entry.trace {
+                        let status = if res.is_ok() { "recovered" } else { "lost" };
+                        tracer.finish_trace(ctx, t_ns + RETRY_NS, status);
+                    }
+                }
             }
             self.backoff_s = 0.0;
             self.next_retry_s = t;
             self.note_success(t);
+        }
+    }
+
+    /// Close the trace of every report still parked in the spill buffer
+    /// with status `spill_pending` — called at the end of a run so no
+    /// trace is left open when the flight recorder is read.
+    pub fn seal_pending_traces(&mut self, t: f64) {
+        let t_ns = (t * 1e9) as u64;
+        for entry in &mut self.spill {
+            if let Some((tracer, ctx)) = entry.trace.take() {
+                tracer.finish_trace(ctx, t_ns, "spill_pending");
+            }
         }
     }
 

@@ -10,15 +10,24 @@
 
 use pmove_hwsim::network::LinkSpec;
 use pmove_hwsim::FaultSchedule;
+use pmove_obs::{Registry, TraceConfig, Tracer};
 use pmove_pcp::{ResilienceConfig, Shipper, ShipperStats};
 use pmove_tsdb::{Database, Point};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn chaos_cases() -> u32 {
     std::env::var("PMOVE_CHAOS_CASES")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(256)
+}
+
+fn trace_cases() -> u32 {
+    std::env::var("PMOVE_TRACE_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
 }
 
 /// Deterministic per-case value stream (SplitMix64).
@@ -165,5 +174,108 @@ proptest! {
         prop_assert_eq!(plain_rows, scheduled_rows);
         prop_assert_eq!(plain.values_spilled, 0);
         prop_assert_eq!(plain.gap_markers, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(trace_cases()))]
+
+    /// Trace conservation under chaos: with head sampling at 1.0, every
+    /// offered report's trace terminates exactly once — in a terminal
+    /// status from the allowed set — and no span is left open (an
+    /// `unclosed` span marks an orphan and fails the property).
+    #[test]
+    fn every_trace_terminates_under_arbitrary_faults(
+        seed in any::<u64>(),
+        freq in 1u32..=16,
+        domain in 1usize..=32,
+        n_metrics in 1usize..=4,
+        duration_s in 2u32..=5,
+        resilient in any::<bool>(),
+        spill_capacity in 64u64..=4096,
+    ) {
+        let case = Case { seed, freq, domain, n_metrics, duration_s };
+        let fault = FaultSchedule::random(seed, duration_s as f64);
+        let resilience = resilient.then(|| ResilienceConfig {
+            spill_capacity_values: spill_capacity,
+            ..ResilienceConfig::default()
+        });
+
+        let freq_hz = case.freq as f64;
+        let registry = Registry::shared();
+        let tracer = Arc::new(Tracer::new(seed, TraceConfig {
+            sample_rate: 1.0,
+            sample_on_fault: true,
+            ring_capacity: 100_000, // retain every trace for the audit
+        }));
+        registry.set_tracer(tracer.clone());
+        let db = Database::new("host");
+        let mut shipper = Shipper::new(
+            &db,
+            LinkSpec::mbit_100(),
+            1.0 / freq_hz,
+            &["chaos", &format!("{:x}", case.seed)],
+        )
+        .with_obs(registry.clone())
+        .with_fault_schedule(fault.clone());
+        if let Some(cfg) = resilience {
+            shipper = shipper.with_resilience(cfg);
+        }
+
+        let ticks = case.freq * case.duration_s;
+        let mut value_seed = case.seed;
+        let mut t = 0.0;
+        let mut offered_reports = 0u64;
+        for _ in 0..ticks {
+            for m in 0..case.n_metrics {
+                let ctx = tracer.start_trace("pcp.sample", (t * 1e9) as u64);
+                shipper.ship_traced(
+                    t,
+                    report((t * 1e9) as i64 + m as i64, m, case.domain, &mut value_seed),
+                    freq_hz,
+                    Some(ctx),
+                );
+                offered_reports += 1;
+            }
+            t += 1.0 / freq_hz;
+        }
+        let end_s = case.duration_s as f64;
+        if resilience.is_some() {
+            let tail = fault.last_fault_end_s().max(end_s);
+            let mut t_idle = end_s;
+            while t_idle <= tail + 10.0 {
+                shipper.idle_tick(t_idle);
+                t_idle += 0.5;
+            }
+        }
+        shipper.seal_pending_traces(end_s);
+
+        let stats = tracer.stats();
+        prop_assert_eq!(stats.started, offered_reports);
+        prop_assert_eq!(
+            stats.started, stats.finished,
+            "started != finished: some trace never terminated"
+        );
+        prop_assert_eq!(tracer.active_count(), 0, "open traces after seal");
+        let trees = tracer.flight_recorder();
+        prop_assert_eq!(trees.len() as u64, offered_reports);
+        const TERMINAL: [&str; 6] =
+            ["inserted", "zeroed", "lost", "evicted", "recovered", "spill_pending"];
+        for tree in &trees {
+            prop_assert!(
+                TERMINAL.contains(&tree.terminal_status()),
+                "trace {} ended in unexpected status {:?}\n{}",
+                tree.id, tree.terminal_status(), tree.render()
+            );
+            prop_assert!(
+                !tree.has_unclosed_spans(),
+                "orphaned span in trace {}\n{}",
+                tree.id, tree.render()
+            );
+        }
+        // Trace-side conservation mirrors the value-side identity: the
+        // sum of traced terminal values matches the transport ledger.
+        let st = shipper.stats();
+        prop_assert!(st.conserved());
     }
 }

@@ -6,13 +6,22 @@
 
 use pmove_hwsim::network::LinkSpec;
 use pmove_hwsim::MachineSpec;
-use pmove_obs::Registry;
+use pmove_obs::{Registry, TraceConfig, Tracer};
 use pmove_pcp::pmda_linux::LinuxAgent;
 use pmove_pcp::{Pmcd, SamplingConfig, SamplingLoop, Shipper};
 use pmove_tsdb::Database;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// Both tests time the same loop; running them concurrently would let
+/// each inflate the other's wall-clock. Taken for a test's full body.
+static BENCH_LOCK: Mutex<()> = Mutex::new(());
+
 fn run_once(instrumented: bool) -> std::time::Duration {
+    run_once_traced(instrumented, None)
+}
+
+fn run_once_traced(instrumented: bool, trace_rate: Option<f64>) -> std::time::Duration {
     let spec = MachineSpec::csl();
     let metrics: Vec<String> = vec![
         "kernel.all.load".into(),
@@ -30,6 +39,15 @@ fn run_once(instrumented: bool) -> std::time::Duration {
         let reg = Registry::shared();
         shipper = shipper.with_obs(reg.clone());
         pmcd.set_obs(&reg);
+        if let Some(rate) = trace_rate {
+            reg.set_tracer(Arc::new(Tracer::new(
+                42,
+                TraceConfig {
+                    sample_rate: rate,
+                    ..TraceConfig::default()
+                },
+            )));
+        }
     }
     let config = SamplingConfig::new(metrics, 32.0, 0.0, 60.0);
     let start = Instant::now();
@@ -41,6 +59,7 @@ fn run_once(instrumented: bool) -> std::time::Duration {
 
 #[test]
 fn overhead_stays_bounded() {
+    let _serial = BENCH_LOCK.lock().unwrap();
     // Warm-up both paths (allocator, code pages).
     run_once(false);
     run_once(true);
@@ -57,5 +76,29 @@ fn overhead_stays_bounded() {
         ratio < 1.05,
         "instrumented sampler {ratio:.4}x slower than uninstrumented \
          (plain {min_plain:.6}s, observed {min_observed:.6}s); budget is 5%"
+    );
+}
+
+#[test]
+fn tracing_at_rate_zero_stays_bounded() {
+    let _serial = BENCH_LOCK.lock().unwrap();
+    // A tracer attached with sampling disabled is the cheapest tracing
+    // configuration users can leave on in production; it must fit the
+    // same 5% budget, measured against the registry-instrumented loop.
+    run_once(true);
+    run_once_traced(true, Some(0.0));
+    let mut plain = Vec::new();
+    let mut traced = Vec::new();
+    for _ in 0..5 {
+        plain.push(run_once(true));
+        traced.push(run_once_traced(true, Some(0.0)));
+    }
+    let min_plain = plain.iter().min().unwrap().as_secs_f64();
+    let min_traced = traced.iter().min().unwrap().as_secs_f64();
+    let ratio = min_traced / min_plain;
+    assert!(
+        ratio < 1.05,
+        "tracer at sample_rate=0 {ratio:.4}x slower than tracer-less \
+         instrumented loop (plain {min_plain:.6}s, traced {min_traced:.6}s); budget is 5%"
     );
 }

@@ -332,6 +332,14 @@ impl TsStore {
         }
     }
 
+    /// Modeled group-commit latency for a payload of `bytes` on this
+    /// store's device spec — the same figure `commit` records into the
+    /// `wal.commit_ns` histogram, exposed so tracing callers can stamp a
+    /// `store.wal.group_commit` span with a consistent duration.
+    pub fn modeled_commit_ns(&self, bytes: u64) -> u64 {
+        (self.spec.write_time(bytes, IO_BLOCK_SIZE) * 1e9) as u64
+    }
+
     /// Group-commit every staged record; on success the rows are
     /// acknowledged and enter the memtable (flushing if over threshold).
     pub fn commit(&mut self) -> StoreResult<CommitInfo> {

@@ -10,12 +10,12 @@ use crate::point::Point;
 use crate::query::{Query, QueryResult};
 use crate::retention::RetentionPolicy;
 use crate::series::SeriesKey;
-use crate::storage::Storage;
+use crate::storage::{shard_of_key, Storage, DEFAULT_SHARD_COUNT};
 use crate::subscribe::{Subscription, SubscriptionHub};
 use crate::value::FieldValue;
 use crossbeam::channel::Receiver;
 use parking_lot::{Mutex, RwLock};
-use pmove_obs::{Counter, Histogram, Registry};
+use pmove_obs::{Counter, Histogram, Registry, TraceContext, Tracer};
 use pmove_store::{
     ChunkInfo, ColumnValue, CompactionReport, RecoveryReport, RowRecord, StoreObs, StoreOptions,
     TsStore, Vfs,
@@ -359,6 +359,36 @@ impl Database {
     /// Write one point. Fails on empty fields or limiter rejection; on
     /// success the point is stored, counted, and published to subscribers.
     pub fn write_point(&self, point: Point) -> Result<(), TsdbError> {
+        self.write_point_inner(point, None).map(|_| ())
+    }
+
+    /// Like [`Database::write_point`] but nests modeled child spans — a
+    /// `tsdb.ingest` wrapper around the WAL group commit (durable mode
+    /// only) and the shard ingest — under `parent`, laid out from
+    /// `start_ns` on the virtual clock. Returns the write result plus
+    /// the modeled end timestamp so the caller can close its own span
+    /// after the ingest.
+    pub fn write_point_traced(
+        &self,
+        point: Point,
+        tracer: &Tracer,
+        parent: TraceContext,
+        start_ns: u64,
+    ) -> (Result<(), TsdbError>, u64) {
+        match self.write_point_inner(point, Some((tracer, parent, start_ns))) {
+            Ok(end_ns) => (Ok(()), end_ns),
+            Err(e) => (Err(e), start_ns),
+        }
+    }
+
+    /// Shared write path. `trace`, when present, is `(tracer, parent
+    /// span, modeled start)`; on success the returned timestamp is the
+    /// modeled ingest end on the virtual clock (0 when untraced).
+    fn write_point_inner(
+        &self,
+        point: Point,
+        trace: Option<(&Tracer, TraceContext, u64)>,
+    ) -> Result<u64, TsdbError> {
         {
             let mut stats = self.stats.lock();
             stats.points_offered += 1;
@@ -381,11 +411,13 @@ impl Database {
         // framed into the WAL and group-committed before it is counted,
         // published, or made queryable — an acknowledged write is a
         // durable write.
+        let mut commit_ns = 0u64;
         if let Some(store) = &self.store {
             let rows = rows_of_point(&point);
             let mut st = store.lock();
             st.append(&rows);
-            st.commit()?;
+            let info = st.commit()?;
+            commit_ns = st.modeled_commit_ns(info.bytes).max(1);
         }
         let zero_values = point.fields.values().filter(|v| v.is_zero()).count() as u64;
         {
@@ -394,18 +426,58 @@ impl Database {
             stats.values_inserted += n;
             stats.zero_values_inserted += zero_values;
         }
+        let modeled_ns = EngineObs::INGEST_BASE_NS + EngineObs::INGEST_PER_VALUE_NS * n;
         if let Some(o) = &self.obs {
             o.points_inserted.inc();
             o.values_inserted.add(n);
             o.zero_values_inserted.add(zero_values);
-            o.ingest_ns
-                .record(EngineObs::INGEST_BASE_NS + EngineObs::INGEST_PER_VALUE_NS * n);
+            match &trace {
+                // The trace exemplar ties the histogram's tail back to a
+                // concrete trace in the flight recorder.
+                Some((_, ctx, _)) if ctx.sampled => {
+                    o.ingest_ns.record_exemplar(modeled_ns, ctx.trace.0)
+                }
+                _ => o.ingest_ns.record(modeled_ns),
+            }
         }
+        let end_ns = self.trace_ingest(&point, commit_ns, modeled_ns, &trace);
         self.hub.publish(&point);
         let measurement = point.measurement.clone();
         self.storage.write().insert(point);
         self.bump_version(&measurement);
-        Ok(())
+        Ok(end_ns)
+    }
+
+    /// Lay out the modeled ingest spans for one accepted point:
+    /// `tsdb.ingest` wrapping `store.wal.group_commit` (durable mode
+    /// only, `commit_ns > 0`) then `tsdb.shard_ingest` (status carries
+    /// the shard index the point's canonical series key routes to).
+    /// Returns the modeled end timestamp (0 when untraced).
+    fn trace_ingest(
+        &self,
+        point: &Point,
+        commit_ns: u64,
+        ingest_ns: u64,
+        trace: &Option<(&Tracer, TraceContext, u64)>,
+    ) -> u64 {
+        let Some((tracer, parent, start_ns)) = trace else {
+            return 0;
+        };
+        let (tracer, parent, start_ns) = (*tracer, *parent, *start_ns);
+        let ingest = tracer.child(parent, "tsdb.ingest", start_ns);
+        let mut cursor = start_ns;
+        if commit_ns > 0 {
+            let wal = tracer.child(ingest, "store.wal.group_commit", cursor);
+            tracer.end_span(wal, cursor + commit_ns);
+            cursor += commit_ns;
+        }
+        let series = render_series_key(&point.measurement, &point.tags);
+        let shard = shard_of_key(&series, DEFAULT_SHARD_COUNT);
+        let si = tracer.child(ingest, "tsdb.shard_ingest", cursor);
+        tracer.end_span_status(si, cursor + ingest_ns, &format!("shard-{shard:02}"));
+        cursor += ingest_ns;
+        tracer.end_span(ingest, cursor);
+        cursor
     }
 
     /// Apply a point replicated from another node (hinted-handoff replay
@@ -417,23 +489,53 @@ impl Database {
     /// and the per-measurement write-version bump, so the LRU query cache
     /// can never serve pre-repair rows.
     pub fn apply_remote(&self, point: Point) -> Result<(), TsdbError> {
+        self.apply_remote_inner(point, None).map(|_| ())
+    }
+
+    /// Like [`Database::apply_remote`] but nests the modeled ingest
+    /// spans (WAL group commit + shard ingest) under `parent` — the
+    /// hinted-handoff replay path of an end-to-end trace. Returns the
+    /// result plus the modeled end timestamp.
+    pub fn apply_remote_traced(
+        &self,
+        point: Point,
+        tracer: &Tracer,
+        parent: TraceContext,
+        start_ns: u64,
+    ) -> (Result<(), TsdbError>, u64) {
+        match self.apply_remote_inner(point, Some((tracer, parent, start_ns))) {
+            Ok(end_ns) => (Ok(()), end_ns),
+            Err(e) => (Err(e), start_ns),
+        }
+    }
+
+    fn apply_remote_inner(
+        &self,
+        point: Point,
+        trace: Option<(&Tracer, TraceContext, u64)>,
+    ) -> Result<u64, TsdbError> {
         if point.fields.is_empty() {
             return Err(TsdbError::EmptyFields);
         }
+        let mut commit_ns = 0u64;
         if let Some(store) = &self.store {
             let rows = rows_of_point(&point);
             let mut st = store.lock();
             st.append(&rows);
-            st.commit()?;
+            let info = st.commit()?;
+            commit_ns = st.modeled_commit_ns(info.bytes).max(1);
         }
         if let Some(o) = &self.obs {
             o.registry.counter("tsdb.repl.remote_applied", &[]).inc();
         }
+        let n = point.field_count() as u64;
+        let modeled_ns = EngineObs::INGEST_BASE_NS + EngineObs::INGEST_PER_VALUE_NS * n;
+        let end_ns = self.trace_ingest(&point, commit_ns, modeled_ns, &trace);
         self.hub.publish(&point);
         let measurement = point.measurement.clone();
         self.storage.write().insert(point);
         self.bump_version(&measurement);
-        Ok(())
+        Ok(end_ns)
     }
 
     /// Current write version of one measurement: bumped on every accepted
@@ -502,6 +604,33 @@ impl Database {
         q: &Query,
         mode: ExecMode,
     ) -> Result<Arc<QueryResult>, TsdbError> {
+        self.query_inner(q, mode, None).0
+    }
+
+    /// Like [`Database::query_arc_with_mode`] but nests modeled query
+    /// spans — a `tsdb.query` wrapper with a planning child plus one
+    /// `tsdb.shard_scan` child per shard the executor visited (or a
+    /// `tsdb.query.cache_hit` child when the result cache serves the
+    /// rows) — under `parent`, laid out from `start_ns` on the virtual
+    /// clock. Returns the result plus the modeled end timestamp.
+    pub fn query_traced(
+        &self,
+        q: &Query,
+        mode: ExecMode,
+        tracer: &Tracer,
+        parent: TraceContext,
+        start_ns: u64,
+    ) -> (Result<Arc<QueryResult>, TsdbError>, u64) {
+        self.query_inner(q, mode, Some((tracer, parent, start_ns)))
+    }
+
+    fn query_inner(
+        &self,
+        q: &Query,
+        mode: ExecMode,
+        trace: Option<(&Tracer, TraceContext, u64)>,
+    ) -> (Result<Arc<QueryResult>, TsdbError>, u64) {
+        let start_fallback = trace.as_ref().map(|(_, _, s)| *s).unwrap_or(0);
         // Capture the measurement's write version BEFORE executing: if a
         // write lands mid-query the entry is recorded under the older
         // version and fails validation on its next lookup — conservative,
@@ -511,8 +640,10 @@ impl Database {
             let version = self.measurement_version(&q.measurement);
             let key = q.normalized();
             if let Some(hit) = self.cache_lookup(&key, version) {
-                self.record_query_served(hit.rows.len() as u64);
-                return Ok(hit);
+                let rows = hit.rows.len() as u64;
+                self.record_query_served_traced(rows, &trace);
+                let end_ns = self.trace_query(rows, None, true, &trace);
+                return (Ok(hit), end_ns);
             }
             (Some(key), version)
         } else {
@@ -528,8 +659,10 @@ impl Database {
         }
         match run {
             Ok((result, stats)) => {
-                self.record_query_served(result.rows.len() as u64);
+                let rows = result.rows.len() as u64;
+                self.record_query_served_traced(rows, &trace);
                 self.record_exec_stats(&stats);
+                let end_ns = self.trace_query(rows, Some(&stats), false, &trace);
                 let result = Arc::new(result);
                 if let Some(key) = cache_key {
                     let evicted = self.cache.lock().insert(
@@ -543,23 +676,73 @@ impl Database {
                         o.cache_evictions.add(evicted as u64);
                     }
                 }
-                Ok(result)
+                (Ok(result), end_ns)
             }
             Err(e) => {
                 self.record_query_served(0);
-                Err(e)
+                (Err(e), start_fallback)
             }
         }
+    }
+
+    /// Lay out the modeled query spans: `tsdb.query` wrapping a planning
+    /// child (or a cache-hit child) and the per-shard scan children. The
+    /// total duration equals the modeled `tsdb.query_ns` sample so the
+    /// trace tree and the histogram tell one story.
+    fn trace_query(
+        &self,
+        rows: u64,
+        stats: Option<&ExecStats>,
+        cache_hit: bool,
+        trace: &Option<(&Tracer, TraceContext, u64)>,
+    ) -> u64 {
+        let Some((tracer, parent, start_ns)) = trace else {
+            return 0;
+        };
+        let (tracer, parent, start_ns) = (*tracer, *parent, *start_ns);
+        let query = tracer.child(parent, "tsdb.query", start_ns);
+        let mut cursor = start_ns + EngineObs::QUERY_BASE_NS;
+        if cache_hit {
+            let hit = tracer.child(query, "tsdb.query.cache_hit", start_ns);
+            tracer.end_span(hit, cursor);
+        } else {
+            let plan = tracer.child(query, "tsdb.query.plan", start_ns);
+            tracer.end_span(plan, cursor);
+            let shards = stats.map(|s| s.shards_scanned).unwrap_or(0).max(1);
+            let mut remaining = EngineObs::QUERY_PER_ROW_NS * rows;
+            for i in 0..shards {
+                let slice = (remaining / (shards - i)).max(1);
+                let scan = tracer.child(query, "tsdb.shard_scan", cursor);
+                tracer.end_span(scan, cursor + slice);
+                cursor += slice;
+                remaining = remaining.saturating_sub(slice);
+            }
+        }
+        let end_ns =
+            cursor.max(start_ns + EngineObs::QUERY_BASE_NS + EngineObs::QUERY_PER_ROW_NS * rows);
+        tracer.end_span(query, end_ns);
+        end_ns
     }
 
     /// Legacy served-query accounting: one `tsdb.queries` tick plus the
     /// modelled latency — identical for executed and cache-served queries,
     /// so enabling the cache never changes the exported histograms.
     fn record_query_served(&self, rows: u64) {
+        self.record_query_served_traced(rows, &None);
+    }
+
+    /// [`Database::record_query_served`] with an optional trace exemplar
+    /// tying the histogram sample back to the flight recorder.
+    fn record_query_served_traced(&self, rows: u64, trace: &Option<(&Tracer, TraceContext, u64)>) {
         if let Some(o) = &self.obs {
             o.queries.inc();
-            o.query_ns
-                .record(EngineObs::QUERY_BASE_NS + EngineObs::QUERY_PER_ROW_NS * rows);
+            let modeled_ns = EngineObs::QUERY_BASE_NS + EngineObs::QUERY_PER_ROW_NS * rows;
+            match trace {
+                Some((_, ctx, _)) if ctx.sampled => {
+                    o.query_ns.record_exemplar(modeled_ns, ctx.trace.0)
+                }
+                _ => o.query_ns.record(modeled_ns),
+            }
         }
     }
 

@@ -9,10 +9,16 @@
 //! * gauges → measurement `pmove.self.<name>`, labels as tags, one
 //!   `value` field holding the last value;
 //! * histograms → measurement `pmove.self.<name>`, labels as tags, fields
-//!   `count`, `sum`, `max`, `mean`, `p50`, `p90`, `p99`;
+//!   `count`, `sum`, `max`, `mean`, `p50`, `p90`, `p99`, plus
+//!   `exemplar_trace_id`/`exemplar_value` when a trace-tagged sample was
+//!   recorded;
 //! * spans → measurement `pmove.self.span.<span name>` with fields
-//!   `count`, `total_ns`, `min_ns`, `max_ns`, `mean_ns`, `last_start_ns`,
-//!   `last_end_ns`.
+//!   `count`, `total_ns`, `min_ns`, `max_ns`, `mean_ns`, `p50_ns`,
+//!   `p90_ns`, `p99_ns`, `last_start_ns`, `last_end_ns`.
+//!
+//! Metric names already rooted in `pmove.` (the SLO engine's
+//! `pmove.slo.*` meta-metrics) keep their own name instead of gaining a
+//! second prefix.
 //!
 //! Exports are deterministic: snapshots are sorted by metric key and all
 //! values derive from the virtual clock, so two same-seed runs produce
@@ -28,8 +34,19 @@ pub const SELF_PREFIX: &str = "pmove.self.";
 /// Measurement prefix of exported span aggregates.
 pub const SPAN_PREFIX: &str = "pmove.self.span.";
 
+/// Metric names already rooted in the `pmove.` namespace (e.g. the SLO
+/// engine's `pmove.slo.*` meta-metrics) export under their own name; a
+/// second prefix would bury them as `pmove.self.pmove.slo.*`.
+fn measurement_for(name: &str) -> String {
+    if name.starts_with("pmove.") {
+        name.to_string()
+    } else {
+        format!("{SELF_PREFIX}{name}")
+    }
+}
+
 fn tagged(name: &str, labels: &[(String, String)], t_ns: i64) -> Point {
-    let mut p = Point::new(format!("{SELF_PREFIX}{name}")).timestamp(t_ns);
+    let mut p = Point::new(measurement_for(name)).timestamp(t_ns);
     for (k, v) in labels {
         p = p.tag(k, v);
     }
@@ -49,7 +66,7 @@ pub fn export_snapshot(db: &Database, snap: &Snapshot, t_ns: i64) -> usize {
         written += usize::from(db.write_point(p).is_ok());
     }
     for (key, h) in &snap.histograms {
-        let p = tagged(&key.name, &key.labels, t_ns)
+        let mut p = tagged(&key.name, &key.labels, t_ns)
             .field("count", h.count as f64)
             .field("sum", h.sum as f64)
             .field("max", h.max as f64)
@@ -57,6 +74,11 @@ pub fn export_snapshot(db: &Database, snap: &Snapshot, t_ns: i64) -> usize {
             .field("p50", h.p50)
             .field("p90", h.p90)
             .field("p99", h.p99);
+        if let Some((trace_id, value)) = h.exemplar {
+            p = p
+                .field("exemplar_trace_id", trace_id as f64)
+                .field("exemplar_value", value as f64);
+        }
         written += usize::from(db.write_point(p).is_ok());
     }
     for (name, s) in &snap.spans {
@@ -67,6 +89,9 @@ pub fn export_snapshot(db: &Database, snap: &Snapshot, t_ns: i64) -> usize {
             .field("min_ns", s.min_ns as f64)
             .field("max_ns", s.max_ns as f64)
             .field("mean_ns", s.mean_ns())
+            .field("p50_ns", s.p50_ns)
+            .field("p90_ns", s.p90_ns)
+            .field("p99_ns", s.p99_ns)
             .field("last_start_ns", s.last_start_ns as f64)
             .field("last_end_ns", s.last_end_ns as f64);
         written += usize::from(db.write_point(p).is_ok());
@@ -114,6 +139,41 @@ mod tests {
             .query("SELECT \"mean_ns\" FROM \"pmove.self.span.daemon.step3.kb_insert\"")
             .unwrap();
         assert_eq!(r.rows[0].values["mean_ns"], Some(3_000.0));
+    }
+
+    #[test]
+    fn pmove_rooted_names_keep_their_prefix() {
+        let reg = Registry::new();
+        reg.gauge("pmove.slo.ingest_p99.burn_rate", &[]).set(2.0);
+        reg.counter("pcp.sampler.ticks", &[]).inc();
+        let db = Database::new("meta");
+        export_snapshot(&db, &reg.snapshot(), 5);
+        let ms = db.measurements();
+        assert!(ms.contains(&"pmove.slo.ingest_p99.burn_rate".to_string()));
+        assert!(ms.contains(&"pmove.self.pcp.sampler.ticks".to_string()));
+        assert!(!ms.iter().any(|m| m.starts_with("pmove.self.pmove.")));
+    }
+
+    #[test]
+    fn span_quantiles_and_exemplars_export() {
+        let reg = Registry::new();
+        for _ in 0..9 {
+            reg.record_span("stage", 0, 1_000);
+        }
+        reg.record_span("stage", 0, 900_000);
+        reg.histogram("tsdb.ingest_ns", &[], pmove_obs::latency_buckets())
+            .record_exemplar(5_000, 0xDEAD);
+        let db = Database::new("meta");
+        export_snapshot(&db, &reg.snapshot(), 5);
+        let r = db
+            .query("SELECT \"p99_ns\" FROM \"pmove.self.span.stage\"")
+            .unwrap();
+        let p99 = r.rows[0].values["p99_ns"].unwrap();
+        assert!(p99 > 1_000.0, "p99 should see the slow tail, got {p99}");
+        let r = db
+            .query("SELECT \"exemplar_trace_id\" FROM \"pmove.self.tsdb.ingest_ns\"")
+            .unwrap();
+        assert_eq!(r.rows[0].values["exemplar_trace_id"], Some(0xDEAD as f64));
     }
 
     #[test]
