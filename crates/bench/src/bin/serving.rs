@@ -1,0 +1,89 @@
+//! Print (and capture) the serving-layer load experiment: steady-state
+//! coalescing/cache efficiency plus the induced-overload admission run.
+//!
+//! Everything is driven on the virtual clock from a fixed seed, so the
+//! full-scale output is deterministic and pinned in
+//! `docs/results/serving.txt`. `PMOVE_SERVE_SMOKE=1` shrinks the virtual
+//! durations tenfold for CI; smoke runs gate but do not rewrite the
+//! pinned results.
+
+use pmove_serve::{Priority, ServingConfig};
+use std::io::Write;
+
+fn main() {
+    let smoke = std::env::var("PMOVE_SERVE_SMOKE").is_ok();
+    let scale = if smoke { 0.1 } else { 1.0 };
+    let out = pmove_bench::serving::run(scale);
+    let text = pmove_bench::serving::format(&out);
+    print!("{text}");
+    if !smoke {
+        if let Ok(mut f) = std::fs::File::create("docs/results/serving.txt") {
+            let _ = f.write_all(text.as_bytes());
+        }
+    }
+
+    let slo = ServingConfig::default().slo_p99_ns;
+    let steady = &out.steady.report;
+    let overload = &out.overload.report;
+    let mut failed = false;
+    let mut gate = |ok: bool, msg: String| {
+        if !ok {
+            println!("GATE FAILED: {msg}");
+            failed = true;
+        }
+    };
+
+    gate(
+        steady.conserved(),
+        format!("steady conservation: {steady:?}"),
+    );
+    gate(
+        overload.conserved(),
+        format!("overload conservation: {overload:?}"),
+    );
+    gate(
+        steady.coalescing_ratio() >= pmove_bench::serving::COALESCING_FLOOR,
+        format!(
+            "steady coalescing ratio {:.2} under the {}x floor",
+            steady.coalescing_ratio(),
+            pmove_bench::serving::COALESCING_FLOOR
+        ),
+    );
+    gate(
+        steady.interactive.p99_ns < slo && steady.background.p99_ns < slo,
+        format!(
+            "steady p99 over the {slo} ns SLO (interactive {}, background {})",
+            steady.interactive.p99_ns, steady.background.p99_ns
+        ),
+    );
+    gate(
+        !out.steady.alerted,
+        "steady run fired the serving_p99 burn-rate alert".into(),
+    );
+    gate(
+        steady.fairness_served() > 0.95,
+        format!("steady fairness {:.4} under 0.95", steady.fairness_served()),
+    );
+    gate(
+        overload.shed > 0,
+        "overload run never shed: the flood did not overload".into(),
+    );
+    gate(
+        overload
+            .shed_events
+            .iter()
+            .all(|e| e.priority == Priority::Background),
+        "overload shed interactive traffic".into(),
+    );
+    gate(
+        overload.interactive.p99_ns < slo,
+        format!(
+            "overload interactive p99 {} ns broke the {slo} ns SLO",
+            overload.interactive.p99_ns
+        ),
+    );
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -94,7 +94,7 @@ pub fn level_dashboard(kb: &KnowledgeBase, component_type: &str) -> Option<Dashb
 /// one latency panel per histogram (p50/p90/p99 targets), per-daemon-step
 /// span timings, and the remaining spans.
 pub fn self_dashboard(kb: &KnowledgeBase, snap: &pmove_obs::Snapshot) -> Dashboard {
-    use pmove_tsdb::self_export::{SELF_PREFIX, SPAN_PREFIX};
+    use pmove_tsdb::self_export::{measurement_for, SELF_PREFIX, SPAN_PREFIX};
     let target = |measurement: &str, params: &str| Target {
         datasource: Datasource::influx(&kb.db.influx_uid),
         measurement: measurement.to_string(),
@@ -123,7 +123,7 @@ pub fn self_dashboard(kb: &KnowledgeBase, snap: &pmove_obs::Snapshot) -> Dashboa
             continue;
         }
         seen.push(key.name.clone());
-        let m = format!("{SELF_PREFIX}{}", key.name);
+        let m = measurement_for(&key.name);
         let targets = ["p50", "p90", "p99"]
             .iter()
             .map(|q| target(&m, q))
@@ -251,6 +251,42 @@ pub fn self_dashboard(kb: &KnowledgeBase, snap: &pmove_obs::Snapshot) -> Dashboa
         d = d.panel("tracing & SLO", obs_targets);
     }
 
+    // Query serving: admission, shed, and execution counters plus the
+    // per-tenant cache hit/miss and coalescing series, when the
+    // multi-tenant serving layer has run. Serving metrics live under
+    // `pmove.serve.` (exported unprefixed) and keep their labels, so
+    // each labeled series gets its own target — per-tenant cache
+    // behaviour reads directly off the panel. Runs that never serve
+    // register none of these names, so they grow no panel.
+    let mut serve_series: Vec<(String, String)> = snap
+        .counters
+        .iter()
+        .map(|(key, _)| key)
+        .chain(snap.gauges.iter().map(|(key, _)| key))
+        .filter(|key| key.name.starts_with("pmove.serve."))
+        .map(|key| {
+            let params = if key.labels.is_empty() {
+                "value".to_string()
+            } else {
+                key.labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            (key.name.clone(), params)
+        })
+        .collect();
+    serve_series.sort();
+    serve_series.dedup();
+    let serve_targets: Vec<Target> = serve_series
+        .iter()
+        .map(|(name, params)| target(name, params))
+        .collect();
+    if !serve_targets.is_empty() {
+        d = d.panel("query serving", serve_targets);
+    }
+
     // Span timings: daemon boot steps get their own panel.
     let step_targets: Vec<Target> = snap
         .spans
@@ -373,6 +409,47 @@ mod tests {
         // Untraced registries grow no panel.
         let d0 = self_dashboard(&kb, &pmove_obs::Registry::new().snapshot());
         assert!(d0.panels.iter().all(|p| p.title != "tracing & SLO"));
+    }
+
+    #[test]
+    fn self_dashboard_adds_query_serving_panel_when_served() {
+        let kb = kb();
+        let reg = pmove_obs::Registry::new();
+        reg.counter("pmove.serve.submitted_total", &[]).add(16);
+        reg.counter("pmove.serve.cache_hits_total", &[("tenant", "3")])
+            .add(5);
+        reg.counter("pmove.serve.cache_misses_total", &[("tenant", "3")])
+            .add(2);
+        reg.counter("pmove.serve.coalesced_total", &[("tenant", "0")])
+            .add(7);
+        reg.gauge("pmove.serve.queue_depth", &[]).set(0.0);
+        let d = self_dashboard(&kb, &reg.snapshot());
+        let panel = d
+            .panels
+            .iter()
+            .find(|p| p.title == "query serving")
+            .expect("query serving panel");
+        // Serving names address their own measurements, and labeled
+        // series keep their tenant in the target params.
+        assert!(panel
+            .targets
+            .iter()
+            .any(|t| t.measurement == "pmove.serve.cache_hits_total" && t.params == "tenant=3"));
+        assert!(panel
+            .targets
+            .iter()
+            .any(|t| t.measurement == "pmove.serve.coalesced_total" && t.params == "tenant=0"));
+        assert!(panel
+            .targets
+            .iter()
+            .any(|t| t.measurement == "pmove.serve.submitted_total" && t.params == "value"));
+        assert!(panel
+            .targets
+            .iter()
+            .all(|t| !t.measurement.starts_with("pmove.self.")));
+        // Runs that never served grow no panel.
+        let d0 = self_dashboard(&kb, &pmove_obs::Registry::new().snapshot());
+        assert!(d0.panels.iter().all(|p| p.title != "query serving"));
     }
 
     #[test]

@@ -23,6 +23,7 @@ use pmove_obs::{
     Transition,
 };
 use pmove_pcp::{ResilienceConfig, SamplingReport};
+use pmove_serve::{QueryServer, ServeReport, ServeRequest, ServingConfig};
 use pmove_tsdb::repl::{RepairReport, ReplConfig, ReplicaSet};
 use std::sync::Arc;
 
@@ -465,6 +466,42 @@ impl PMoveDaemon {
         Ok(set.quorum_read(text)?)
     }
 
+    /// Run a multi-tenant serving schedule against the daemon's telemetry
+    /// store: the replicated set when the daemon booted replicated (every
+    /// replica assumed reachable), the host database otherwise.
+    ///
+    /// The schedule's `at_ns` values are serving-relative (0 = first
+    /// possible arrival); the whole run is stamped as one `daemon.serve`
+    /// span on the daemon timeline and advances the virtual clock by the
+    /// serving run's length. The daemon's registry is threaded through,
+    /// so `pmove.serve.*` metrics (and serve-span trace trees, when
+    /// tracing is enabled) land in self-observability, where the
+    /// `serving_p99` SLO watches the latency histogram.
+    pub fn serve_queries(
+        &mut self,
+        cfg: ServingConfig,
+        schedule: &[ServeRequest],
+    ) -> Result<ServeReport, PmoveError> {
+        let to_err = |e: pmove_serve::ServeError| PmoveError::Collector(e.to_string());
+        let report = match &self.repl {
+            Some(set) => QueryServer::new(set, cfg)
+                .map_err(to_err)?
+                .with_obs(self.obs.clone())
+                .run(schedule)
+                .map_err(to_err)?,
+            None => QueryServer::new(&self.ts, cfg)
+                .map_err(to_err)?
+                .with_obs(self.obs.clone())
+                .run(schedule)
+                .map_err(to_err)?,
+        };
+        let start_ns = s_to_ns(self.now_s);
+        self.obs
+            .record_span("daemon.serve", start_ns, start_ns + report.end_ns);
+        self.now_s += report.end_ns as f64 / 1e9;
+        Ok(report)
+    }
+
     /// Guard for operations that mutate the KB: refused while degraded.
     pub fn ensure_writable(&self) -> Result<(), PmoveError> {
         match self.mode {
@@ -754,6 +791,11 @@ impl PMoveDaemon {
             windows: windows(),
             clear_evals: 2,
         });
+        // Serving-latency objective over the multi-tenant query layer;
+        // threshold from the default serving config, pinned to a latency
+        // bucket bound so budget accounting is exact.
+        self.slo
+            .add(SloSpec::serving_p99(ServingConfig::default().slo_p99_ns));
         self.slo.add(SloSpec {
             name: "conservation".into(),
             objective: Objective::Conservation {
@@ -1351,14 +1393,16 @@ mod tests {
     fn default_slos_stay_quiet_on_healthy_runs() {
         let mut d = PMoveDaemon::for_preset("icl").unwrap();
         d.install_default_slos();
-        assert_eq!(d.slo.len(), 4);
+        assert_eq!(d.slo.len(), 5);
         d.install_default_slos(); // idempotent
-        assert_eq!(d.slo.len(), 4);
+        assert_eq!(d.slo.len(), 5);
         d.monitor(5.0, 2.0);
         let fired = d.evaluate_slos();
         assert!(fired.is_empty(), "{fired:?}");
         assert_eq!(d.slo.state("ingest_p99"), Some(AlertState::Ok));
         assert_eq!(d.slo.state("conservation"), Some(AlertState::Ok));
+        // No serving traffic yet: the serving SLO idles at Ok.
+        assert_eq!(d.slo.state("serving_p99"), Some(AlertState::Ok));
         // Meta-gauges are published under the pmove.slo.* namespace.
         let snap = d.obs.snapshot();
         assert!(snap.gauges.iter().any(|(k, _)| k.name == "pmove.slo.state"));
@@ -1485,6 +1529,55 @@ mod tests {
             .quorum_query("SELECT \"value\" FROM \"kernel_all_load\"")
             .unwrap();
         assert_eq!(r.rows.len(), 25);
+    }
+
+    #[test]
+    fn daemon_serves_multi_tenant_queries_over_the_quorum() {
+        use pmove_serve::Priority;
+        let mut d = PMoveDaemon::for_preset_replicated("icl", 7).unwrap();
+        d.monitor_replicated(10.0, 1.0, None).unwrap();
+        let before_s = d.now_s;
+        let panel = "SELECT mean(\"value\") FROM \"kernel_all_load\"";
+        // Eight tenants dashboard the same panel at once: the serving
+        // layer coalesces them onto one quorum-read execution each wave.
+        let schedule: Vec<ServeRequest> = (0..8u64)
+            .map(|i| ServeRequest {
+                tenant: (i % 4) as u32,
+                priority: Priority::Interactive,
+                query: panel.to_string(),
+                at_ns: i * 1_000,
+            })
+            .collect();
+        let report = d
+            .serve_queries(ServingConfig::default(), &schedule)
+            .unwrap();
+        assert!(report.conserved(), "{report:?}");
+        assert_eq!(report.served, 8);
+        assert_eq!(report.errors, 0);
+        assert!(
+            report.executions < report.served,
+            "identical panels must coalesce: {report:?}"
+        );
+        assert!(d.now_s > before_s, "serving consumed modeled time");
+        let snap = d.obs.snapshot();
+        assert_eq!(snap.counter("pmove.serve.submitted_total", &[]), Some(8));
+        let span = snap.span("daemon.serve").unwrap();
+        assert_eq!(span.last_end_ns - span.last_start_ns, report.end_ns);
+        // The default SLO set watches the histogram this run just fed; a
+        // healthy run evaluates to Ok, not a page.
+        d.install_default_slos();
+        d.evaluate_slos();
+        assert_eq!(d.slo.state("serving_p99"), Some(AlertState::Ok));
+
+        // A plain (non-replicated) daemon serves off its host database.
+        let mut plain = PMoveDaemon::for_preset("icl").unwrap();
+        plain.monitor(5.0, 1.0);
+        let r2 = plain
+            .serve_queries(ServingConfig::default(), &schedule)
+            .unwrap();
+        assert!(r2.conserved(), "{r2:?}");
+        assert_eq!(r2.served, 8);
+        assert_eq!(r2.errors, 0);
     }
 
     #[test]

@@ -165,6 +165,19 @@ mod tests {
             .add(2);
         reg.gauge("pmove.slo.state", &[("slo", "ingest_latency")])
             .set(2.0);
+        // Serving-layer metrics already live under `pmove.` and must
+        // export without the `pmove_self_` prefix.
+        reg.counter("pmove.serve.served_total", &[("class", "interactive")])
+            .add(12);
+        reg.counter("pmove.serve.cache_hits_total", &[("tenant", "3")])
+            .add(5);
+        reg.gauge("pmove.serve.queue_depth", &[]).set(4.0);
+        reg.histogram(
+            "pmove.serve.latency_ns",
+            &[("class", "interactive")],
+            vec![1_000_000, 5_000_000],
+        )
+        .record(250_000);
         reg.histogram("tsdb.ingest_ns", &[], vec![1_000, 10_000])
             .record(500);
         reg.histogram("tsdb.ingest_ns", &[], vec![1_000, 10_000])
@@ -175,8 +188,20 @@ mod tests {
 # TYPE pmove_self_pcp_transport_values_lost counter
 pmove_self_pcp_transport_values_lost{host=\"icl\"} 2
 pmove_self_pcp_transport_values_lost{host=\"skx\"} 7
+# TYPE pmove_serve_cache_hits_total counter
+pmove_serve_cache_hits_total{tenant=\"3\"} 5
+# TYPE pmove_serve_served_total counter
+pmove_serve_served_total{class=\"interactive\"} 12
+# TYPE pmove_serve_queue_depth gauge
+pmove_serve_queue_depth 4
 # TYPE pmove_slo_state gauge
 pmove_slo_state{slo=\"ingest_latency\"} 2
+# TYPE pmove_serve_latency_ns histogram
+pmove_serve_latency_ns_bucket{class=\"interactive\",le=\"1000000\"} 1
+pmove_serve_latency_ns_bucket{class=\"interactive\",le=\"5000000\"} 1
+pmove_serve_latency_ns_bucket{class=\"interactive\",le=\"+Inf\"} 1
+pmove_serve_latency_ns_sum{class=\"interactive\"} 250000
+pmove_serve_latency_ns_count{class=\"interactive\"} 1
 # TYPE pmove_self_tsdb_ingest_ns histogram
 pmove_self_tsdb_ingest_ns_bucket{le=\"1000\"} 1
 pmove_self_tsdb_ingest_ns_bucket{le=\"10000\"} 1

@@ -109,6 +109,41 @@ pub struct SloSpec {
     pub clear_evals: u32,
 }
 
+impl SloSpec {
+    /// The default serving-latency objective: 99% of requests through the
+    /// multi-tenant serving layer complete below `threshold_ns`
+    /// (submit → completion, measured over the `pmove.serve.latency_ns`
+    /// histogram). Uses the standard burn ladder — fast 10 s window
+    /// paging at 8x, slow 60 s window warning at 2x, two quiet
+    /// evaluations to clear. `threshold_ns` must be one of the registry's
+    /// latency bucket bounds so budget accounting is exact.
+    pub fn serving_p99(threshold_ns: u64) -> SloSpec {
+        SloSpec {
+            name: "serving_p99".into(),
+            objective: Objective::LatencyBelow {
+                histogram: "pmove.serve.latency_ns".into(),
+                threshold_ns,
+            },
+            target: 0.99,
+            windows: vec![
+                BurnWindow {
+                    name: "fast".into(),
+                    window_ns: 10_000_000_000,
+                    burn_threshold: 8.0,
+                    severity: AlertState::Page,
+                },
+                BurnWindow {
+                    name: "slow".into(),
+                    window_ns: 60_000_000_000,
+                    burn_threshold: 2.0,
+                    severity: AlertState::Warning,
+                },
+            ],
+            clear_evals: 2,
+        }
+    }
+}
+
 /// One alert state transition, timestamped on the virtual clock.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Transition {
@@ -561,5 +596,61 @@ mod tests {
             }
         }
         assert!(cleared);
+    }
+
+    #[test]
+    fn serving_p99_spec_watches_the_serving_histogram() {
+        let spec = SloSpec::serving_p99(5_000_000);
+        assert_eq!(spec.name, "serving_p99");
+        match &spec.objective {
+            Objective::LatencyBelow {
+                histogram,
+                threshold_ns,
+            } => {
+                assert_eq!(histogram, "pmove.serve.latency_ns");
+                assert_eq!(*threshold_ns, 5_000_000);
+                // Threshold must be an exact bucket bound so the budget
+                // accounting has no rounding error.
+                assert!(latency_buckets().contains(threshold_ns));
+            }
+            other => panic!("unexpected objective {other:?}"),
+        }
+        // Fast pages, slow warns.
+        assert_eq!(spec.windows[0].severity, AlertState::Page);
+        assert_eq!(spec.windows[1].severity, AlertState::Warning);
+    }
+
+    #[test]
+    fn serving_tail_regression_pages() {
+        let reg = Registry::new();
+        let h = reg.histogram(
+            "pmove.serve.latency_ns",
+            &[("class", "interactive")],
+            latency_buckets(),
+        );
+        let mut eng = SloEngine::new();
+        eng.add(SloSpec::serving_p99(5_000_000));
+        // Healthy serving latencies: no alert.
+        for tick in 1..=5u64 {
+            for _ in 0..100 {
+                h.record(400_000);
+            }
+            assert!(eng
+                .evaluate(&reg.snapshot(), tick * 1_000_000_000)
+                .is_empty());
+        }
+        // Queueing collapse: most requests land over the objective.
+        let mut paged = false;
+        for tick in 6..=12u64 {
+            for i in 0..100 {
+                h.record(if i % 4 != 0 { 40_000_000 } else { 400_000 });
+            }
+            for t in eng.evaluate(&reg.snapshot(), tick * 1_000_000_000) {
+                if t.to == AlertState::Page {
+                    paged = true;
+                }
+            }
+        }
+        assert!(paged, "sustained serving-tail regression must page");
     }
 }

@@ -280,6 +280,17 @@ impl<'a> ReplShipper<'a> {
         self.set.quorum_read_with_mode(q, &self.reachable(), mode)
     }
 
+    /// Like [`ReplShipper::quorum_read`] but returning the shared result
+    /// plus the chosen replica's cache verdict — the serving front-end's
+    /// entry point when it fronts a replicated store.
+    pub fn quorum_read_cached(
+        &self,
+        q: &Query,
+        mode: ExecMode,
+    ) -> Result<(std::sync::Arc<pmove_tsdb::QueryResult>, bool), TsdbError> {
+        self.set.quorum_read_cached(q, &self.reachable(), mode)
+    }
+
     /// Can a write reach replica `i` at time `t`? Link partitions are
     /// absolute; degraded bandwidth and backend brown-outs reject
     /// probabilistically from the coordinator's seeded noise stream.
@@ -666,6 +677,21 @@ impl<'a> ReplShipper<'a> {
     }
 }
 
+impl pmove_serve::QueryBackend for &ReplShipper<'_> {
+    /// Serve queries through the coordinator's reachability-aware quorum
+    /// read: down replicas are skipped, the freshest reachable replica
+    /// answers, and its result cache provides the hit verdict. Lets a
+    /// [`pmove_serve::QueryServer`] front the replicated store with the
+    /// same failure semantics the shipper itself sees.
+    fn execute(&self, q: &Query) -> Result<pmove_serve::BackendExec, TsdbError> {
+        let (result, cache_hit) = self.quorum_read_cached(q, ExecMode::default())?;
+        Ok(pmove_serve::BackendExec {
+            rows: result.rows.len() as u64,
+            cache_hit,
+        })
+    }
+}
+
 /// Result of one replicated sampling run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplSamplingReport {
@@ -869,5 +895,41 @@ mod tests {
     fn schedule_count_must_match_replicas() {
         let set = ReplicaSet::in_memory("s", ReplConfig::default()).unwrap();
         assert!(ReplShipper::new(&set, healthy_schedules(2), &["t7"]).is_err());
+    }
+
+    #[test]
+    fn shipper_backs_the_serving_layer_with_a_replica_down() {
+        use pmove_serve::{Priority, QueryServer, ServeRequest, ServingConfig};
+        let set = ReplicaSet::in_memory("s", ReplConfig::default()).unwrap();
+        let mut schedules = healthy_schedules(3);
+        schedules[2] = FaultSchedule::none().with_window(0.0, 100.0, FaultKind::LinkDown);
+        let mut coord = ReplShipper::new(&set, schedules, &["t8"]).unwrap();
+        for t in 0..10 {
+            coord.ship(t as f64, report(t, 4), 2.0);
+        }
+        coord.heartbeat(5.0);
+        // Two of three reachable: quorum reads still work, so the serving
+        // layer keeps answering with the same failure semantics.
+        let mut srv = QueryServer::new(&coord, ServingConfig::default()).unwrap();
+        let q = "SELECT mean(\"_cpu0\") FROM \"m\"".to_string();
+        let schedule = vec![
+            ServeRequest {
+                tenant: 0,
+                priority: Priority::Interactive,
+                query: q.clone(),
+                at_ns: 0,
+            },
+            ServeRequest {
+                tenant: 1,
+                priority: Priority::Background,
+                query: q,
+                at_ns: 80_000_000,
+            },
+        ];
+        let rep = srv.run(&schedule).unwrap();
+        assert!(rep.conserved());
+        assert_eq!(rep.served, 2);
+        // Second, widely-spaced request hits the replica's result cache.
+        assert_eq!(rep.cache_hits, 1);
     }
 }

@@ -604,6 +604,17 @@ impl Database {
         q: &Query,
         mode: ExecMode,
     ) -> Result<Arc<QueryResult>, TsdbError> {
+        self.query_inner(q, mode, None).0.map(|(r, _)| r)
+    }
+
+    /// Like [`Database::query_arc_with_mode`] but also reports whether the
+    /// result cache served the rows. The serving layer uses the flag for
+    /// per-tenant hit/miss accounting without double-running the query.
+    pub fn query_arc_cached(
+        &self,
+        q: &Query,
+        mode: ExecMode,
+    ) -> Result<(Arc<QueryResult>, bool), TsdbError> {
         self.query_inner(q, mode, None).0
     }
 
@@ -621,7 +632,8 @@ impl Database {
         parent: TraceContext,
         start_ns: u64,
     ) -> (Result<Arc<QueryResult>, TsdbError>, u64) {
-        self.query_inner(q, mode, Some((tracer, parent, start_ns)))
+        let (res, end_ns) = self.query_inner(q, mode, Some((tracer, parent, start_ns)));
+        (res.map(|(r, _)| r), end_ns)
     }
 
     fn query_inner(
@@ -629,7 +641,7 @@ impl Database {
         q: &Query,
         mode: ExecMode,
         trace: Option<(&Tracer, TraceContext, u64)>,
-    ) -> (Result<Arc<QueryResult>, TsdbError>, u64) {
+    ) -> (Result<(Arc<QueryResult>, bool), TsdbError>, u64) {
         let start_fallback = trace.as_ref().map(|(_, _, s)| *s).unwrap_or(0);
         // Capture the measurement's write version BEFORE executing: if a
         // write lands mid-query the entry is recorded under the older
@@ -643,7 +655,7 @@ impl Database {
                 let rows = hit.rows.len() as u64;
                 self.record_query_served_traced(rows, &trace);
                 let end_ns = self.trace_query(rows, None, true, &trace);
-                return (Ok(hit), end_ns);
+                return (Ok((hit, true)), end_ns);
             }
             (Some(key), version)
         } else {
@@ -676,7 +688,7 @@ impl Database {
                         o.cache_evictions.add(evicted as u64);
                     }
                 }
-                (Ok(result), end_ns)
+                (Ok((result, false)), end_ns)
             }
             Err(e) => {
                 self.record_query_served(0);

@@ -449,6 +449,41 @@ impl ReplicaSet {
         self.replicas[best].query_with_mode(q, mode)
     }
 
+    /// [`ReplicaSet::quorum_read_with_mode`] returning the shared result
+    /// plus whether the chosen replica's result cache served it — the
+    /// serving front-end's per-tenant hit accounting over quorum reads.
+    pub fn quorum_read_cached(
+        &self,
+        q: &Query,
+        reachable: &[bool],
+        mode: ExecMode,
+    ) -> Result<(std::sync::Arc<QueryResult>, bool), TsdbError> {
+        if reachable.len() != self.len() {
+            return Err(TsdbError::Replication(format!(
+                "reachability vector has {} entries for {} replicas",
+                reachable.len(),
+                self.len()
+            )));
+        }
+        let up: Vec<usize> = (0..self.len()).filter(|&i| reachable[i]).collect();
+        if up.len() < self.cfg.read_quorum {
+            return Err(TsdbError::Replication(format!(
+                "read quorum unreachable: {} of {} replicas up, R={}",
+                up.len(),
+                self.len(),
+                self.cfg.read_quorum
+            )));
+        }
+        let consulted = &up[..self.cfg.read_quorum];
+        let mut best = consulted[0];
+        for &i in consulted {
+            if self.replicas[i].total_rows() > self.replicas[best].total_rows() {
+                best = i;
+            }
+        }
+        self.replicas[best].query_arc_cached(q, mode)
+    }
+
     /// [`ReplicaSet::quorum_read_with_mode`] over query text with every
     /// replica reachable, in the replicas' default execution mode.
     pub fn quorum_read(&self, text: &str) -> Result<QueryResult, TsdbError> {

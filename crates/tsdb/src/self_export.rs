@@ -35,9 +35,10 @@ pub const SELF_PREFIX: &str = "pmove.self.";
 pub const SPAN_PREFIX: &str = "pmove.self.span.";
 
 /// Metric names already rooted in the `pmove.` namespace (e.g. the SLO
-/// engine's `pmove.slo.*` meta-metrics) export under their own name; a
-/// second prefix would bury them as `pmove.self.pmove.slo.*`.
-fn measurement_for(name: &str) -> String {
+/// engine's `pmove.slo.*` meta-metrics, the serving layer's
+/// `pmove.serve.*` family) export under their own name; a second prefix
+/// would bury them as `pmove.self.pmove.slo.*`.
+pub fn measurement_for(name: &str) -> String {
     if name.starts_with("pmove.") {
         name.to_string()
     } else {

@@ -14,5 +14,6 @@ pub use pmove_jsonld as jsonld;
 pub use pmove_kernels as kernels;
 pub use pmove_obs as obs;
 pub use pmove_pcp as pcp;
+pub use pmove_serve as serve;
 pub use pmove_spmv as spmv;
 pub use pmove_tsdb as tsdb;
