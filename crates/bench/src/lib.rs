@@ -29,6 +29,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod query;
 pub mod replication;
+pub mod scrub;
 pub mod serving;
 pub mod storage;
 pub mod table1;

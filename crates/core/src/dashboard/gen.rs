@@ -232,6 +232,33 @@ pub fn self_dashboard(kb: &KnowledgeBase, snap: &pmove_obs::Snapshot) -> Dashboa
         d = d.panel("replication", repl_targets);
     }
 
+    // Integrity: scrubber progress counters plus the full-pass heartbeat
+    // gauge, when the background scrubber has run (or boot-time
+    // verification quarantined something). Stores without scrubbing
+    // register only zero-valued counters and no gauge, so they grow no
+    // panel.
+    let mut scrub_names: Vec<String> = snap
+        .counters
+        .iter()
+        .filter(|(key, value)| key.name.starts_with("store.scrub.") && *value > 0)
+        .map(|(key, _)| key.name.clone())
+        .chain(
+            snap.gauges
+                .iter()
+                .filter(|(key, _)| key.name.starts_with("store.scrub."))
+                .map(|(key, _)| key.name.clone()),
+        )
+        .collect();
+    scrub_names.sort();
+    scrub_names.dedup();
+    let scrub_targets: Vec<Target> = scrub_names
+        .iter()
+        .map(|name| target(&format!("{SELF_PREFIX}{name}"), "value"))
+        .collect();
+    if !scrub_targets.is_empty() {
+        d = d.panel("integrity", scrub_targets);
+    }
+
     // Tracing & SLO: the SLO engine's meta-metrics and the tracer's
     // lifetime counters. Both families live in the `pmove.` namespace and
     // export under their own names (no `pmove.self.` prefix), so the
@@ -658,6 +685,78 @@ mod tests {
         assert!(ms.contains(&"pmove.self.tsdb.repl.replicas_healthy"));
         assert!(ms.contains(&"pmove.self.tsdb.repl.primary"));
         assert!(ms.contains(&"pmove.self.tsdb.repl.hints_pending"));
+        // The targeted series exist once self telemetry is exported.
+        d.export_self_telemetry();
+        let exported = d.ts.measurements();
+        for t in &panel.targets {
+            assert!(
+                exported.contains(&t.measurement),
+                "missing {}",
+                t.measurement
+            );
+        }
+    }
+
+    #[test]
+    fn self_dashboard_adds_integrity_panel_only_when_scrubbing_ran() {
+        use pmove_tsdb::store::{MemDisk, RotSchedule, ScrubConfig, Vfs};
+        use std::sync::Arc;
+        // A daemon that never scrubs registers no live store.scrub.*
+        // series, so no panel grows.
+        let mut d0 = crate::telemetry::daemon::PMoveDaemon::for_preset("icl").unwrap();
+        d0.monitor(5.0, 1.0);
+        assert!(d0
+            .self_dashboard()
+            .panels
+            .iter()
+            .all(|p| p.title != "integrity"));
+
+        // A scrubbing durable daemon that survives latent rot grows the
+        // panel with the detection counters and the heartbeat gauge.
+        let disk = Arc::new(MemDisk::new(41));
+        let vfs: Arc<dyn Vfs> = disk.clone();
+        let mut d = crate::telemetry::daemon::PMoveDaemon::for_preset_durable("icl", vfs).unwrap();
+        assert!(d.enable_scrubbing(ScrubConfig {
+            full_pass_period_s: 4.0,
+            ..ScrubConfig::default()
+        }));
+        d.monitor(5.0, 1.0);
+        d.ts.flush().unwrap();
+        disk.schedule_rot(RotSchedule::none().at(6.0, 1).with_prefix("chunk-"));
+        disk.advance_rot(6.0);
+        for _ in 0..6 {
+            d.monitor(5.0, 1.0);
+            if !d.ts.quarantined_chunks().is_empty() {
+                break;
+            }
+        }
+        let dash = d.self_dashboard();
+        let panel = dash
+            .panels
+            .iter()
+            .find(|p| p.title == "integrity")
+            .expect("scrubbed run exposes an integrity panel");
+        let ms: Vec<&str> = panel
+            .targets
+            .iter()
+            .map(|t| t.measurement.as_str())
+            .collect();
+        assert!(
+            ms.contains(&"pmove.self.store.scrub.chunks_verified"),
+            "{ms:?}"
+        );
+        assert!(
+            ms.contains(&"pmove.self.store.scrub.corruptions_detected"),
+            "{ms:?}"
+        );
+        assert!(
+            ms.contains(&"pmove.self.store.scrub.chunks_quarantined"),
+            "{ms:?}"
+        );
+        assert!(
+            ms.contains(&"pmove.self.store.scrub.last_full_pass"),
+            "{ms:?}"
+        );
         // The targeted series exist once self telemetry is exported.
         d.export_self_telemetry();
         let exported = d.ts.measurements();

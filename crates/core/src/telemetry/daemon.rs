@@ -96,6 +96,14 @@ pub struct PMoveDaemon {
     pub mode: DaemonMode,
     /// Why the supervisor degraded the boot, when it did.
     pub degraded_reason: Option<String>,
+    /// Background integrity scrubber over the durable time-series store;
+    /// `None` until [`PMoveDaemon::enable_scrubbing`]. Ticks piggy-back
+    /// on the monitoring loop so scrub progress rides the same virtual
+    /// clock as everything else.
+    pub scrubber: Option<pmove_tsdb::store::Scrubber>,
+    /// Cadence the scrubber was enabled with; drives the staleness bound
+    /// of the `scrub_staleness` SLO.
+    pub scrub_cfg: Option<pmove_tsdb::store::ScrubConfig>,
 }
 
 /// Modeled boot-step durations (virtual ns, deterministic): reading the
@@ -176,6 +184,8 @@ impl PMoveDaemon {
             obs,
             mode: DaemonMode::Normal,
             degraded_reason: None,
+            scrubber: None,
+            scrub_cfg: None,
         })
     }
 
@@ -239,6 +249,8 @@ impl PMoveDaemon {
             obs,
             mode: DaemonMode::Normal,
             degraded_reason: None,
+            scrubber: None,
+            scrub_cfg: None,
         })
     }
 
@@ -560,6 +572,47 @@ impl PMoveDaemon {
         }
     }
 
+    /// Enable background integrity scrubbing over the durable
+    /// time-series store: subsequent monitoring windows each end with one
+    /// scrubber tick, so the whole store is CRC-verified within
+    /// `cfg.full_pass_period_s` of monitored virtual time. Returns
+    /// `false` (and enables nothing) on a memory-only daemon — there are
+    /// no on-disk chunks to verify.
+    pub fn enable_scrubbing(&mut self, cfg: pmove_tsdb::store::ScrubConfig) -> bool {
+        if !self.ts.is_durable() {
+            return false;
+        }
+        self.scrubber = Some(pmove_tsdb::store::Scrubber::new(cfg));
+        self.scrub_cfg = Some(cfg);
+        true
+    }
+
+    /// One scrubber tick at the current virtual time, stamped as a
+    /// `daemon.scrub` span. A single-node daemon has no replica to
+    /// read-repair from, so a quarantined chunk is handled by rebuilding
+    /// the in-memory view from the surviving chunks and annotating the
+    /// lost range with `pmove_gap` markers — queries then say "data
+    /// missing here" instead of silently returning a hole.
+    fn scrub_tick(&mut self) {
+        let Some(scrubber) = self.scrubber.as_mut() else {
+            return;
+        };
+        let report = match self.ts.scrub_tick(scrubber, self.now_s) {
+            Ok(Some(report)) => report,
+            Ok(None) => return,
+            Err(_) => {
+                self.obs.counter("daemon.scrub.errors", &[]).inc();
+                return;
+            }
+        };
+        let start = s_to_ns(self.now_s);
+        self.obs
+            .record_span("daemon.scrub", start, start + report.modeled_ns.max(1));
+        if !report.quarantined.is_empty() && self.ts.rebuild_from_store().is_ok() {
+            self.ts.annotate_quarantine_gaps();
+        }
+    }
+
     /// Scenario A: monitor system state for `duration_s` at `freq_hz`.
     pub fn monitor(&mut self, duration_s: f64, freq_hz: f64) -> SamplingReport {
         let start_s = self.now_s;
@@ -576,6 +629,7 @@ impl PMoveDaemon {
         self.now_s += duration_s;
         self.obs
             .record_span("daemon.monitor", s_to_ns(start_s), s_to_ns(self.now_s));
+        self.scrub_tick();
         report
     }
 
@@ -615,6 +669,7 @@ impl PMoveDaemon {
         self.now_s += duration_s;
         self.obs
             .record_span("daemon.monitor", s_to_ns(start_s), s_to_ns(self.now_s));
+        self.scrub_tick();
         report
     }
 
@@ -748,9 +803,10 @@ impl PMoveDaemon {
     }
 
     /// Install the default SLO set over metrics the pipeline already
-    /// publishes: ingest p99 latency, query p99 latency, transport
-    /// conservation, and (meaningful only when replicated) quorum
-    /// availability. Idempotent: a non-empty engine is left untouched.
+    /// publishes: ingest p99 latency, query p99 latency, serving p99
+    /// latency, transport conservation, scrub-pass staleness, and
+    /// (meaningful only when replicated) quorum availability. Idempotent:
+    /// a non-empty engine is left untouched.
     pub fn install_default_slos(&mut self) {
         if !self.slo.is_empty() {
             return;
@@ -826,6 +882,15 @@ impl PMoveDaemon {
             windows: windows(),
             clear_evals: 2,
         });
+        // Scrub staleness: page when the background scrubber's full-pass
+        // heartbeat falls three periods behind. Daemons that never enable
+        // scrubbing never publish the gauge and stay vacuously Ok.
+        let period_s = self
+            .scrub_cfg
+            .map(|c| c.full_pass_period_s)
+            .unwrap_or_else(|| pmove_tsdb::store::ScrubConfig::default().full_pass_period_s);
+        self.slo
+            .add(SloSpec::scrub_staleness((period_s * 3.0 * 1e9) as u64));
     }
 
     /// Evaluate every installed SLO against the current registry state at
@@ -1097,6 +1162,59 @@ mod tests {
             .query("SELECT mean(\"value\") FROM \"kernel_all_load\"")
             .unwrap();
         assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn scrubbing_daemon_quarantines_rot_and_annotates_gaps() {
+        use pmove_tsdb::store::{MemDisk, RotSchedule, ScrubConfig, Vfs};
+        let disk = Arc::new(MemDisk::new(41));
+        let vfs: Arc<dyn Vfs> = disk.clone();
+        let mut d = PMoveDaemon::for_preset_durable("icl", vfs).unwrap();
+        assert!(d.enable_scrubbing(ScrubConfig {
+            full_pass_period_s: 4.0,
+            ..ScrubConfig::default()
+        }));
+        d.install_default_slos();
+        // Memory-only daemons have nothing to scrub and refuse to enable.
+        let mut plain = PMoveDaemon::for_preset("icl").unwrap();
+        assert!(!plain.enable_scrubbing(ScrubConfig::default()));
+
+        d.monitor(5.0, 2.0);
+        d.ts.flush().unwrap();
+        // Latent rot: flip a bit inside a durable chunk while running.
+        disk.schedule_rot(RotSchedule::none().at(6.0, 1).with_prefix("chunk-"));
+        disk.advance_rot(6.0);
+        // Every monitor window ends with a scrub tick; within a few
+        // windows the pass reaches the damaged chunk and quarantines it.
+        let mut quarantined = false;
+        for _ in 0..6 {
+            d.monitor(5.0, 2.0);
+            if !d.ts.quarantined_chunks().is_empty() {
+                quarantined = true;
+                break;
+            }
+        }
+        assert!(quarantined, "scrub never found the rotted chunk");
+        // The daemon rebuilt from the surviving chunks and marked the
+        // lost range, so queries can see where data is missing.
+        let gaps =
+            d.ts.query(&format!(
+                "SELECT \"gap_end_s\" FROM \"{}\"",
+                pmove_tsdb::GAP_MEASUREMENT
+            ))
+            .unwrap();
+        assert!(!gaps.rows.is_empty(), "quarantine left no gap markers");
+        let snap = d.obs.snapshot();
+        assert!(snap.span("daemon.scrub").is_some());
+        assert!(
+            snap.gauges
+                .iter()
+                .any(|(k, _)| k.name == "store.scrub.last_full_pass"),
+            "full-pass heartbeat gauge missing"
+        );
+        // The heartbeat is fresh, so the staleness SLO stays quiet.
+        d.evaluate_slos();
+        assert_eq!(d.slo.state("scrub_staleness"), Some(AlertState::Ok));
     }
 
     #[test]
@@ -1393,9 +1511,9 @@ mod tests {
     fn default_slos_stay_quiet_on_healthy_runs() {
         let mut d = PMoveDaemon::for_preset("icl").unwrap();
         d.install_default_slos();
-        assert_eq!(d.slo.len(), 5);
+        assert_eq!(d.slo.len(), 6);
         d.install_default_slos(); // idempotent
-        assert_eq!(d.slo.len(), 5);
+        assert_eq!(d.slo.len(), 6);
         d.monitor(5.0, 2.0);
         let fired = d.evaluate_slos();
         assert!(fired.is_empty(), "{fired:?}");

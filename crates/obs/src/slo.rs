@@ -58,6 +58,19 @@ pub enum Objective {
         /// Minimum healthy value.
         min: f64,
     },
+    /// The gauge holds a virtual-clock timestamp in nanoseconds (e.g.
+    /// `store.scrub.last_full_pass`) that must be no older than
+    /// `max_age_ns` at evaluation time; each evaluation contributes one
+    /// event. A gauge that has never been published is vacuously good —
+    /// the objective watches staleness of a heartbeat that exists, not
+    /// absence of the subsystem (a store without scrubbing enabled must
+    /// not page).
+    GaugeMaxAge {
+        /// Gauge metric name holding the last-completion timestamp (ns).
+        gauge: String,
+        /// Oldest acceptable age at evaluation time.
+        max_age_ns: u64,
+    },
 }
 
 /// Alert severity ladder.
@@ -142,6 +155,39 @@ impl SloSpec {
             clear_evals: 2,
         }
     }
+
+    /// The default scrub-staleness objective: the background scrubber's
+    /// `store.scrub.last_full_pass` heartbeat must be no older than
+    /// `max_age_ns` (normally a small multiple of the configured full-pass
+    /// period). Silent scrubber death is exactly the failure mode that
+    /// lets latent corruption accumulate unnoticed, so the fast window
+    /// pages rather than warns; stores that never enabled scrubbing never
+    /// publish the gauge and are vacuously healthy.
+    pub fn scrub_staleness(max_age_ns: u64) -> SloSpec {
+        SloSpec {
+            name: "scrub_staleness".into(),
+            objective: Objective::GaugeMaxAge {
+                gauge: "store.scrub.last_full_pass".into(),
+                max_age_ns,
+            },
+            target: 0.9,
+            windows: vec![
+                BurnWindow {
+                    name: "fast".into(),
+                    window_ns: 10_000_000_000,
+                    burn_threshold: 2.0,
+                    severity: AlertState::Page,
+                },
+                BurnWindow {
+                    name: "slow".into(),
+                    window_ns: 60_000_000_000,
+                    burn_threshold: 1.0,
+                    severity: AlertState::Warning,
+                },
+            ],
+            clear_evals: 2,
+        }
+    }
 }
 
 /// One alert state transition, timestamped on the virtual clock.
@@ -173,7 +219,7 @@ struct Tracker {
 }
 
 impl Tracker {
-    fn measure(&mut self, snap: &Snapshot) -> (f64, f64) {
+    fn measure(&mut self, snap: &Snapshot, now_ns: u64) -> (f64, f64) {
         match &self.spec.objective {
             Objective::LatencyBelow {
                 histogram,
@@ -223,6 +269,20 @@ impl Tracker {
                     .fold(f64::INFINITY, f64::min);
                 self.eval_total += 1.0;
                 if healthy.is_finite() && healthy < *min {
+                    self.eval_bad += 1.0;
+                }
+                (self.eval_bad, self.eval_total)
+            }
+            Objective::GaugeMaxAge { gauge, max_age_ns } => {
+                // Oldest matching label set is the laggard that matters.
+                let oldest = snap
+                    .gauges
+                    .iter()
+                    .filter(|(k, _)| k.name == *gauge)
+                    .map(|(_, v)| *v)
+                    .fold(f64::INFINITY, f64::min);
+                self.eval_total += 1.0;
+                if oldest.is_finite() && now_ns.saturating_sub(oldest as u64) > *max_age_ns {
                     self.eval_bad += 1.0;
                 }
                 (self.eval_bad, self.eval_total)
@@ -309,7 +369,7 @@ impl SloEngine {
     pub fn evaluate(&mut self, snap: &Snapshot, now_ns: u64) -> Vec<Transition> {
         let mut fired = Vec::new();
         for tr in self.trackers.iter_mut() {
-            let (bad, total) = tr.measure(snap);
+            let (bad, total) = tr.measure(snap, now_ns);
             tr.history.push_back((now_ns, bad, total));
             let longest = tr
                 .spec
@@ -558,6 +618,46 @@ mod tests {
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].to, AlertState::Page);
         assert_eq!(eng.state("quorum_availability"), Some(AlertState::Page));
+    }
+
+    #[test]
+    fn gauge_max_age_pages_on_stale_heartbeat_only() {
+        let reg = Registry::new();
+        let mut eng = SloEngine::new();
+        eng.add(SloSpec::scrub_staleness(5_000_000_000));
+        // The gauge does not exist yet: vacuously good, never fires.
+        for tick in 1..=4u64 {
+            assert!(eng
+                .evaluate(&reg.snapshot(), tick * 1_000_000_000)
+                .is_empty());
+        }
+        // A fresh full pass keeps the objective quiet...
+        let g = reg.gauge("store.scrub.last_full_pass", &[("db", "pmove")]);
+        g.set(5.0e9);
+        assert!(eng.evaluate(&reg.snapshot(), 6_000_000_000).is_empty());
+        assert_eq!(eng.state("scrub_staleness"), Some(AlertState::Ok));
+        // ...but a scrubber that silently stops pages once the heartbeat
+        // exceeds the allowed age.
+        let mut paged = false;
+        for tick in 7..=20u64 {
+            for t in eng.evaluate(&reg.snapshot(), tick * 1_000_000_000) {
+                if t.to == AlertState::Page {
+                    paged = true;
+                }
+            }
+        }
+        assert!(paged, "stale scrub heartbeat must page");
+        // Scrubbing resumes: heartbeat fresh again, hysteresis clears.
+        let mut cleared = false;
+        for tick in 21..=90u64 {
+            g.set(tick as f64 * 1e9);
+            for t in eng.evaluate(&reg.snapshot(), tick * 1_000_000_000) {
+                if t.to == AlertState::Ok {
+                    cleared = true;
+                }
+            }
+        }
+        assert!(cleared, "fresh heartbeat must clear the alert");
     }
 
     #[test]

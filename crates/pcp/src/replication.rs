@@ -17,13 +17,23 @@
 //! ## The widened conservation equation
 //!
 //! ```text
-//! offered == inserted + zeroed + lost + pending + evicted + hinted
+//! offered + corrupted ==
+//!     inserted + zeroed + lost + pending + evicted + hinted
+//!     + repaired + corrupt_pending
 //! ```
 //!
 //! `pending` is PR 3's spill term — always 0 in coordinator mode, kept so
 //! the equation is uniform across transports. `hinted` is the *currently
 //! parked* ledger values; a finished run can legitimately end with
 //! `hinted > 0` when a replica never came back.
+//!
+//! `corrupted` / `repaired` / `corrupt_pending` are the integrity terms:
+//! a cell destroyed by latent disk rot (its chunk quarantined) re-enters
+//! the ledger on the left as `corrupted`, and exits on the right either
+//! as `repaired` (read-repair restored it from the surviving R-quorum)
+//! or as `corrupt_pending` (the hole is still open, annotated with
+//! `pmove_gap` markers). With no corruption all three are 0 and the
+//! equation collapses to PR 5's six-term identity.
 
 use crate::error::PcpError;
 use crate::sampler::SamplingConfig;
@@ -31,7 +41,8 @@ use crate::transport::{upgrade_on_fault, Shipper, TraceHandle, FETCH_NS, RETRY_N
 use pmove_hwsim::network::FaultSchedule;
 use pmove_hwsim::noise::NoiseSource;
 use pmove_obs::{Counter, Gauge, Histogram, Registry, TraceContext};
-use pmove_tsdb::repl::ReplicaSet;
+use pmove_tsdb::repl::{IntegrityReport, ReplicaSet};
+use pmove_tsdb::store::Scrubber;
 use pmove_tsdb::{ExecMode, FieldValue, Point, Query, QueryResult, TsdbError};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -69,6 +80,14 @@ pub struct ReplStats {
     pub values_evicted: u64,
     /// Ledger values currently parked as hints (not yet replayed).
     pub values_hinted: u64,
+    /// Cells destroyed by latent disk rot: removed from a replica's
+    /// durable state when its chunk was quarantined.
+    pub values_corrupted: u64,
+    /// Corrupted cells restored onto the damaged replicas by read-repair
+    /// from the surviving quorum.
+    pub values_repaired: u64,
+    /// Corrupted cells not yet repaired (open, gap-annotated holes).
+    pub values_corrupt_pending: u64,
     /// Hint entries queued (ledger and non-ledger).
     pub hints_queued: u64,
     /// Hint entries successfully replayed.
@@ -86,7 +105,8 @@ pub struct ReplStats {
 }
 
 impl ReplStats {
-    /// Sum of the six accounted fates.
+    /// Sum of the accounted fates: the six transport fates plus the two
+    /// integrity exits (`repaired`, `corrupt_pending`).
     pub fn accounted(&self) -> u64 {
         self.values_inserted
             + self.values_zeroed
@@ -94,18 +114,22 @@ impl ReplStats {
             + self.values_spill_pending
             + self.values_evicted
             + self.values_hinted
+            + self.values_repaired
+            + self.values_corrupt_pending
     }
 
     /// The widened conservation equation: every offered value has exactly
-    /// one fate.
+    /// one fate, and every corrupted cell is either repaired or still an
+    /// open (annotated) hole.
     pub fn conserved(&self) -> bool {
-        self.accounted() == self.values_offered
+        self.accounted() == self.values_offered + self.values_corrupted
     }
 
     /// Values that never became quorum-durable: lost outright, evicted
-    /// from a hint queue, or still parked when the run ended.
+    /// from a hint queue, parked when the run ended, or destroyed by rot
+    /// and not (yet) repaired.
     pub fn unrecovered(&self) -> u64 {
-        self.values_lost + self.values_evicted + self.values_hinted
+        self.values_lost + self.values_evicted + self.values_hinted + self.values_corrupt_pending
     }
 
     /// Unrecovered values as a percentage of offered (the replication
@@ -150,6 +174,9 @@ struct ReplObs {
     hints_replayed: Arc<Counter>,
     hints_dropped: Arc<Counter>,
     failovers: Arc<Counter>,
+    values_corrupted: Arc<Counter>,
+    values_repaired: Arc<Counter>,
+    corrupt_pending: Arc<Gauge>,
     hints_pending: Arc<Gauge>,
     replicas_healthy: Arc<Gauge>,
     primary: Arc<Gauge>,
@@ -168,6 +195,9 @@ impl ReplObs {
             hints_replayed: c("tsdb.repl.hints_replayed"),
             hints_dropped: c("tsdb.repl.hints_dropped"),
             failovers: c("tsdb.repl.failovers"),
+            values_corrupted: c("tsdb.repl.values_corrupted"),
+            values_repaired: c("tsdb.repl.values_repaired"),
+            corrupt_pending: g("tsdb.repl.corrupt_pending"),
             hints_pending: g("tsdb.repl.hints_pending"),
             replicas_healthy: g("tsdb.repl.replicas_healthy"),
             primary: g("tsdb.repl.primary"),
@@ -668,6 +698,40 @@ impl<'a> ReplShipper<'a> {
         }
     }
 
+    /// Run one scrub sweep over every replica at time `t` and repair any
+    /// quarantined chunks from the surviving replicas via anti-entropy
+    /// (see [`ReplicaSet::scrub_and_repair`]), folding the outcome into
+    /// the coordinator's conservation ledger.
+    pub fn scrub_and_repair(
+        &mut self,
+        scrubbers: &mut [Scrubber],
+        t: f64,
+        max_rounds: u64,
+    ) -> Result<IntegrityReport, TsdbError> {
+        let report = self.set.scrub_and_repair(scrubbers, t, max_rounds)?;
+        self.record_integrity(&report);
+        Ok(report)
+    }
+
+    /// Fold an integrity sweep into the conservation ledger: corrupted
+    /// cells widen the left-hand side of the equation, repaired cells
+    /// balance them on the right, and the cumulative shortfall between
+    /// the two is carried as `values_corrupt_pending`.
+    pub fn record_integrity(&mut self, report: &IntegrityReport) {
+        self.stats.values_corrupted += report.cells_corrupted;
+        self.stats.values_repaired += report.cells_repaired;
+        self.stats.values_corrupt_pending = self
+            .stats
+            .values_corrupted
+            .saturating_sub(self.stats.values_repaired);
+        if let Some(o) = &self.obs {
+            o.values_corrupted.add(report.cells_corrupted);
+            o.values_repaired.add(report.cells_repaired);
+            o.corrupt_pending
+                .set(self.stats.values_corrupt_pending as f64);
+        }
+    }
+
     fn export_gauges(&self) {
         if let Some(o) = &self.obs {
             o.hints_pending.set(self.hints_pending_values() as f64);
@@ -931,5 +995,50 @@ mod tests {
         assert_eq!(rep.served, 2);
         // Second, widely-spaced request hits the replica's result cache.
         assert_eq!(rep.cache_hits, 1);
+    }
+
+    #[test]
+    fn scrub_and_repair_widens_and_balances_the_ledger() {
+        use pmove_tsdb::store::{RotSchedule, ScrubConfig, StoreOptions};
+        let (set, _) = ReplicaSet::durable(
+            "s",
+            ReplConfig::default(),
+            23,
+            StoreOptions {
+                flush_threshold_rows: 1_000_000,
+                compact_min_chunks: 1_000_000,
+            },
+        )
+        .unwrap();
+        let mut coord = ReplShipper::new(&set, healthy_schedules(3), &["t9"]).unwrap();
+        for t in 0..20 {
+            let out = coord.ship(t as f64, report(t, 4), 2.0);
+            assert_eq!(out, ReplShipOutcome::Inserted);
+        }
+        for r in set.replicas() {
+            r.flush().unwrap().unwrap();
+        }
+        // Latent rot lands on replica 1's chunk namespace after flush.
+        set.disks()[1].schedule_rot(RotSchedule::none().at(1.0, 1).with_prefix("chunk-"));
+        set.disks()[1].advance_rot(1.0);
+        let mut scrubbers = set.scrubbers(ScrubConfig {
+            full_pass_period_s: 5.0,
+            ..ScrubConfig::default()
+        });
+        let mut now = 21.0;
+        while coord.stats().values_corrupted == 0 {
+            let r = coord.scrub_and_repair(&mut scrubbers, now, 4).unwrap();
+            assert!(r.converged, "sweep at t={now} left the set diverged");
+            now += 1.0;
+            assert!(now < 120.0, "scrub never found the rotted chunk");
+        }
+        let s = coord.stats();
+        // The widened identity balances: every corrupted value was
+        // recovered from the R-quorum, so nothing stays pending.
+        assert!(s.values_corrupted > 0, "{s:?}");
+        assert_eq!(s.values_repaired, s.values_corrupted, "{s:?}");
+        assert_eq!(s.values_corrupt_pending, 0, "{s:?}");
+        assert!(s.conserved(), "{s:?}");
+        assert!(set.converged());
     }
 }

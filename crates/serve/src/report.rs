@@ -199,10 +199,7 @@ mod tests {
         assert_eq!(s.p90_ns, 90);
         assert_eq!(s.p99_ns, 99);
         assert_eq!(s.max_ns, 100);
-        assert_eq!(
-            LatencySummary::of(&mut []),
-            LatencySummary::default()
-        );
+        assert_eq!(LatencySummary::of(&mut []), LatencySummary::default());
     }
 
     #[test]

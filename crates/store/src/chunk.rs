@@ -131,6 +131,13 @@ pub fn write_chunk(vfs: &dyn Vfs, seq: u64, rows: &[RowRecord]) -> StoreResult<O
 /// recovery treats such chunks as absent.
 pub fn read_chunk(vfs: &dyn Vfs, name: &str) -> StoreResult<(u64, Vec<RowRecord>)> {
     let data = vfs.read(name)?;
+    read_chunk_bytes(name, &data)
+}
+
+/// [`read_chunk`] over bytes already in hand — the checksum-on-read path
+/// reads a file once, validates these bytes, and quarantines exactly them
+/// on failure.
+pub fn read_chunk_bytes(name: &str, data: &[u8]) -> StoreResult<(u64, Vec<RowRecord>)> {
     if data.len() < CHUNK_MAGIC.len() + 8 + 4 + 4 {
         return Err(StoreError::Corrupt(format!("chunk {name}: too short")));
     }
@@ -193,6 +200,82 @@ pub fn read_chunk(vfs: &dyn Vfs, name: &str) -> StoreResult<(u64, Vec<RowRecord>
         }
     }
     Ok((seq, rows))
+}
+
+/// Best-effort structural summary of a damaged chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkProbe {
+    /// Sequence number from the header (0 if the header itself is gone).
+    pub seq: u64,
+    /// Rows claimed by the block headers that still parse.
+    pub rows: u64,
+    /// `[min_ts, max_ts]` across parseable block headers, if any.
+    pub time_range: Option<(i64, i64)>,
+}
+
+/// Upper bound on a single block's claimed row count during a probe; a
+/// flipped bit inside a count varint must not inflate loss accounting.
+const PROBE_MAX_BLOCK_ROWS: u64 = 1 << 32;
+
+/// Probe chunk bytes that failed CRC validation: walk the block headers
+/// ignoring the checksum and accumulate how many rows the file claimed to
+/// hold and over which time range, stopping at the first structural
+/// damage. Quarantine uses this to size the hole a lost chunk leaves —
+/// it is an estimate (the damage may be inside a header), never a way to
+/// trust the data itself.
+pub fn probe_chunk(data: &[u8]) -> Option<ChunkProbe> {
+    if data.len() < CHUNK_MAGIC.len() + 8 + 4 || &data[..8] != CHUNK_MAGIC {
+        return None;
+    }
+    let seq = u64::from_le_bytes(data[8..16].try_into().unwrap());
+    let block_count = u32::from_le_bytes(data[16..20].try_into().unwrap());
+    let mut pos = 20usize;
+    let mut probe = ChunkProbe {
+        seq,
+        rows: 0,
+        time_range: None,
+    };
+    let skip_bytes = |data: &[u8], pos: &mut usize| -> StoreResult<()> {
+        let len = get_uvarint(data, pos)? as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| StoreError::Decode("probe ran off the end".into()))?;
+        *pos = end;
+        Ok(())
+    };
+    let block = |data: &[u8], pos: &mut usize| -> StoreResult<(u64, i64, i64)> {
+        skip_bytes(data, pos)?; // series
+        skip_bytes(data, pos)?; // field
+        let tag = *data
+            .get(*pos)
+            .ok_or_else(|| StoreError::Decode("probe: missing tag".into()))?;
+        ColumnValue::check_tag(tag)?;
+        *pos += 1;
+        let count = get_uvarint(data, pos)?;
+        if count > PROBE_MAX_BLOCK_ROWS {
+            return Err(StoreError::Decode("probe: implausible row count".into()));
+        }
+        let min_ts = get_ivarint(data, pos)?;
+        let max_ts = get_ivarint(data, pos)?;
+        if min_ts > max_ts {
+            return Err(StoreError::Decode("probe: inverted time range".into()));
+        }
+        skip_bytes(data, pos)?; // ts bytes
+        skip_bytes(data, pos)?; // val bytes
+        Ok((count, min_ts, max_ts))
+    };
+    for _ in 0..block_count {
+        let Ok((count, min_ts, max_ts)) = block(data, &mut pos) else {
+            break;
+        };
+        probe.rows += count;
+        probe.time_range = Some(match probe.time_range {
+            None => (min_ts, max_ts),
+            Some((lo, hi)) => (lo.min(min_ts), hi.max(max_ts)),
+        });
+    }
+    Some(probe)
 }
 
 #[cfg(test)]
@@ -330,6 +413,29 @@ mod tests {
             a.read(&chunk_name(2)).unwrap(),
             b.read(&chunk_name(2)).unwrap()
         );
+    }
+
+    #[test]
+    fn probe_recovers_structure_from_corrupt_chunk() {
+        let disk = MemDisk::new(8);
+        write_chunk(&disk, 4, &rows()).unwrap().unwrap();
+        let name = chunk_name(4);
+        let mut data = disk.read(&name).unwrap();
+        // Flip a bit inside the last block's value bytes: earlier block
+        // headers still parse, so the probe sees the full row count.
+        let off = data.len() - 8;
+        data[off] ^= 0x01;
+        assert!(matches!(
+            read_chunk_bytes(&name, &data),
+            Err(StoreError::Corrupt(_))
+        ));
+        let probe = probe_chunk(&data).unwrap();
+        assert_eq!(probe.seq, 4);
+        assert_eq!(probe.rows, 202);
+        let (lo, hi) = probe.time_range.unwrap();
+        assert_eq!((lo, hi), (0, 99 * 500));
+        // Damage in the magic itself is unprobeable.
+        assert_eq!(probe_chunk(b"garbage"), None);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! - [`wal`] — durability of recent writes
 //! - [`chunk`] — compressed immutable storage of old writes
 //! - [`store`] — the engine tying them together ([`store::TsStore`])
+//! - [`scrub`] — background integrity verification over the engine
 
 pub mod chunk;
 pub mod crc;
@@ -29,17 +30,20 @@ pub mod encode;
 pub mod error;
 pub mod memdisk;
 pub mod row;
+pub mod scrub;
 pub mod store;
 pub mod vfs;
 pub mod wal;
 
-pub use chunk::{chunk_name, parse_chunk_name, ChunkInfo};
+pub use chunk::{chunk_name, parse_chunk_name, probe_chunk, ChunkInfo, ChunkProbe};
 pub use error::{StoreError, StoreResult};
-pub use memdisk::{FaultMode, FaultPlan, MemDisk};
+pub use memdisk::{FaultMode, FaultPlan, MemDisk, RotEvent, RotRecord, RotSchedule};
 pub use row::{ColumnValue, RowRecord};
+pub use scrub::{ScrubConfig, ScrubReport, Scrubber};
 pub use store::{
-    decode_row_batch, encode_row_batch, CompactionReport, RecoveryReport, StoreObs, StoreOptions,
-    TsStore,
+    decode_row_batch, encode_row_batch, quarantine_name, CompactionReport, DetectionSite,
+    QuarantinedChunk, RecoveryReport, StoreObs, StoreOptions, TsStore, VerifyOutcome, WalScrub,
+    QUARANTINE_PREFIX,
 };
 pub use vfs::{StdFs, Vfs, VirtualFile};
 pub use wal::{CommitInfo, Wal, WalReplay};

@@ -44,10 +44,97 @@ pub struct FaultPlan {
     pub mode: FaultMode,
 }
 
+/// One scheduled latent-rot event: at virtual time `at_s`, `flips`
+/// single-bit flips land in seed-chosen durable bytes. Unlike a
+/// [`FaultPlan`] crash, rot is silent — the disk keeps serving reads and
+/// writes, and nothing notices until a checksum is verified.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RotEvent {
+    /// Virtual time (seconds) at which the bits flip.
+    pub at_s: f64,
+    /// Single-bit flips applied by this event.
+    pub flips: u32,
+}
+
+/// A latent media-rot schedule on the virtual clock. The schedule is
+/// inert until the host drives [`MemDisk::advance_rot`] forward; every
+/// event with `at_s <= now` then fires exactly once, choosing its victim
+/// file, byte offset, and bit from the disk's seeded RNG — so a given
+/// (seed, schedule) pair rots identically on every run.
+#[derive(Debug, Clone, Default)]
+pub struct RotSchedule {
+    /// Events, fired in ascending `at_s` order.
+    pub events: Vec<RotEvent>,
+    /// Restrict flips to files whose name starts with this prefix
+    /// (e.g. `"chunk-"` to rot only chunk files). `None` rots any file.
+    pub target_prefix: Option<String>,
+}
+
+impl RotSchedule {
+    /// Empty schedule (no rot).
+    pub fn none() -> RotSchedule {
+        RotSchedule::default()
+    }
+
+    /// Append one event flipping `flips` bits at `at_s`.
+    pub fn at(mut self, at_s: f64, flips: u32) -> RotSchedule {
+        self.events.push(RotEvent { at_s, flips });
+        self
+    }
+
+    /// Restrict the schedule to files whose name starts with `prefix`.
+    pub fn with_prefix(mut self, prefix: impl Into<String>) -> RotSchedule {
+        self.target_prefix = Some(prefix.into());
+        self
+    }
+
+    /// Seeded random schedule: `events` single-flip events uniformly
+    /// placed in `[start_s, end_s)`.
+    pub fn random(seed: u64, events: u32, start_s: f64, end_s: f64) -> RotSchedule {
+        let mut state = seed ^ 0x6A09_E667_F3BC_C908;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let span = (end_s - start_s).max(0.0);
+        let mut out = RotSchedule::none();
+        for _ in 0..events {
+            let frac = (next() >> 11) as f64 / (1u64 << 53) as f64;
+            out.events.push(RotEvent {
+                at_s: start_s + frac * span,
+                flips: 1,
+            });
+        }
+        out.events
+            .sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).unwrap());
+        out
+    }
+}
+
+/// Where one latent bit flip actually landed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RotRecord {
+    /// Event time of the flip.
+    pub at_s: f64,
+    /// Victim file.
+    pub file: String,
+    /// Byte offset within the file's durable bytes.
+    pub offset: u64,
+    /// Bit index flipped (0–7).
+    pub bit: u8,
+}
+
 struct FileBuf {
     durable: Vec<u8>,
     volatile: Vec<u8>,
 }
+
+/// Quarantined evidence is never re-rotted: the bytes are already known
+/// bad and further flips would only make seeded cases non-reproducible.
+const ROT_EXEMPT_PREFIX: &str = "quarantine/";
 
 struct Inner {
     files: BTreeMap<String, FileBuf>,
@@ -58,6 +145,10 @@ struct Inner {
     crashed: bool,
     faults_fired: u32,
     rng: u64,
+    rot_events: Vec<RotEvent>,
+    rot_prefix: Option<String>,
+    rot_fired: usize,
+    rot_applied: u64,
 }
 
 impl Inner {
@@ -121,6 +212,46 @@ impl Inner {
             f.volatile.clear();
         }
     }
+
+    /// Fire one rot event: flip `flips` seed-chosen bits, each in the
+    /// durable bytes of an eligible file. Rot is a platter phenomenon —
+    /// it does not tick the fault-op space and works even while crashed.
+    fn apply_rot(&mut self, ev: RotEvent) -> Vec<RotRecord> {
+        let mut out = Vec::new();
+        for _ in 0..ev.flips {
+            let eligible: Vec<String> = self
+                .files
+                .iter()
+                .filter(|(name, f)| {
+                    !f.durable.is_empty()
+                        && !name.starts_with(ROT_EXEMPT_PREFIX)
+                        && self
+                            .rot_prefix
+                            .as_deref()
+                            .is_none_or(|p| name.starts_with(p))
+                })
+                .map(|(name, _)| name.clone())
+                .collect();
+            if eligible.is_empty() {
+                continue;
+            }
+            let victim = eligible[(self.rng_next() % eligible.len() as u64) as usize].clone();
+            let len = self.files[&victim].durable.len() as u64;
+            let offset = self.rng_next() % len;
+            let bit = (self.rng_next() % 8) as u8;
+            if let Some(f) = self.files.get_mut(&victim) {
+                f.durable[offset as usize] ^= 1 << bit;
+            }
+            self.rot_applied += 1;
+            out.push(RotRecord {
+                at_s: ev.at_s,
+                file: victim,
+                offset,
+                bit,
+            });
+        }
+        out
+    }
 }
 
 /// The shared fault-injecting disk; clones are handles to the same disk.
@@ -148,6 +279,10 @@ impl MemDisk {
                 crashed: false,
                 faults_fired: 0,
                 rng: seed ^ 0xA076_1D64_78BD_642F,
+                rot_events: Vec::new(),
+                rot_prefix: None,
+                rot_fired: 0,
+                rot_applied: 0,
             })),
         }
     }
@@ -166,6 +301,39 @@ impl MemDisk {
         }
         inner.crashed = false;
         inner.plan = None;
+    }
+
+    /// Install a latent-rot schedule; replaces any previous schedule and
+    /// resets the fired cursor. Events fire when [`MemDisk::advance_rot`]
+    /// passes their `at_s`.
+    pub fn schedule_rot(&self, schedule: RotSchedule) {
+        let mut inner = self.inner.lock();
+        let mut events = schedule.events;
+        events.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).unwrap());
+        inner.rot_events = events;
+        inner.rot_prefix = schedule.target_prefix;
+        inner.rot_fired = 0;
+    }
+
+    /// Advance the rot clock to `now_s`, firing every unfired event with
+    /// `at_s <= now_s`. Returns where each flip landed (for test oracles);
+    /// the flips themselves are silent to the store.
+    pub fn advance_rot(&self, now_s: f64) -> Vec<RotRecord> {
+        let mut inner = self.inner.lock();
+        let mut out = Vec::new();
+        while inner.rot_fired < inner.rot_events.len()
+            && inner.rot_events[inner.rot_fired].at_s <= now_s
+        {
+            let ev = inner.rot_events[inner.rot_fired];
+            inner.rot_fired += 1;
+            out.extend(inner.apply_rot(ev));
+        }
+        out
+    }
+
+    /// Total latent bit flips applied over the disk's lifetime.
+    pub fn rot_flips_applied(&self) -> u64 {
+        self.inner.lock().rot_applied
     }
 
     /// Has a scheduled fault fired?
@@ -417,6 +585,65 @@ mod tests {
             disk.read("wal").unwrap()
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn latent_rot_fires_on_clock_and_is_silent() {
+        let disk = MemDisk::new(9);
+        let mut f = disk.create("chunk-00000001.tsm").unwrap();
+        let clean = vec![0u8; 128];
+        f.append(&clean).unwrap();
+        f.sync().unwrap();
+        disk.schedule_rot(RotSchedule::none().at(10.0, 1).at(20.0, 2));
+        // Nothing fires before its time.
+        assert!(disk.advance_rot(9.99).is_empty());
+        assert_eq!(disk.rot_flips_applied(), 0);
+        let first = disk.advance_rot(10.0);
+        assert_eq!(first.len(), 1);
+        // The disk keeps serving reads — rot is silent.
+        let got = disk.read("chunk-00000001.tsm").unwrap();
+        let flipped: u32 = got
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+        assert!(!disk.crashed());
+        // Advancing past both remaining flips fires them exactly once.
+        let rest = disk.advance_rot(100.0);
+        assert_eq!(rest.len(), 2);
+        assert!(disk.advance_rot(1000.0).is_empty());
+        assert_eq!(disk.rot_flips_applied(), 3);
+    }
+
+    #[test]
+    fn rot_respects_prefix_and_quarantine_exemption() {
+        let disk = MemDisk::new(11);
+        for name in ["chunk-00000001.tsm", "wal.log", "quarantine/chunk-x"] {
+            let mut f = disk.create(name).unwrap();
+            f.append(&[0u8; 64]).unwrap();
+            f.sync().unwrap();
+        }
+        disk.schedule_rot(RotSchedule::random(3, 16, 0.0, 50.0).with_prefix("chunk-"));
+        let records = disk.advance_rot(50.0);
+        assert_eq!(records.len(), 16);
+        assert!(records.iter().all(|r| r.file == "chunk-00000001.tsm"));
+        assert_eq!(disk.read("wal.log").unwrap(), vec![0u8; 64]);
+        assert_eq!(disk.read("quarantine/chunk-x").unwrap(), vec![0u8; 64]);
+    }
+
+    #[test]
+    fn same_seed_same_rot() {
+        let run = |seed: u64| {
+            let disk = MemDisk::new(seed);
+            let mut f = disk.create("chunk-00000001.tsm").unwrap();
+            f.append(&[0xAAu8; 256]).unwrap();
+            f.sync().unwrap();
+            disk.schedule_rot(RotSchedule::random(seed, 4, 0.0, 10.0));
+            let records = disk.advance_rot(10.0);
+            (records, disk.read("chunk-00000001.tsm").unwrap())
+        };
+        assert_eq!(run(21), run(21));
     }
 
     #[test]

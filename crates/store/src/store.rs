@@ -19,19 +19,32 @@
 //! wall clock — so the `pmove.self.wal.*` / `pmove.self.compaction.*`
 //! telemetry is bit-reproducible across runs and hosts.
 
-use crate::chunk::{chunk_name, parse_chunk_name, read_chunk, write_chunk, ChunkInfo};
+use crate::chunk::{
+    chunk_name, parse_chunk_name, probe_chunk, read_chunk_bytes, write_chunk, ChunkInfo,
+};
 use crate::encode::{get_ivarint, get_uvarint, put_ivarint, put_uvarint};
 use crate::error::{StoreError, StoreResult};
 use crate::row::{ColumnValue, RowRecord};
 use crate::vfs::Vfs;
-use crate::wal::{CommitInfo, Wal};
+use crate::wal::{scan_frames, CommitInfo, Wal};
 use pmove_hwsim::disk::DiskSpec;
-use pmove_obs::{latency_buckets, Counter, Histogram, Registry};
+use pmove_obs::{latency_buckets, Counter, Gauge, Histogram, Registry};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// WAL file name inside the store's [`Vfs`] namespace.
 pub const WAL_FILE: &str = "wal.log";
+
+/// Namespace prefix for quarantined chunk files. A chunk that fails its
+/// CRC is *moved* here — never deleted — so the damaged bytes stay
+/// available as evidence while the live namespace only ever holds files
+/// that verified.
+pub const QUARANTINE_PREFIX: &str = "quarantine/";
+
+/// Quarantine file name for a chunk sequence number.
+pub fn quarantine_name(seq: u64) -> String {
+    format!("{QUARANTINE_PREFIX}{}", chunk_name(seq))
+}
 
 /// Block size assumed for modeled I/O latency (the group-commit write).
 const IO_BLOCK_SIZE: usize = 8192;
@@ -70,6 +83,84 @@ pub struct RecoveryReport {
     pub wal_corrupt_frames: u64,
     /// Modeled time to re-read the persisted state, in nanoseconds.
     pub modeled_ns: u64,
+}
+
+/// Which read path caught a corrupt chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionSite {
+    /// Recovery at [`TsStore::open`].
+    Boot,
+    /// A query-driven [`TsStore::scan`].
+    Scan,
+    /// A compaction read.
+    Compact,
+    /// The background scrubber.
+    Scrub,
+}
+
+/// One chunk moved to the quarantine namespace. `rows` and `time_range`
+/// size the hole the loss leaves: exact when the chunk had been read
+/// healthy before (its manifest entry survives), otherwise a best-effort
+/// structural probe of the damaged bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedChunk {
+    /// Sequence number of the damaged chunk (stays reserved forever).
+    pub seq: u64,
+    /// Rows the chunk held (or claimed to hold).
+    pub rows: u64,
+    /// `[min_ts, max_ts]` of the lost rows, if recoverable.
+    pub time_range: Option<(i64, i64)>,
+    /// Size of the quarantined file in bytes.
+    pub bytes: u64,
+    /// Which read path caught it.
+    pub site: DetectionSite,
+}
+
+/// Result of CRC-verifying one live chunk ([`TsStore::verify_chunk`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// The chunk's CRC checked out.
+    Clean {
+        /// File size verified.
+        bytes: u64,
+    },
+    /// The chunk was damaged and has been quarantined.
+    Quarantined(QuarantinedChunk),
+}
+
+/// Outcome of one WAL integrity scan ([`TsStore::scrub_wal`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalScrub {
+    /// Bytes of log scanned.
+    pub bytes_scanned: u64,
+    /// Frames that failed their CRC (provable corruption, torn excluded).
+    pub corrupt_frames: u64,
+    /// Rows re-framed from the memtable when the log was rewritten.
+    pub rows_rewritten: u64,
+}
+
+/// Manifest entry for a live chunk, kept in memory so quarantine can
+/// report the exact loss without trusting damaged bytes.
+#[derive(Debug, Clone, Copy)]
+struct ChunkMeta {
+    rows: u64,
+    time_range: Option<(i64, i64)>,
+    bytes: u64,
+}
+
+fn meta_of(rows: &[RowRecord], bytes: u64) -> ChunkMeta {
+    let mut time_range: Option<(i64, i64)> = None;
+    for r in rows {
+        time_range = Some(match time_range {
+            None => (r.ts, r.ts),
+            Some((lo, hi)) => (lo.min(r.ts), hi.max(r.ts)),
+        });
+    }
+    ChunkMeta {
+        rows: rows.len() as u64,
+        time_range,
+        bytes,
+    }
 }
 
 /// Outcome of one compaction run.
@@ -113,6 +204,14 @@ pub struct StoreObs {
     compaction_bytes_after: Arc<Counter>,
     compaction_flush_ns: Arc<Histogram>,
     compaction_compact_ns: Arc<Histogram>,
+    scrub_chunks_verified: Arc<Counter>,
+    scrub_bytes_verified: Arc<Counter>,
+    scrub_corruptions: Arc<Counter>,
+    scrub_chunks_quarantined: Arc<Counter>,
+    scrub_rows_quarantined: Arc<Counter>,
+    scrub_wal_rewrites: Arc<Counter>,
+    scrub_full_passes: Arc<Counter>,
+    scrub_last_full_pass: Arc<Gauge>,
 }
 
 impl StoreObs {
@@ -142,6 +241,14 @@ impl StoreObs {
                 l,
                 latency_buckets(),
             ),
+            scrub_chunks_verified: registry.counter("store.scrub.chunks_verified", l),
+            scrub_bytes_verified: registry.counter("store.scrub.bytes_verified", l),
+            scrub_corruptions: registry.counter("store.scrub.corruptions_detected", l),
+            scrub_chunks_quarantined: registry.counter("store.scrub.chunks_quarantined", l),
+            scrub_rows_quarantined: registry.counter("store.scrub.rows_quarantined", l),
+            scrub_wal_rewrites: registry.counter("store.scrub.wal_rewrites", l),
+            scrub_full_passes: registry.counter("store.scrub.full_passes", l),
+            scrub_last_full_pass: registry.gauge("store.scrub.last_full_pass", l),
         }
     }
 }
@@ -243,6 +350,10 @@ pub struct TsStore {
     /// Sequence numbers of live (valid) chunk files, ascending.
     chunk_seqs: Vec<u64>,
     next_seq: u64,
+    /// Manifest of live chunks — exact loss accounting for quarantine.
+    chunk_meta: BTreeMap<u64, ChunkMeta>,
+    /// Every chunk quarantined over this store's lifetime (boot included).
+    quarantined: Vec<QuarantinedChunk>,
     obs: Option<StoreObs>,
 }
 
@@ -263,23 +374,53 @@ impl TsStore {
         let spec = vfs.disk_spec();
         let mut report = RecoveryReport::default();
         let mut chunk_seqs = Vec::new();
+        let mut chunk_meta = BTreeMap::new();
+        let mut quarantined = Vec::new();
         let mut next_seq = 0u64;
         let mut bytes_read = 0u64;
         for name in vfs.list()? {
+            if let Some(seq) = name
+                .strip_prefix(QUARANTINE_PREFIX)
+                .and_then(parse_chunk_name)
+            {
+                // A previously quarantined chunk keeps its sequence number
+                // reserved across reopens.
+                next_seq = next_seq.max(seq + 1);
+                continue;
+            }
             let Some(seq) = parse_chunk_name(&name) else {
                 continue;
             };
             // Even a corrupt chunk reserves its sequence number, so a new
             // chunk never collides with a damaged file.
             next_seq = next_seq.max(seq + 1);
-            match read_chunk(vfs.as_ref(), &name) {
-                Ok(_) => {
-                    bytes_read += vfs.read(&name)?.len() as u64;
+            let data = vfs.read(&name)?;
+            match read_chunk_bytes(&name, &data) {
+                Ok((_, rows)) => {
+                    bytes_read += data.len() as u64;
+                    chunk_meta.insert(seq, meta_of(&rows, data.len() as u64));
                     chunk_seqs.push(seq);
                     report.chunks_loaded += 1;
                 }
                 Err(StoreError::DiskCrashed) => return Err(StoreError::DiskCrashed),
-                Err(_) => report.chunks_skipped += 1,
+                Err(_) => {
+                    // Move the damaged file out of the live namespace but
+                    // keep the bytes as evidence; queries over its range
+                    // must surface a gap, not silently shorter series.
+                    report.chunks_skipped += 1;
+                    let probe = probe_chunk(&data);
+                    let mut f = vfs.create(&quarantine_name(seq))?;
+                    f.append(&data)?;
+                    f.sync()?;
+                    vfs.remove(&name)?;
+                    quarantined.push(QuarantinedChunk {
+                        seq,
+                        rows: probe.map(|p| p.rows).unwrap_or(0),
+                        time_range: probe.and_then(|p| p.time_range),
+                        bytes: data.len() as u64,
+                        site: DetectionSite::Boot,
+                    });
+                }
             }
         }
         chunk_seqs.sort_unstable();
@@ -302,6 +443,11 @@ impl TsStore {
         if let Some(obs) = &obs {
             obs.wal_records_replayed.add(replay.records);
             obs.wal_corrupt_frames.add(replay.corrupt_frames);
+            for q in &quarantined {
+                obs.scrub_corruptions.inc();
+                obs.scrub_chunks_quarantined.inc();
+                obs.scrub_rows_quarantined.add(q.rows);
+            }
         }
         Ok((
             TsStore {
@@ -313,6 +459,8 @@ impl TsStore {
                 memtable,
                 chunk_seqs,
                 next_seq,
+                chunk_meta,
+                quarantined,
                 obs,
             },
             report,
@@ -369,6 +517,11 @@ impl TsStore {
         let seq = self.next_seq;
         let info = write_chunk(self.vfs.as_ref(), seq, &self.memtable)?
             .expect("non-empty memtable produces a chunk");
+        // Time range from the memtable, row count post-dedup from the
+        // written chunk — what a quarantine of this file would lose.
+        let mut meta = meta_of(&self.memtable, info.bytes);
+        meta.rows = info.rows as u64;
+        self.chunk_meta.insert(seq, meta);
         self.wal.reset()?;
         self.memtable.clear();
         self.chunk_seqs.push(seq);
@@ -396,15 +549,27 @@ impl TsStore {
         if self.chunk_seqs.is_empty() || (self.chunk_seqs.len() < 2 && retention_cutoff.is_none()) {
             return Ok(None);
         }
-        let chunks_in = self.chunk_seqs.len();
+        let mut chunks_in = 0usize;
         let mut merged: BTreeMap<(String, String, i64), ColumnValue> = BTreeMap::new();
         let mut rows_in = 0u64;
         let mut bytes_before = 0u64;
         let mut dropped_retention = 0u64;
-        for &seq in &self.chunk_seqs {
+        for seq in self.chunk_seqs.clone() {
             let name = chunk_name(seq);
-            bytes_before += self.vfs.read(&name)?.len() as u64;
-            let (_, rows) = read_chunk(self.vfs.as_ref(), &name)?;
+            let data = self.vfs.read(&name)?;
+            let rows = match read_chunk_bytes(&name, &data) {
+                Ok((_, rows)) => rows,
+                Err(StoreError::DiskCrashed) => return Err(StoreError::DiskCrashed),
+                Err(_) => {
+                    // Checksum-on-read: the input is provably damaged —
+                    // quarantine it and merge the survivors; the lost
+                    // range is reported, never silently folded in.
+                    self.quarantine(seq, &data, DetectionSite::Compact)?;
+                    continue;
+                }
+            };
+            chunks_in += 1;
+            bytes_before += data.len() as u64;
             rows_in += rows.len() as u64;
             for r in rows {
                 if matches!(retention_cutoff, Some(cut) if r.ts < cut) {
@@ -433,10 +598,14 @@ impl TsStore {
         // Only after the merged chunk is durable do the inputs go away.
         for &old in &self.chunk_seqs {
             self.vfs.remove(&chunk_name(old))?;
+            self.chunk_meta.remove(&old);
         }
         self.chunk_seqs.clear();
         let bytes_after = match &written {
             Some(info) => {
+                let mut meta = meta_of(&out_rows, info.bytes);
+                meta.rows = info.rows as u64;
+                self.chunk_meta.insert(seq, meta);
                 self.chunk_seqs.push(seq);
                 self.next_seq += 1;
                 info.bytes
@@ -481,12 +650,26 @@ impl TsStore {
     /// sequence order, memtable on top, last write winning each
     /// (series, field, timestamp) cell. Staged-but-uncommitted rows are
     /// invisible, matching the acknowledgement contract.
-    pub fn scan(&self) -> StoreResult<Vec<RowRecord>> {
+    ///
+    /// Every chunk is CRC-verified as it is read; a chunk that fails is
+    /// quarantined (visible via [`TsStore::quarantined`]) and the scan
+    /// continues over the survivors — callers see an explicit loss
+    /// record, never a silent error or silently shorter data.
+    pub fn scan(&mut self) -> StoreResult<Vec<RowRecord>> {
         let mut merged: BTreeMap<(String, String, i64), ColumnValue> = BTreeMap::new();
-        for &seq in &self.chunk_seqs {
-            let (_, rows) = read_chunk(self.vfs.as_ref(), &chunk_name(seq))?;
-            for r in rows {
-                merged.insert((r.series, r.field, r.ts), r.value);
+        for seq in self.chunk_seqs.clone() {
+            let name = chunk_name(seq);
+            let data = self.vfs.read(&name)?;
+            match read_chunk_bytes(&name, &data) {
+                Ok((_, rows)) => {
+                    for r in rows {
+                        merged.insert((r.series, r.field, r.ts), r.value);
+                    }
+                }
+                Err(StoreError::DiskCrashed) => return Err(StoreError::DiskCrashed),
+                Err(_) => {
+                    self.quarantine(seq, &data, DetectionSite::Scan)?;
+                }
             }
         }
         for r in &self.memtable {
@@ -501,6 +684,123 @@ impl TsStore {
                 value,
             })
             .collect())
+    }
+
+    /// Move a corrupt chunk to the quarantine namespace: copy the bytes
+    /// under `quarantine/`, remove the live file, and drop the sequence
+    /// number from the live set (it stays reserved via `next_seq` and the
+    /// quarantine file itself). Returns the loss record.
+    fn quarantine(
+        &mut self,
+        seq: u64,
+        raw: &[u8],
+        site: DetectionSite,
+    ) -> StoreResult<QuarantinedChunk> {
+        let mut f = self.vfs.create(&quarantine_name(seq))?;
+        f.append(raw)?;
+        f.sync()?;
+        self.vfs.remove(&chunk_name(seq))?;
+        self.chunk_seqs.retain(|&s| s != seq);
+        let (rows, time_range) = match self.chunk_meta.remove(&seq) {
+            Some(m) => (m.rows, m.time_range),
+            None => {
+                let probe = probe_chunk(raw);
+                (
+                    probe.map(|p| p.rows).unwrap_or(0),
+                    probe.and_then(|p| p.time_range),
+                )
+            }
+        };
+        let q = QuarantinedChunk {
+            seq,
+            rows,
+            time_range,
+            bytes: raw.len() as u64,
+            site,
+        };
+        if let Some(obs) = &self.obs {
+            obs.scrub_corruptions.inc();
+            obs.scrub_chunks_quarantined.inc();
+            obs.scrub_rows_quarantined.add(rows);
+        }
+        self.quarantined.push(q.clone());
+        Ok(q)
+    }
+
+    /// CRC-verify one live chunk for the scrubber. A clean chunk reports
+    /// its byte size; a damaged one is quarantined. `Ok(None)` means the
+    /// chunk was flushed away (compacted) between snapshot and visit.
+    pub fn verify_chunk(&mut self, seq: u64) -> StoreResult<Option<VerifyOutcome>> {
+        if !self.chunk_seqs.contains(&seq) {
+            return Ok(None);
+        }
+        let name = chunk_name(seq);
+        let data = self.vfs.read(&name)?;
+        if let Some(obs) = &self.obs {
+            obs.scrub_chunks_verified.inc();
+            obs.scrub_bytes_verified.add(data.len() as u64);
+        }
+        match read_chunk_bytes(&name, &data) {
+            Ok(_) => Ok(Some(VerifyOutcome::Clean {
+                bytes: data.len() as u64,
+            })),
+            Err(StoreError::DiskCrashed) => Err(StoreError::DiskCrashed),
+            Err(_) => {
+                let q = self.quarantine(seq, &data, DetectionSite::Scrub)?;
+                Ok(Some(VerifyOutcome::Quarantined(q)))
+            }
+        }
+    }
+
+    /// Integrity-scan the WAL. Latent rot inside an already-durable frame
+    /// is repairable without any replica: the memtable holds exactly the
+    /// acknowledged rows of the current log (the WAL resets precisely
+    /// when the memtable flushes), so the log is rewritten losslessly
+    /// from memory.
+    pub fn scrub_wal(&mut self) -> StoreResult<WalScrub> {
+        let raw = self.wal.raw_bytes()?;
+        let (_, _, corrupt_frames) = scan_frames(&raw);
+        let mut out = WalScrub {
+            bytes_scanned: raw.len() as u64,
+            corrupt_frames,
+            rows_rewritten: 0,
+        };
+        if let Some(obs) = &self.obs {
+            obs.scrub_bytes_verified.add(raw.len() as u64);
+        }
+        if corrupt_frames > 0 {
+            let payloads = if self.memtable.is_empty() {
+                Vec::new()
+            } else {
+                vec![encode_row_batch(&self.memtable)]
+            };
+            self.wal.rewrite(&payloads)?;
+            out.rows_rewritten = self.memtable.len() as u64;
+            if let Some(obs) = &self.obs {
+                obs.scrub_corruptions.inc();
+                obs.scrub_wal_rewrites.inc();
+            }
+        }
+        Ok(out)
+    }
+
+    /// Record a completed full-store scrub pass at virtual time `now_s`
+    /// (drives the `store.scrub.last_full_pass` staleness gauge).
+    pub fn note_full_scrub_pass(&mut self, now_s: f64) {
+        if let Some(obs) = &self.obs {
+            obs.scrub_full_passes.inc();
+            obs.scrub_last_full_pass.set(now_s * 1e9);
+        }
+    }
+
+    /// Every chunk quarantined over this store's lifetime, boot included.
+    pub fn quarantined(&self) -> &[QuarantinedChunk] {
+        &self.quarantined
+    }
+
+    /// Byte size of a live chunk from the manifest.
+    pub fn chunk_bytes(&self, seq: u64) -> Option<u64> {
+        self.chunk_meta.get(&seq).map(|m| m.bytes)
     }
 
     /// Acknowledged rows not yet flushed to a chunk.
@@ -584,7 +884,7 @@ mod tests {
         store.commit().unwrap();
         assert_eq!(store.scan().unwrap().len(), 2);
         drop(store);
-        let (store, report) = TsStore::open(vfs, small_opts()).unwrap();
+        let (mut store, report) = TsStore::open(vfs, small_opts()).unwrap();
         assert_eq!(report.wal_rows, 2);
         assert_eq!(
             store.scan().unwrap(),
@@ -605,7 +905,7 @@ mod tests {
         assert_eq!(store.scan().unwrap().len(), 10);
         // Reopen sees only the chunk.
         drop(store);
-        let (store, report) = TsStore::open(vfs, small_opts()).unwrap();
+        let (mut store, report) = TsStore::open(vfs, small_opts()).unwrap();
         assert_eq!(report.chunks_loaded, 1);
         assert_eq!(report.wal_rows, 0);
         assert_eq!(store.scan().unwrap().len(), 10);
@@ -697,7 +997,7 @@ mod tests {
         assert!(store.flush().is_err());
         assert!(disk.crashed());
         disk.restart();
-        let (store, report) = TsStore::open(vfs, small_opts()).unwrap();
+        let (mut store, report) = TsStore::open(vfs, small_opts()).unwrap();
         assert_eq!(report.chunks_loaded, 1);
         assert_eq!(report.wal_rows, 2);
         // Scan dedups the double-stored rows.
@@ -729,6 +1029,73 @@ mod tests {
         assert!(store.scan().unwrap().is_empty());
         // New flushes never reuse the damaged file's sequence number.
         store.append(&[row("s", "f", 2, 2.0)]);
+        store.commit().unwrap();
+        store.flush().unwrap();
+        assert_eq!(store.chunk_seqs(), &[1]);
+    }
+
+    #[test]
+    fn scan_quarantines_corrupt_chunk_and_serves_survivors() {
+        let disk = MemDisk::new(109);
+        let vfs: Arc<dyn Vfs> = Arc::new(disk.clone());
+        let (mut store, _) = TsStore::open(vfs, small_opts()).unwrap();
+        store.append(&[row("s", "f", 1, 1.0), row("s", "f", 2, 2.0)]);
+        store.commit().unwrap();
+        store.flush().unwrap();
+        store.append(&[row("s", "f", 3, 3.0)]);
+        store.commit().unwrap();
+        store.flush().unwrap();
+        // Rot one payload byte of chunk 0 (keep the magic intact).
+        let name = chunk_name(0);
+        let mut data = disk.read(&name).unwrap();
+        let n = data.len();
+        data[n / 2] ^= 0x01;
+        let mut f = disk.create(&name).unwrap();
+        f.append(&data).unwrap();
+        f.sync().unwrap();
+        // The read path detects, quarantines, and keeps serving.
+        let rows = store.scan().unwrap();
+        assert_eq!(rows, vec![row("s", "f", 3, 3.0)]);
+        let q = store.quarantined();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].seq, 0);
+        assert_eq!(q[0].site, DetectionSite::Scan);
+        // The manifest knew the healthy chunk: exact loss accounting.
+        assert_eq!(q[0].rows, 2);
+        assert_eq!(q[0].time_range, Some((1, 2)));
+        // Evidence moved, not deleted.
+        assert!(disk.exists(&quarantine_name(0)).unwrap());
+        assert!(!disk.exists(&name).unwrap());
+        assert_eq!(store.chunk_seqs(), &[1]);
+    }
+
+    #[test]
+    fn quarantine_reserves_seq_across_reopens() {
+        let disk = MemDisk::new(110);
+        let vfs: Arc<dyn Vfs> = Arc::new(disk.clone());
+        let (mut store, _) = TsStore::open(vfs.clone(), small_opts()).unwrap();
+        store.append(&[row("s", "f", 1, 1.0)]);
+        store.commit().unwrap();
+        store.flush().unwrap();
+        let name = chunk_name(0);
+        let mut data = disk.read(&name).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0x02;
+        let mut f = disk.create(&name).unwrap();
+        f.append(&data).unwrap();
+        f.sync().unwrap();
+        // Boot moves the damaged chunk to quarantine.
+        let (store, report) = TsStore::open(vfs.clone(), small_opts()).unwrap();
+        assert_eq!(report.chunks_skipped, 1);
+        assert_eq!(store.quarantined().len(), 1);
+        assert_eq!(store.quarantined()[0].site, DetectionSite::Boot);
+        assert!(disk.exists(&quarantine_name(0)).unwrap());
+        drop(store);
+        // Even with no live chunk left, a later reopen still reserves the
+        // quarantined sequence number via the evidence file.
+        let (mut store, report) = TsStore::open(vfs, small_opts()).unwrap();
+        assert_eq!(report.chunks_skipped, 0);
+        store.append(&[row("s", "f", 9, 9.0)]);
         store.commit().unwrap();
         store.flush().unwrap();
         assert_eq!(store.chunk_seqs(), &[1]);

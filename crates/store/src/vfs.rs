@@ -76,6 +76,17 @@ impl StdFs {
     fn path(&self, name: &str) -> PathBuf {
         self.root.join(name)
     }
+
+    /// Names like `quarantine/chunk-….tsm` live one directory down;
+    /// create the parent before opening so namespaced writes just work.
+    fn ensure_parent(&self, name: &str) -> StoreResult<()> {
+        if name.contains('/') {
+            if let Some(parent) = self.path(name).parent() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 struct StdFile {
@@ -100,6 +111,7 @@ impl VirtualFile for StdFile {
 
 impl Vfs for StdFs {
     fn open_append(&self, name: &str) -> StoreResult<Box<dyn VirtualFile>> {
+        self.ensure_parent(name)?;
         let file = fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -108,6 +120,7 @@ impl Vfs for StdFs {
     }
 
     fn create(&self, name: &str) -> StoreResult<Box<dyn VirtualFile>> {
+        self.ensure_parent(name)?;
         let file = fs::OpenOptions::new()
             .create(true)
             .write(true)
@@ -124,9 +137,22 @@ impl Vfs for StdFs {
         let mut names = Vec::new();
         for entry in fs::read_dir(&self.root)? {
             let entry = entry?;
-            if entry.file_type()?.is_file() {
-                if let Ok(name) = entry.file_name().into_string() {
-                    names.push(name);
+            let file_type = entry.file_type()?;
+            let Ok(name) = entry.file_name().into_string() else {
+                continue;
+            };
+            if file_type.is_file() {
+                names.push(name);
+            } else if file_type.is_dir() {
+                // One level of namespacing (e.g. quarantine/), matching
+                // the flat-with-prefixes view MemDisk presents.
+                for sub in fs::read_dir(entry.path())? {
+                    let sub = sub?;
+                    if sub.file_type()?.is_file() {
+                        if let Ok(sub_name) = sub.file_name().into_string() {
+                            names.push(format!("{name}/{sub_name}"));
+                        }
+                    }
                 }
             }
         }
@@ -182,6 +208,32 @@ mod tests {
         vfs.remove("a.log").unwrap();
         vfs.remove("a.log").unwrap(); // idempotent
         assert!(!vfs.exists("a.log").unwrap());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stdfs_namespaced_files_roundtrip() {
+        let root = tmpdir("namespaced");
+        let vfs = StdFs::new(&root).unwrap();
+        let mut f = vfs.create("quarantine/chunk-00000001.tsm").unwrap();
+        f.append(b"evidence").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        assert!(vfs.exists("quarantine/chunk-00000001.tsm").unwrap());
+        assert_eq!(
+            vfs.read("quarantine/chunk-00000001.tsm").unwrap(),
+            b"evidence"
+        );
+        vfs.create("top.log").unwrap();
+        assert_eq!(
+            vfs.list().unwrap(),
+            vec![
+                "quarantine/chunk-00000001.tsm".to_string(),
+                "top.log".to_string()
+            ]
+        );
+        vfs.remove("quarantine/chunk-00000001.tsm").unwrap();
+        assert!(!vfs.exists("quarantine/chunk-00000001.tsm").unwrap());
         let _ = fs::remove_dir_all(&root);
     }
 

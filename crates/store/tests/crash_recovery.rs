@@ -131,7 +131,7 @@ fn run_case(seed: u64, batches: &[Vec<RowRecord>], plan: Option<FaultPlan>) -> C
     let fired = if disk.crashed() { mode } else { None };
     disk.restart();
     // The property: reopening after any crash must not panic.
-    let (store, _report) = TsStore::open(vfs, opts)
+    let (mut store, _report) = TsStore::open(vfs, opts)
         .unwrap_or_else(|e| panic!("seed {seed}: reopen failed after recovery: {e}"));
     let recovered = store
         .scan()
@@ -286,7 +286,7 @@ fn recovered_store_accepts_new_writes() {
         store.append(std::slice::from_ref(&sentinel));
         store.commit().unwrap();
         drop(store);
-        let (store, _) = TsStore::open(vfs, opts).unwrap();
+        let (mut store, _) = TsStore::open(vfs, opts).unwrap();
         assert!(
             store.scan().unwrap().contains(&sentinel),
             "seed {seed}: post-recovery write lost"
@@ -375,7 +375,7 @@ fn bit_flip_inside_wal_record_truncates_at_corrupt_frame() {
         )]);
         store.commit().unwrap();
         drop(store);
-        let (store, report2) = TsStore::open(vfs, opts).unwrap();
+        let (mut store, report2) = TsStore::open(vfs, opts).unwrap();
         assert_eq!(
             report2.wal_corrupt_frames, 0,
             "seed {seed}: corruption survived recovery"

@@ -17,11 +17,18 @@ use crossbeam::channel::Receiver;
 use parking_lot::{Mutex, RwLock};
 use pmove_obs::{Counter, Histogram, Registry, TraceContext, Tracer};
 use pmove_store::{
-    ChunkInfo, ColumnValue, CompactionReport, RecoveryReport, RowRecord, StoreObs, StoreOptions,
-    TsStore, Vfs,
+    ChunkInfo, ColumnValue, CompactionReport, QuarantinedChunk, RecoveryReport, RowRecord,
+    ScrubReport, Scrubber, StoreObs, StoreOptions, TsStore, Vfs,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+
+/// Measurement holding gap-marker annotation points for time ranges the
+/// durable store lost to quarantined chunks. Matches the marker
+/// measurement the PCP shipper writes for transport outages
+/// (`pmove_pcp::GAP_MEASUREMENT`), so one dashboard query surfaces both
+/// kinds of hole.
+pub const GAP_MEASUREMENT: &str = "pmove_gap";
 
 /// Translate a stored field value into its durable column form.
 fn column_of_field(v: &FieldValue) -> ColumnValue {
@@ -280,33 +287,138 @@ impl Database {
 
     /// Replay the store's merged durable view into in-memory storage and
     /// attach it for subsequent writes.
-    fn adopt_store(&mut self, store: TsStore) -> Result<(), TsdbError> {
-        // Group recovered rows back into points: one per (series key,
-        // timestamp), fields re-assembled.
-        let mut points: BTreeMap<(String, i64), BTreeMap<String, FieldValue>> = BTreeMap::new();
-        for row in store.scan()? {
-            points
-                .entry((row.series, row.ts))
-                .or_default()
-                .insert(row.field, field_of_column(row.value));
-        }
-        {
-            let mut storage = self.storage.write();
-            for ((series, ts), fields) in points {
-                let (measurement, tags) = parse_series_key(&series)?;
-                storage.insert(Point {
-                    measurement,
-                    tags,
-                    fields,
-                    timestamp: ts,
-                });
-            }
-        }
+    fn adopt_store(&mut self, mut store: TsStore) -> Result<(), TsdbError> {
+        let rows = store.scan()?;
+        self.load_rows(rows)?;
+        // Chunks quarantined during recovery left holes in the durable
+        // view; annotate each lost range so queries surface an explicit
+        // gap marker instead of a silently shorter series.
+        self.annotate_gaps(store.quarantined());
         // Recovered points bypass `write_point`, so refresh every
         // measurement's write version from what storage now holds.
         self.bump_all_versions();
         self.store = Some(Mutex::new(store));
         Ok(())
+    }
+
+    /// Group durable rows back into points — one per (series key,
+    /// timestamp), fields re-assembled — and insert them into storage.
+    fn load_rows(&self, rows: Vec<RowRecord>) -> Result<(), TsdbError> {
+        let mut points: BTreeMap<(String, i64), BTreeMap<String, FieldValue>> = BTreeMap::new();
+        for row in rows {
+            points
+                .entry((row.series, row.ts))
+                .or_default()
+                .insert(row.field, field_of_column(row.value));
+        }
+        let mut storage = self.storage.write();
+        for ((series, ts), fields) in points {
+            let (measurement, tags) = parse_series_key(&series)?;
+            storage.insert(Point {
+                measurement,
+                tags,
+                fields,
+                timestamp: ts,
+            });
+        }
+        Ok(())
+    }
+
+    /// Insert one in-memory [`GAP_MEASUREMENT`] marker point per
+    /// quarantined chunk with a recoverable time range. The markers are
+    /// deliberately not persisted: they are re-derived from the store's
+    /// quarantine record on every boot/rebuild, so they can never be
+    /// lost to the very corruption they describe.
+    fn annotate_gaps(&self, quarantined: &[QuarantinedChunk]) {
+        let mut storage = self.storage.write();
+        for q in quarantined {
+            let Some((lo, hi)) = q.time_range else {
+                continue;
+            };
+            storage.insert(
+                Point::new(GAP_MEASUREMENT)
+                    .tag("source", "store")
+                    .tag("seq", format!("{:08}", q.seq))
+                    .field("gap_start_s", lo as f64 / 1e9)
+                    .field("gap_end_s", hi as f64 / 1e9)
+                    .field("rows_lost", q.rows as f64)
+                    .timestamp(hi),
+            );
+        }
+    }
+
+    /// Rebuild the in-memory view from the durable store: the store is
+    /// re-scanned (CRC-verifying every chunk, quarantining damage as it
+    /// goes) and storage is replaced with exactly what survived. Every
+    /// known measurement's write version is bumped — including
+    /// measurements that vanished entirely — so the query cache can never
+    /// serve pre-rebuild rows. Returns `false` for a memory-only database.
+    ///
+    /// No gap markers are written here: this is the step that turns a
+    /// quarantine into visible Merkle divergence so anti-entropy can
+    /// repair the hole from replica peers, and a repaired range is not a
+    /// gap. Callers with no repair path (standalone nodes, unreachable
+    /// quorums) follow up with
+    /// [`Database::annotate_quarantine_gaps`].
+    pub fn rebuild_from_store(&self) -> Result<bool, TsdbError> {
+        let Some(store) = &self.store else {
+            return Ok(false);
+        };
+        let rows = store.lock().scan()?;
+        *self.storage.write() = Storage::new();
+        self.load_rows(rows)?;
+        let names = self.storage.read().measurement_names();
+        let mut versions = self.versions.lock();
+        for v in versions.values_mut() {
+            *v += 1;
+        }
+        for name in names {
+            versions.entry(name).or_insert(1);
+        }
+        Ok(true)
+    }
+
+    /// Insert a [`GAP_MEASUREMENT`] marker for every chunk the attached
+    /// store has quarantined. Idempotent — each chunk's marker lands on a
+    /// fixed (series, timestamp) cell, so re-annotation overwrites rather
+    /// than duplicates. No-op for a memory-only database.
+    pub fn annotate_quarantine_gaps(&self) {
+        let quarantined = self.quarantined_chunks();
+        if quarantined.is_empty() {
+            return;
+        }
+        self.annotate_gaps(&quarantined);
+        self.bump_version(GAP_MEASUREMENT);
+    }
+
+    /// Number of stored cells (series × timestamp × field triples) — the
+    /// unit the integrity audit counts corruption and repair in.
+    pub fn cell_count(&self) -> u64 {
+        let mut n = 0u64;
+        self.for_each_cell(&mut |_, _, _, _| n += 1);
+        n
+    }
+
+    /// Advance the background scrubber one tick against the attached
+    /// store on the virtual clock. `Ok(None)` when memory-only.
+    pub fn scrub_tick(
+        &self,
+        scrubber: &mut Scrubber,
+        now_s: f64,
+    ) -> Result<Option<ScrubReport>, TsdbError> {
+        match &self.store {
+            Some(store) => Ok(Some(scrubber.tick(&mut store.lock(), now_s)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Chunks the attached store has quarantined over its lifetime
+    /// (empty for a memory-only database).
+    pub fn quarantined_chunks(&self) -> Vec<QuarantinedChunk> {
+        match &self.store {
+            Some(store) => store.lock().quarantined().to_vec(),
+            None => Vec::new(),
+        }
     }
 
     /// True when writes are backed by the durable storage engine.
@@ -1147,6 +1259,104 @@ mod tests {
                 .sum
                 > 0
         );
+    }
+
+    /// Flip one bit near the tail of the store's first chunk on `disk` —
+    /// in the value payload, so the structural probe can still recover
+    /// the lost time range while the CRC proves the damage.
+    fn rot_chunk0(disk: &pmove_store::MemDisk) {
+        let name = pmove_store::chunk_name(0);
+        let mut data = disk.read(&name).unwrap();
+        let n = data.len();
+        data[n - 2] ^= 0x01;
+        let mut f = disk.create(&name).unwrap();
+        f.append(&data).unwrap();
+        f.sync().unwrap();
+    }
+
+    fn manual_opts() -> StoreOptions {
+        StoreOptions {
+            flush_threshold_rows: 1_000_000,
+            compact_min_chunks: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn boot_quarantine_annotates_gap_marker() {
+        let disk = pmove_store::MemDisk::new(40);
+        let vfs: Arc<dyn Vfs> = Arc::new(disk.clone());
+        let (db, _) = Database::open("test", vfs.clone(), manual_opts()).unwrap();
+        for t in 0..4i64 {
+            db.write_point(pt(t * 1_000_000_000, t as f64)).unwrap();
+        }
+        db.flush().unwrap().unwrap();
+        drop(db);
+        rot_chunk0(&disk);
+        let (db, report) = Database::open("test", vfs, manual_opts()).unwrap();
+        assert_eq!(report.chunks_skipped, 1);
+        // The lost rows are gone (the measurement vanished with them) and
+        // the hole is annotated, not silent.
+        assert!(matches!(
+            db.query("SELECT \"v\" FROM \"m\""),
+            Err(TsdbError::UnknownMeasurement(_))
+        ));
+        let gaps = db
+            .query(&format!("SELECT \"gap_end_s\" FROM \"{GAP_MEASUREMENT}\""))
+            .unwrap();
+        assert_eq!(gaps.rows.len(), 1);
+        assert_eq!(gaps.rows[0].values["gap_end_s"], Some(3.0));
+        assert_eq!(db.quarantined_chunks().len(), 1);
+    }
+
+    #[test]
+    fn rebuild_after_quarantine_drops_rows_and_invalidates_cache() {
+        let disk = pmove_store::MemDisk::new(41);
+        let vfs: Arc<dyn Vfs> = Arc::new(disk.clone());
+        let (db, _) = Database::open("test", vfs, manual_opts()).unwrap();
+        for t in 0..4i64 {
+            db.write_point(pt(t, t as f64)).unwrap();
+        }
+        db.flush().unwrap().unwrap();
+        db.set_query_cache_capacity(8);
+        let q = "SELECT \"v\" FROM \"m\"";
+        assert_eq!(db.query(q).unwrap().rows.len(), 4);
+        let v_before = db.write_version("m");
+        rot_chunk0(&disk);
+        // Scrub detects the rot and quarantines the chunk...
+        let mut scrubber = pmove_store::Scrubber::new(pmove_store::ScrubConfig::default());
+        let mut now = 0.0;
+        while db.quarantined_chunks().is_empty() {
+            db.scrub_tick(&mut scrubber, now).unwrap().unwrap();
+            now += 1.0;
+            assert!(now < 200.0, "scrub never found the rotted chunk");
+        }
+        // ...but the in-memory view (and the cache) still serve the old
+        // rows until the rebuild makes the durable loss visible.
+        assert_eq!(db.query(q).unwrap().rows.len(), 4);
+        assert!(db.rebuild_from_store().unwrap());
+        assert!(
+            db.write_version("m") > v_before,
+            "rebuild must bump versions"
+        );
+        // The measurement vanished with its only chunk; a stale cache hit
+        // would have answered 4 rows here instead of erroring.
+        assert!(matches!(db.query(q), Err(TsdbError::UnknownMeasurement(_))));
+        // Standalone node: no repair path, so the gap gets annotated.
+        db.annotate_quarantine_gaps();
+        let gaps = db
+            .query(&format!("SELECT \"rows_lost\" FROM \"{GAP_MEASUREMENT}\""))
+            .unwrap();
+        assert_eq!(gaps.rows.len(), 1);
+        assert_eq!(gaps.rows[0].values["rows_lost"], Some(4.0));
+    }
+
+    #[test]
+    fn cell_count_counts_field_values() {
+        let db = Database::new("test");
+        db.write_point(Point::new("m").field("a", 1.0).field("b", 2.0).timestamp(1))
+            .unwrap();
+        db.write_point(pt(2, 3.0)).unwrap();
+        assert_eq!(db.cell_count(), 3);
     }
 
     #[test]

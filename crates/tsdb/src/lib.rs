@@ -61,12 +61,14 @@ pub mod value;
 pub use pmove_store as store;
 
 pub use cache::{QueryCache, DEFAULT_CACHE_CAPACITY};
-pub use engine::{Database, IngestLimiter, IngestStats};
+pub use engine::{Database, IngestLimiter, IngestStats, GAP_MEASUREMENT};
 pub use error::TsdbError;
 pub use exec::{ExecMode, ExecStats};
 pub use point::Point;
 pub use query::{Query, QueryPlan, QueryResult, ResultRow};
-pub use repl::{MerkleSnapshot, RepairReport, ReplConfig, ReplicaSet, MERKLE_BUCKETS};
+pub use repl::{
+    IntegrityReport, MerkleSnapshot, RepairReport, ReplConfig, ReplicaSet, MERKLE_BUCKETS,
+};
 pub use retention::RetentionPolicy;
 pub use self_export::export_snapshot;
 pub use series::{SeriesId, SeriesKey};

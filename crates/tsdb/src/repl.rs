@@ -34,7 +34,7 @@ use crate::query::{Query, QueryResult};
 use crate::storage::{shard_of_key, DEFAULT_SHARD_COUNT};
 use crate::value::FieldValue;
 use pmove_obs::{Counter, Registry};
-use pmove_store::{MemDisk, RecoveryReport, StoreOptions, Vfs};
+use pmove_store::{MemDisk, RecoveryReport, ScrubConfig, Scrubber, StoreOptions, Vfs};
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
@@ -220,19 +220,53 @@ pub struct RepairReport {
     pub converged: bool,
 }
 
+/// What one integrity sweep ([`ReplicaSet::scrub_and_repair`]) over the
+/// whole set did: the scrub work, the durable loss it uncovered, and the
+/// read-repair that healed it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IntegrityReport {
+    /// Files (chunks + WALs) CRC-verified across all replicas.
+    pub files_checked: u64,
+    /// Bytes read and checksummed across all replicas.
+    pub bytes_verified: u64,
+    /// Chunks found damaged and quarantined this sweep.
+    pub chunks_quarantined: u64,
+    /// WAL logs rewritten losslessly from their memtables.
+    pub wal_rewrites: u64,
+    /// Cells (field values) the quarantines removed from replica state —
+    /// measured as each victim's cell-count drop across its rebuild, so
+    /// last-write-wins duplicates are never double-counted.
+    pub cells_corrupted: u64,
+    /// Cells restored onto damaged replicas by anti-entropy read-repair —
+    /// measured as the victims' cell-count recovery, not stream volume.
+    pub cells_repaired: u64,
+    /// The anti-entropy work, when a repair ran.
+    pub repair: RepairReport,
+    /// True when every replica pair's Merkle roots agreed on exit.
+    pub converged: bool,
+}
+
 /// Hoisted `tsdb.repl.*` repair metrics.
 struct ReplSetObs {
+    registry: Arc<Registry>,
     merkle_rounds: Arc<Counter>,
     merkle_ranges_repaired: Arc<Counter>,
     merkle_cells_streamed: Arc<Counter>,
+    scrub_chunks_quarantined: Arc<Counter>,
+    scrub_cells_corrupted: Arc<Counter>,
+    scrub_cells_repaired: Arc<Counter>,
 }
 
 impl ReplSetObs {
     fn new(registry: &Arc<Registry>) -> ReplSetObs {
         ReplSetObs {
+            registry: Arc::clone(registry),
             merkle_rounds: registry.counter("tsdb.repl.merkle_rounds", &[]),
             merkle_ranges_repaired: registry.counter("tsdb.repl.merkle_ranges_repaired", &[]),
             merkle_cells_streamed: registry.counter("tsdb.repl.merkle_cells_streamed", &[]),
+            scrub_chunks_quarantined: registry.counter("tsdb.repl.scrub_chunks_quarantined", &[]),
+            scrub_cells_corrupted: registry.counter("tsdb.repl.scrub_cells_corrupted", &[]),
+            scrub_cells_repaired: registry.counter("tsdb.repl.scrub_cells_repaired", &[]),
         }
     }
 }
@@ -411,6 +445,92 @@ impl ReplicaSet {
         }
         total.converged = self.converged();
         Ok(total)
+    }
+
+    /// One background scrubber per replica, sharing one pacing config.
+    pub fn scrubbers(&self, cfg: ScrubConfig) -> Vec<Scrubber> {
+        (0..self.len()).map(|_| Scrubber::new(cfg)).collect()
+    }
+
+    /// One integrity sweep at virtual time `now_s`: tick every replica's
+    /// scrubber, and for each replica that quarantined a chunk, rebuild
+    /// its in-memory view from the surviving durable state (making the
+    /// loss visible as Merkle divergence) and run anti-entropy until the
+    /// set converges — read-repair from the R-quorum of healthy peers.
+    /// A hole that outlives `max_rounds` of repair is annotated with
+    /// `pmove_gap` markers on the damaged replicas instead of being
+    /// silently dropped.
+    ///
+    /// `scrubbers` must hold one scrubber per replica (see
+    /// [`ReplicaSet::scrubbers`]); each keeps its own pass state so
+    /// replicas scrub independently.
+    pub fn scrub_and_repair(
+        &self,
+        scrubbers: &mut [Scrubber],
+        now_s: f64,
+        max_rounds: u64,
+    ) -> Result<IntegrityReport, TsdbError> {
+        if scrubbers.len() != self.len() {
+            return Err(TsdbError::Replication(format!(
+                "{} scrubbers for {} replicas",
+                scrubbers.len(),
+                self.len()
+            )));
+        }
+        let mut report = IntegrityReport::default();
+        let mut victims = Vec::new();
+        for (i, scrubber) in scrubbers.iter_mut().enumerate() {
+            let Some(r) = self.replicas[i].scrub_tick(scrubber, now_s)? else {
+                continue;
+            };
+            report.files_checked += r.files_checked;
+            report.bytes_verified += r.bytes_verified;
+            if r.wal.is_some_and(|w| w.corrupt_frames > 0) {
+                report.wal_rewrites += 1;
+            }
+            if !r.quarantined.is_empty() {
+                report.chunks_quarantined += r.quarantined.len() as u64;
+                if let Some(o) = &self.obs {
+                    // One detection span per quarantined chunk, laid out
+                    // over the tick's modeled verification time.
+                    let start = (now_s * 1e9) as u64;
+                    for _ in &r.quarantined {
+                        o.registry
+                            .record_span("scrub.detect", start, start + r.modeled_ns.max(1));
+                    }
+                }
+                victims.push(i);
+            }
+        }
+        // Turn each quarantine into visible divergence: replace the
+        // victim's in-memory view with what actually survived on disk.
+        for &i in &victims {
+            let before = self.replicas[i].cell_count();
+            self.replicas[i].rebuild_from_store()?;
+            report.cells_corrupted += before.saturating_sub(self.replicas[i].cell_count());
+        }
+        if !victims.is_empty() {
+            let base: Vec<u64> = victims
+                .iter()
+                .map(|&i| self.replicas[i].cell_count())
+                .collect();
+            report.repair = self.repair_until_converged(max_rounds)?;
+            for (k, &i) in victims.iter().enumerate() {
+                report.cells_repaired += self.replicas[i].cell_count().saturating_sub(base[k]);
+            }
+            if !report.repair.converged {
+                for &i in &victims {
+                    self.replicas[i].annotate_quarantine_gaps();
+                }
+            }
+        }
+        report.converged = self.converged();
+        if let Some(o) = &self.obs {
+            o.scrub_chunks_quarantined.add(report.chunks_quarantined);
+            o.scrub_cells_corrupted.add(report.cells_corrupted);
+            o.scrub_cells_repaired.add(report.cells_repaired);
+        }
+        Ok(report)
     }
 
     /// R-quorum read: require at least R reachable replicas, consult the
@@ -627,6 +747,70 @@ mod tests {
         assert_eq!(ok.unwrap().rows.len(), 1);
         let err = set.quorum_read_with_mode(&q, &[true, false, false], ExecMode::Sequential);
         assert!(matches!(err, Err(TsdbError::Replication(_))));
+    }
+
+    #[test]
+    fn scrub_and_repair_heals_a_rotted_replica_bit_identically() {
+        let (set, _) = ReplicaSet::durable(
+            "s",
+            ReplConfig::default(),
+            11,
+            StoreOptions {
+                flush_threshold_rows: 1_000_000,
+                compact_min_chunks: 1_000_000,
+            },
+        )
+        .unwrap();
+        for t in 0..30 {
+            for r in set.replicas() {
+                r.write_point(pt(&format!("h{}", t % 3), t, (t as f64).sin()))
+                    .unwrap();
+            }
+        }
+        for r in set.replicas() {
+            r.flush().unwrap().unwrap();
+        }
+        let oracle = set.replica(0).query("SELECT \"v\" FROM \"m\"").unwrap();
+        // Latent rot on replica 1's chunk namespace, fired at t=1s.
+        set.disks()[1].schedule_rot(
+            pmove_store::RotSchedule::none()
+                .at(1.0, 1)
+                .with_prefix("chunk-"),
+        );
+        set.disks()[1].advance_rot(1.0);
+        let mut scrubbers = set.scrubbers(pmove_store::ScrubConfig {
+            full_pass_period_s: 5.0,
+            ..pmove_store::ScrubConfig::default()
+        });
+        let mut total = IntegrityReport::default();
+        let mut now = 1.0;
+        while total.chunks_quarantined == 0 {
+            let r = set.scrub_and_repair(&mut scrubbers, now, 4).unwrap();
+            total.chunks_quarantined += r.chunks_quarantined;
+            total.cells_corrupted += r.cells_corrupted;
+            total.cells_repaired += r.cells_repaired;
+            assert!(r.converged, "sweep at t={now} left the set diverged");
+            now += 1.0;
+            assert!(now < 100.0, "scrub never found the rotted chunk");
+        }
+        assert_eq!(total.chunks_quarantined, 1);
+        assert_eq!(total.cells_corrupted, 30);
+        // The widened conservation identity: every corrupted cell came
+        // back via read-repair, none were silently lost.
+        assert_eq!(total.cells_repaired, total.cells_corrupted);
+        assert!(set.converged());
+        // The repaired replica answers bit-identically to the oracle.
+        let healed = set.replica(1).query("SELECT \"v\" FROM \"m\"").unwrap();
+        assert_eq!(healed.rows.len(), oracle.rows.len());
+        for (a, b) in oracle.rows.iter().zip(&healed.rows) {
+            assert_eq!(
+                a.values["v"].map(f64::to_bits),
+                b.values["v"].map(f64::to_bits)
+            );
+        }
+        // Repair re-entered through apply_remote, which keeps the WAL
+        // barrier: the healed cells are durable again.
+        assert!(set.replica(1).is_durable());
     }
 
     #[test]
