@@ -1,0 +1,376 @@
+//! Batch-ingest and rollup-tier benchmark — the PR's two acceptance
+//! gates:
+//!
+//! * **Ingest**: 1M+ series (×[`POINTS_PER_SERIES`] samples, a
+//!   series-major backfill stream) spread across the 16 hash shards,
+//!   pushed through the per-shard [`pmove_tsdb::BatchIngester`] queues
+//!   (size-triggered flushes, one group-commit WAL frame per batch)
+//!   against the same stream written row-at-a-time, both over a durable
+//!   `MemDisk` with identical bulk-load store options. Only the write
+//!   calls are timed — point construction is identical for both paths
+//!   and excluded. Gate: batched points/sec ≥ 3× row-at-a-time.
+//! * **Query**: a 1-hour aggregate window (`GROUP BY time(60s)`) over a
+//!   hot measurement, answered from the materialized 60 s rollup tier vs
+//!   the raw scan on an identical tier-less database. Results are
+//!   bit-compared before anything is timed. Gate: tier-served speedup
+//!   ≥ 5× raw.
+//!
+//! The rollup conservation audit (tier rows ≥ raw rows, dirty queue
+//! drained) is checked alongside, so the speedup can never come from
+//! dropping points.
+
+use pmove_obs::Registry;
+use pmove_tsdb::store::{MemDisk, StoreOptions, Vfs};
+use pmove_tsdb::{
+    BatchConfig, BatchIngester, ColumnarBatch, Database, ExecMode, FieldValue, Point, Query,
+    RollupConfig,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Batch size the ingest queues flush at (points per WAL frame).
+pub const BATCH_POINTS: usize = 8_192;
+/// Full-scale series count (smoke runs shrink by `scale`).
+pub const FULL_SERIES: usize = 1_050_000;
+/// Samples per series in the backfill stream. Series-major order, so a
+/// series' samples usually share a batch and the columnar path interns
+/// the series once for all of them.
+pub const POINTS_PER_SERIES: usize = 4;
+/// Hot-measurement layout: `HOT_SERIES` series × `HOT_POINTS` points at
+/// 1 s spacing — one hour of telemetry for the query gate.
+pub const HOT_SERIES: usize = 10;
+/// Points per hot series (1 Hz × 1 h).
+pub const HOT_POINTS: usize = 3_600;
+/// Acceptance gate on the ingest path.
+pub const INGEST_SPEEDUP_FLOOR: f64 = 3.0;
+/// Acceptance gate on the tier-served query path.
+pub const ROLLUP_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Everything the bin prints, gates on, and pins.
+#[derive(Debug, Clone)]
+pub struct BatchBenchReport {
+    /// Unique series ingested in the throughput phase.
+    pub series: usize,
+    /// Points ingested per path in the throughput phase.
+    pub points: usize,
+    /// Distinct shards the ingest stream spreads over (must be all 16).
+    pub shards: usize,
+    /// Row-at-a-time ingest CPU wall time, milliseconds.
+    pub row_wall_ms: f64,
+    /// Row-at-a-time modeled WAL sync time (one padded block per
+    /// point on the paper's SATA device), milliseconds.
+    pub row_sync_ms: f64,
+    /// Batched ingest CPU wall time, milliseconds.
+    pub batch_wall_ms: f64,
+    /// Batched modeled WAL sync time (one group commit per batch),
+    /// milliseconds.
+    pub batch_sync_ms: f64,
+    /// Row-at-a-time points/sec over wall + modeled sync.
+    pub row_pps: f64,
+    /// Batched points/sec over wall + modeled sync.
+    pub batch_pps: f64,
+    /// WAL frames the batched path committed.
+    pub wal_frames: u64,
+    /// Timed passes per query configuration.
+    pub reps: usize,
+    /// Raw-scan total for the 1 h aggregate, milliseconds.
+    pub raw_query_ms: f64,
+    /// Tier-served total for the same aggregate, milliseconds.
+    pub tier_query_ms: f64,
+    /// Rows scanned per raw pass (all hot rows).
+    pub rows_per_raw_pass: u64,
+    /// Tier cells behind each tier-served pass.
+    pub tier_cells: u64,
+    /// Tier-vs-raw results were bit-identical before timing.
+    pub bit_identical: bool,
+    /// Rollup conservation audit balanced after the tick.
+    pub audit_conserved: bool,
+}
+
+impl BatchBenchReport {
+    /// Batched over row-at-a-time points/sec.
+    pub fn ingest_speedup(&self) -> f64 {
+        self.batch_pps / self.row_pps
+    }
+
+    /// Raw-scan over tier-served wall time.
+    pub fn rollup_speedup(&self) -> f64 {
+        self.raw_query_ms / self.tier_query_ms
+    }
+}
+
+/// The backfill stream: for each series (unique tag), its
+/// `POINTS_PER_SERIES` samples back to back. Both ingest paths consume
+/// the identical sequence.
+fn ingest_points(series: usize) -> impl Iterator<Item = Point> {
+    (0..series).flat_map(|s| {
+        (0..POINTS_PER_SERIES).map(move |k| {
+            Point::new("ingest")
+                .tag("s", format!("{s:07}"))
+                .field("v", FieldValue::Float(s as f64 * 0.5 + k as f64 * 0.25))
+                .timestamp(k as i64 * 1_000_000_000)
+        })
+    })
+}
+
+fn hot_points() -> Vec<Point> {
+    let mut points = Vec::with_capacity(HOT_SERIES * HOT_POINTS);
+    for t in 0..HOT_POINTS {
+        for s in 0..HOT_SERIES {
+            points.push(
+                Point::new("hot")
+                    .tag("cpu", format!("{s:02}"))
+                    .field("v", FieldValue::Float((t * 31 + s * 7) as f64 * 0.125))
+                    .timestamp(t as i64 * 1_000_000_000),
+            );
+        }
+    }
+    points
+}
+
+/// Durable database over a seeded in-memory disk, tuned for bulk load
+/// (large memtable, compaction deferred past the run) — identically for
+/// both paths, so the comparison isolates the write path itself. The
+/// registry captures the `wal.commit_ns` histogram, whose sum is the
+/// path's total modeled sync time on the paper's SATA device.
+fn durable_db(name: &str, seed: u64) -> (Database, Arc<Registry>) {
+    let vfs: Arc<dyn Vfs> = Arc::new(MemDisk::new(seed));
+    let opts = StoreOptions {
+        flush_threshold_rows: 262_144,
+        compact_min_chunks: usize::MAX,
+    };
+    let registry = Registry::shared();
+    let (db, _) = Database::open_with_obs(name, vfs, opts, registry.clone()).unwrap();
+    (db, registry)
+}
+
+/// Total modeled WAL group-commit time recorded by `db` so far, ns.
+fn modeled_commit_total(registry: &Registry, db: &str) -> u64 {
+    registry
+        .snapshot()
+        .histogram("wal.commit_ns", &[("db", db)])
+        .map_or(0, |h| h.sum)
+}
+
+fn canon(r: &pmove_tsdb::QueryResult) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("{:?}\n", r.columns);
+    for row in &r.rows {
+        let _ = write!(s, "{}:", row.timestamp);
+        for (k, v) in &row.values {
+            match v {
+                Some(x) => {
+                    let _ = write!(s, " {k}={:016x}", x.to_bits());
+                }
+                None => {
+                    let _ = write!(s, " {k}=null");
+                }
+            }
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Run the benchmark. `scale` shrinks the series count for smoke runs
+/// (1.0 = the full 1M-series experiment).
+pub fn run(scale: f64) -> BatchBenchReport {
+    let series = ((FULL_SERIES as f64 * scale) as usize).max(8_192);
+    let points = series * POINTS_PER_SERIES;
+    let reps = if scale >= 1.0 { 200 } else { 40 };
+
+    // Shard spread of the stream, measured on a sample batch. Batches
+    // flushed by the per-shard queues are single-shard by construction;
+    // the gate is about the workload covering every shard.
+    let sample: Vec<Point> = ingest_points(series).take(BATCH_POINTS).collect();
+    let shards = ColumnarBatch::build(sample).shard_spread();
+
+    // --- Ingest phase: row-at-a-time baseline -------------------------
+    // Points are constructed chunk by chunk outside the timed region;
+    // only the write calls accumulate wall time. Total path time is
+    // wall (CPU) + modeled device time for every WAL sync.
+    let (row_db, row_reg) = durable_db("row", 1);
+    let mut row_wall_ns: u128 = 0;
+    let mut stream = ingest_points(series);
+    loop {
+        let chunk: Vec<Point> = stream.by_ref().take(BATCH_POINTS).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        let t = Instant::now();
+        for p in chunk {
+            row_db.write_point(p).unwrap();
+        }
+        row_wall_ns += t.elapsed().as_nanos();
+    }
+    assert_eq!(row_db.total_rows(), points);
+    let row_sync_ns = modeled_commit_total(&row_reg, "row");
+    // Free the baseline's memtable + WAL bytes before the batch build.
+    drop(row_db);
+
+    // --- Ingest phase: columnar batches -------------------------------
+    let (batch_db, batch_reg) = durable_db("batch", 2);
+    let mut ingester = BatchIngester::new(BatchConfig {
+        max_points: BATCH_POINTS,
+        max_age: 1_000_000_000,
+    });
+    let mut wal_frames = 0u64;
+    let mut batch_wall_ns: u128 = 0;
+    let mut stream = ingest_points(series);
+    let mut now = 0i64;
+    loop {
+        let chunk: Vec<Point> = stream.by_ref().take(BATCH_POINTS).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        let t = Instant::now();
+        for p in chunk {
+            now += 1;
+            if let Some(ready) = ingester.offer(p, now) {
+                let out = batch_db.write_batch(ready).unwrap();
+                assert!(out.all_accepted());
+                wal_frames += 1;
+            }
+        }
+        batch_wall_ns += t.elapsed().as_nanos();
+    }
+    let t = Instant::now();
+    for ready in ingester.flush_all() {
+        let out = batch_db.write_batch(ready).unwrap();
+        assert!(out.all_accepted());
+        wal_frames += 1;
+    }
+    batch_wall_ns += t.elapsed().as_nanos();
+    assert_eq!(batch_db.total_rows(), points);
+    let batch_sync_ns = modeled_commit_total(&batch_reg, "batch");
+    drop(batch_db);
+
+    // --- Query phase: raw scan vs materialized 60 s tier ---------------
+    let hot = hot_points();
+    let raw_db = Database::new("raw");
+    raw_db.set_exec_mode(ExecMode::Parallel(8));
+    raw_db.set_query_cache_capacity(0);
+    let tier_db = Database::new("tier");
+    tier_db.set_exec_mode(ExecMode::Parallel(8));
+    tier_db.set_query_cache_capacity(0);
+    tier_db.enable_rollups(RollupConfig::default());
+    for chunk in hot.chunks(BATCH_POINTS) {
+        assert!(raw_db.write_batch(chunk.to_vec()).unwrap().all_accepted());
+        assert!(tier_db.write_batch(chunk.to_vec()).unwrap().all_accepted());
+    }
+    let report = tier_db.rollup_tick().unwrap();
+    assert!(report.rows_folded > 0);
+    let audit = tier_db.rollup_audit().unwrap();
+
+    // The 1 h dashboard aggregate: count/max per 60 s bucket.
+    let q = Query::parse(
+        "SELECT count(\"v\"), max(\"v\") FROM \"hot\" \
+         WHERE time >= 0 AND time < 3600000000000 GROUP BY time(60000000000)",
+    )
+    .unwrap();
+    let bit_identical =
+        canon(&tier_db.query_parsed(&q).unwrap()) == canon(&raw_db.query_parsed(&q).unwrap());
+
+    let time_pass = |db: &Database| -> u128 {
+        let t = Instant::now();
+        for _ in 0..reps {
+            let _ = std::hint::black_box(db.query_parsed(&q).unwrap());
+        }
+        t.elapsed().as_nanos()
+    };
+    let raw_query_ns = time_pass(&raw_db);
+    let tier_query_ns = time_pass(&tier_db);
+
+    let row_total_ns = row_wall_ns as f64 + row_sync_ns as f64;
+    let batch_total_ns = batch_wall_ns as f64 + batch_sync_ns as f64;
+    BatchBenchReport {
+        series,
+        points,
+        shards,
+        row_wall_ms: row_wall_ns as f64 / 1e6,
+        row_sync_ms: row_sync_ns as f64 / 1e6,
+        batch_wall_ms: batch_wall_ns as f64 / 1e6,
+        batch_sync_ms: batch_sync_ns as f64 / 1e6,
+        row_pps: points as f64 / (row_total_ns / 1e9),
+        batch_pps: points as f64 / (batch_total_ns / 1e9),
+        wal_frames,
+        reps,
+        raw_query_ms: raw_query_ns as f64 / 1e6,
+        tier_query_ms: tier_query_ns as f64 / 1e6,
+        rows_per_raw_pass: (HOT_SERIES * HOT_POINTS) as u64,
+        tier_cells: tier_db.rollup_cell_count(),
+        bit_identical,
+        audit_conserved: audit.conserved(),
+    }
+}
+
+/// Render the report for `docs/results/batch.txt`.
+pub fn format(r: &BatchBenchReport) -> String {
+    let mut out = String::from("BATCH INGEST + ROLLUP TIERS\n\n");
+    out.push_str(&format!(
+        "ingest: {} series x {POINTS_PER_SERIES} samples = {} points, durable MemDisk,\n        {} WAL frames, stream spread over {} shards\n",
+        r.series, r.points, r.wal_frames, r.shards
+    ));
+    out.push_str(&format!(
+        "{:<18} {:>12} {:>14} {:>14}\n",
+        "path", "cpu_ms", "disk_sync_ms", "points/sec"
+    ));
+    out.push_str(&format!(
+        "{:<18} {:>12.1} {:>14.1} {:>14.0}\n",
+        "row-at-a-time", r.row_wall_ms, r.row_sync_ms, r.row_pps
+    ));
+    out.push_str(&format!(
+        "{:<18} {:>12.1} {:>14.1} {:>14.0}\n",
+        "columnar batches", r.batch_wall_ms, r.batch_sync_ms, r.batch_pps
+    ));
+    out.push_str(&format!(
+        "ingest speedup: {:.2}x (gate >= {INGEST_SPEEDUP_FLOOR}x)\n\n",
+        r.ingest_speedup()
+    ));
+    out.push_str(&format!(
+        "query: 1h count/max per 60s bucket over {} hot rows, {} passes\n",
+        r.rows_per_raw_pass, r.reps
+    ));
+    out.push_str(&format!(
+        "{:<24} {:>12}\n{:<24} {:>12.2}\n{:<24} {:>12.2}\n",
+        "path", "total_ms", "raw scan", r.raw_query_ms, "60s rollup tier", r.tier_query_ms
+    ));
+    out.push_str(&format!(
+        "rollup speedup: {:.2}x (gate >= {ROLLUP_SPEEDUP_FLOOR}x), {} tier cells\n",
+        r.rollup_speedup(),
+        r.tier_cells
+    ));
+    out.push_str(&format!(
+        "tier results bit-identical to raw: {}; rollup audit conserved: {}\n",
+        r.bit_identical, r.audit_conserved
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_meets_the_gates() {
+        let r = run(0.01);
+        assert!(r.series >= 8_192);
+        assert_eq!(r.points, r.series * POINTS_PER_SERIES);
+        assert_eq!(r.shards, pmove_tsdb::DEFAULT_SHARD_COUNT);
+        assert!(r.bit_identical, "tier-served rows diverged from raw");
+        assert!(r.audit_conserved, "rollup audit unbalanced");
+        assert!(
+            r.ingest_speedup() >= INGEST_SPEEDUP_FLOOR,
+            "ingest speedup {:.2}x",
+            r.ingest_speedup()
+        );
+        assert!(
+            r.rollup_speedup() >= ROLLUP_SPEEDUP_FLOOR,
+            "rollup speedup {:.2}x",
+            r.rollup_speedup()
+        );
+        let text = format(&r);
+        assert!(text.contains("columnar batches"));
+        assert!(text.contains("rollup speedup"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Print (and capture) the batch-ingest + rollup-tier benchmark: 1M+
+//! series through the columnar write path vs row-at-a-time, and the 1 h
+//! aggregate served from the 60 s tier vs a raw scan.
+//!
+//! `PMOVE_BENCH_SMOKE=1` shrinks the series count ~100× for CI; smoke
+//! runs gate but do not rewrite the pinned `docs/results/batch.txt`.
+
+use std::io::Write;
+
+fn main() {
+    let smoke = std::env::var("PMOVE_BENCH_SMOKE").is_ok();
+    let scale = if smoke { 0.01 } else { 1.0 };
+    let r = pmove_bench::batch::run(scale);
+    let text = pmove_bench::batch::format(&r);
+    print!("{text}");
+    if !smoke {
+        if let Ok(mut f) = std::fs::File::create("docs/results/batch.txt") {
+            let _ = f.write_all(text.as_bytes());
+        }
+    }
+
+    let mut failed = false;
+    let mut gate = |ok: bool, msg: String| {
+        if !ok {
+            println!("GATE FAILED: {msg}");
+            failed = true;
+        }
+    };
+    gate(
+        r.bit_identical,
+        "tier-served aggregate diverged from the raw scan".into(),
+    );
+    gate(
+        r.audit_conserved,
+        "rollup conservation audit unbalanced".into(),
+    );
+    gate(
+        r.shards == pmove_tsdb::DEFAULT_SHARD_COUNT,
+        format!(
+            "batches spread over {} shards, expected {}",
+            r.shards,
+            pmove_tsdb::DEFAULT_SHARD_COUNT
+        ),
+    );
+    gate(
+        r.ingest_speedup() >= pmove_bench::batch::INGEST_SPEEDUP_FLOOR,
+        format!(
+            "ingest speedup {:.2}x under the {}x floor",
+            r.ingest_speedup(),
+            pmove_bench::batch::INGEST_SPEEDUP_FLOOR
+        ),
+    );
+    gate(
+        r.rollup_speedup() >= pmove_bench::batch::ROLLUP_SPEEDUP_FLOOR,
+        format!(
+            "rollup speedup {:.2}x under the {}x floor",
+            r.rollup_speedup(),
+            pmove_bench::batch::ROLLUP_SPEEDUP_FLOOR
+        ),
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}

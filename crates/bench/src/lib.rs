@@ -18,8 +18,10 @@
 //! | [`fig8`]   | Fig. 8 — live-CARM during SpMV |
 //! | [`fig9`]   | Fig. 9 — live-CARM during likwid benchmarks |
 //! | [`storage`] | storage engine — chunk compression and recovery time |
+//! | [`batch`]  | columnar batch ingest + rollup-tier query gates |
 
 pub mod ablation;
+pub mod batch;
 pub mod chaos;
 pub mod fig4;
 pub mod fig5;

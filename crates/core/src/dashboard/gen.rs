@@ -259,6 +259,29 @@ pub fn self_dashboard(kb: &KnowledgeBase, snap: &pmove_obs::Snapshot) -> Dashboa
         d = d.panel("integrity", scrub_targets);
     }
 
+    // Batch ingest & rollup tiers: columnar write-path throughput and the
+    // continuous-query materialization counters, when the batched path or
+    // the rollup engine has run. Row-at-a-time runs with rollups disabled
+    // register only zero-valued counters, so they grow no panel.
+    let mut batch_names: Vec<String> = snap
+        .counters
+        .iter()
+        .filter(|(key, value)| {
+            (key.name.starts_with("tsdb.batch.") || key.name.starts_with("tsdb.rollup."))
+                && *value > 0
+        })
+        .map(|(key, _)| key.name.clone())
+        .collect();
+    batch_names.sort();
+    batch_names.dedup();
+    let batch_targets: Vec<Target> = batch_names
+        .iter()
+        .map(|name| target(&format!("{SELF_PREFIX}{name}"), "value"))
+        .collect();
+    if !batch_targets.is_empty() {
+        d = d.panel("batch & rollup", batch_targets);
+    }
+
     // Tracing & SLO: the SLO engine's meta-metrics and the tracer's
     // lifetime counters. Both families live in the `pmove.` namespace and
     // export under their own names (no `pmove.self.` prefix), so the

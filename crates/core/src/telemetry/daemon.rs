@@ -587,6 +587,27 @@ impl PMoveDaemon {
         true
     }
 
+    /// Enable continuous-query rollup tiers on the daemon's time-series
+    /// store: subsequent monitoring windows each end with one rollup tick
+    /// folding freshly written buckets into the configured tiers, so
+    /// long-window aggregate queries over monitored history are served
+    /// from downsampled cells instead of raw scans.
+    pub fn enable_rollups(&mut self, cfg: pmove_tsdb::RollupConfig) {
+        self.ts.enable_rollups(cfg);
+    }
+
+    /// One rollup materialization tick at the current virtual time,
+    /// stamped as a `daemon.rollup` span. No-op until
+    /// [`PMoveDaemon::enable_rollups`].
+    fn rollup_tick(&mut self) {
+        let Some(report) = self.ts.rollup_tick() else {
+            return;
+        };
+        let start = s_to_ns(self.now_s);
+        self.obs
+            .record_span("daemon.rollup", start, start + report.modeled_ns().max(1));
+    }
+
     /// One scrubber tick at the current virtual time, stamped as a
     /// `daemon.scrub` span. A single-node daemon has no replica to
     /// read-repair from, so a quarantined chunk is handled by rebuilding
@@ -630,6 +651,7 @@ impl PMoveDaemon {
         self.obs
             .record_span("daemon.monitor", s_to_ns(start_s), s_to_ns(self.now_s));
         self.scrub_tick();
+        self.rollup_tick();
         report
     }
 
@@ -670,6 +692,7 @@ impl PMoveDaemon {
         self.obs
             .record_span("daemon.monitor", s_to_ns(start_s), s_to_ns(self.now_s));
         self.scrub_tick();
+        self.rollup_tick();
         report
     }
 

@@ -480,12 +480,38 @@ impl TsStore {
         }
     }
 
+    /// [`TsStore::append`] taking ownership of the rows: identical WAL
+    /// frame, identical staging semantics, but the records move into the
+    /// staging buffer instead of being cloned — the batch ingest path
+    /// hands over thousands of rows per call and never reuses them.
+    pub fn append_owned(&mut self, rows: Vec<RowRecord>) {
+        if rows.is_empty() {
+            return;
+        }
+        self.wal.append(&encode_row_batch(&rows));
+        let count = rows.len() as u64;
+        self.staged.extend(rows);
+        if let Some(obs) = &self.obs {
+            obs.wal_records_appended.add(count);
+        }
+    }
+
     /// Modeled group-commit latency for a payload of `bytes` on this
     /// store's device spec — the same figure `commit` records into the
     /// `wal.commit_ns` histogram, exposed so tracing callers can stamp a
     /// `store.wal.group_commit` span with a consistent duration.
+    ///
+    /// The sync is modeled at block granularity: a commit persists whole
+    /// `IO_BLOCK_SIZE` device blocks, so a one-row frame pays the same
+    /// device time as a block-full frame. This rounding is exactly what
+    /// group commit amortizes — many rows riding one synced block
+    /// instead of one padded block per row.
     pub fn modeled_commit_ns(&self, bytes: u64) -> u64 {
-        (self.spec.write_time(bytes, IO_BLOCK_SIZE) * 1e9) as u64
+        let blocks = bytes.div_ceil(IO_BLOCK_SIZE as u64).max(1);
+        (self
+            .spec
+            .write_time(blocks * IO_BLOCK_SIZE as u64, IO_BLOCK_SIZE)
+            * 1e9) as u64
     }
 
     /// Group-commit every staged record; on success the rows are
@@ -497,8 +523,7 @@ impl TsStore {
             if info.records > 0 {
                 obs.wal_commits.inc();
                 obs.wal_bytes_committed.add(info.bytes);
-                obs.wal_commit_ns
-                    .record((self.spec.write_time(info.bytes, IO_BLOCK_SIZE) * 1e9) as u64);
+                obs.wal_commit_ns.record(self.modeled_commit_ns(info.bytes));
             }
         }
         if self.memtable.len() >= self.opts.flush_threshold_rows {

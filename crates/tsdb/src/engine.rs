@@ -2,6 +2,7 @@
 //! subscriptions, and the ingest limiter that models database-side
 //! backpressure.
 
+use crate::batch::{BatchOutcome, ColumnarBatch};
 use crate::cache::{CacheLookup, QueryCache};
 use crate::error::TsdbError;
 use crate::exec::{self, ExecMode, ExecStats};
@@ -9,6 +10,7 @@ use crate::line_protocol::{parse_series_key, render_series_key};
 use crate::point::Point;
 use crate::query::{Query, QueryResult};
 use crate::retention::RetentionPolicy;
+use crate::rollup::{RollupAudit, RollupConfig, RollupStore, RollupTickReport};
 use crate::series::SeriesKey;
 use crate::storage::{shard_of_key, Storage, DEFAULT_SHARD_COUNT};
 use crate::subscribe::{Subscription, SubscriptionHub};
@@ -31,7 +33,7 @@ use std::sync::Arc;
 pub const GAP_MEASUREMENT: &str = "pmove_gap";
 
 /// Translate a stored field value into its durable column form.
-fn column_of_field(v: &FieldValue) -> ColumnValue {
+pub(crate) fn column_of_field(v: &FieldValue) -> ColumnValue {
     match v {
         FieldValue::Float(x) => ColumnValue::F64(*x),
         FieldValue::Int(x) => ColumnValue::I64(*x),
@@ -66,6 +68,22 @@ fn rows_of_point(point: &Point) -> Vec<RowRecord> {
             )
         })
         .collect()
+}
+
+/// Mark every stored row's rollup bucket dirty — used when tiers are
+/// first enabled or after storage is rebuilt wholesale from the durable
+/// store, so the next tick folds the full history.
+fn mark_all_rows(rs: &mut RollupStore, storage: &Storage) {
+    for name in storage.measurement_names() {
+        let Some(view) = storage.measurement(&name) else {
+            continue;
+        };
+        for series in view.series_iter() {
+            for row in &series.rows {
+                rs.note_write(&name, row.timestamp);
+            }
+        }
+    }
 }
 
 /// Models the maximum sustained point-insertion rate of the database.
@@ -175,6 +193,19 @@ struct EngineObs {
     cache_insertions: Arc<Counter>,
     cache_evictions: Arc<Counter>,
     cache_invalidations: Arc<Counter>,
+    // Columnar batch ingest accounting.
+    batch_batches: Arc<Counter>,
+    batch_points: Arc<Counter>,
+    batch_rejected: Arc<Counter>,
+    batch_wal_frames: Arc<Counter>,
+    // Rollup tier accounting.
+    rollup_ticks: Arc<Counter>,
+    rollup_buckets_materialized: Arc<Counter>,
+    rollup_rows_folded: Arc<Counter>,
+    rollup_cells_written: Arc<Counter>,
+    rollup_queries_routed: Arc<Counter>,
+    rollup_buckets_tier: Arc<Counter>,
+    rollup_buckets_raw: Arc<Counter>,
 }
 
 impl EngineObs {
@@ -209,6 +240,17 @@ impl EngineObs {
             cache_insertions: c("tsdb.cache.insertions"),
             cache_evictions: c("tsdb.cache.evictions"),
             cache_invalidations: c("tsdb.cache.invalidations"),
+            batch_batches: c("tsdb.batch.batches"),
+            batch_points: c("tsdb.batch.points"),
+            batch_rejected: c("tsdb.batch.points_rejected"),
+            batch_wal_frames: c("tsdb.batch.wal_frames"),
+            rollup_ticks: c("tsdb.rollup.ticks"),
+            rollup_buckets_materialized: c("tsdb.rollup.buckets_materialized"),
+            rollup_rows_folded: c("tsdb.rollup.rows_folded"),
+            rollup_cells_written: c("tsdb.rollup.cells_written"),
+            rollup_queries_routed: c("tsdb.rollup.queries_routed"),
+            rollup_buckets_tier: c("tsdb.rollup.buckets_tier"),
+            rollup_buckets_raw: c("tsdb.rollup.buckets_raw"),
             registry,
         }
     }
@@ -232,6 +274,10 @@ pub struct Database {
     /// Per-measurement write version: bumped on every accepted write and
     /// on retention/recovery, validating cache entries lazily.
     versions: Mutex<HashMap<String, u64>>,
+    /// Continuous-query rollup tiers; `None` until
+    /// [`Database::enable_rollups`]. Lock order: `storage` is always
+    /// acquired before `rollups`, never the other way around.
+    rollups: RwLock<Option<RollupStore>>,
 }
 
 impl Database {
@@ -250,6 +296,7 @@ impl Database {
             exec_mode: Mutex::new(ExecMode::default()),
             cache: Mutex::new(QueryCache::default()),
             versions: Mutex::new(HashMap::new()),
+            rollups: RwLock::new(None),
         }
     }
 
@@ -330,20 +377,27 @@ impl Database {
     /// quarantine record on every boot/rebuild, so they can never be
     /// lost to the very corruption they describe.
     fn annotate_gaps(&self, quarantined: &[QuarantinedChunk]) {
-        let mut storage = self.storage.write();
-        for q in quarantined {
-            let Some((lo, hi)) = q.time_range else {
-                continue;
-            };
-            storage.insert(
-                Point::new(GAP_MEASUREMENT)
-                    .tag("source", "store")
-                    .tag("seq", format!("{:08}", q.seq))
-                    .field("gap_start_s", lo as f64 / 1e9)
-                    .field("gap_end_s", hi as f64 / 1e9)
-                    .field("rows_lost", q.rows as f64)
-                    .timestamp(hi),
-            );
+        let mut marked = Vec::new();
+        {
+            let mut storage = self.storage.write();
+            for q in quarantined {
+                let Some((lo, hi)) = q.time_range else {
+                    continue;
+                };
+                storage.insert(
+                    Point::new(GAP_MEASUREMENT)
+                        .tag("source", "store")
+                        .tag("seq", format!("{:08}", q.seq))
+                        .field("gap_start_s", lo as f64 / 1e9)
+                        .field("gap_end_s", hi as f64 / 1e9)
+                        .field("rows_lost", q.rows as f64)
+                        .timestamp(hi),
+                );
+                marked.push(hi);
+            }
+        }
+        for ts in marked {
+            self.mark_rollup_write(GAP_MEASUREMENT, ts);
         }
     }
 
@@ -367,13 +421,26 @@ impl Database {
         let rows = store.lock().scan()?;
         *self.storage.write() = Storage::new();
         self.load_rows(rows)?;
-        let names = self.storage.read().measurement_names();
-        let mut versions = self.versions.lock();
-        for v in versions.values_mut() {
-            *v += 1;
+        {
+            let names = self.storage.read().measurement_names();
+            let mut versions = self.versions.lock();
+            for v in versions.values_mut() {
+                *v += 1;
+            }
+            for name in names {
+                versions.entry(name).or_insert(1);
+            }
         }
-        for name in names {
-            versions.entry(name).or_insert(1);
+        // The in-memory view was replaced wholesale: drop every
+        // materialized tier and re-mark what now exists, so the next tick
+        // refolds the rebuilt truth (storage lock before rollups lock).
+        {
+            let storage = self.storage.read();
+            let mut guard = self.rollups.write();
+            if let Some(rs) = guard.as_mut() {
+                rs.clear();
+                mark_all_rows(rs, &storage);
+            }
         }
         Ok(true)
     }
@@ -555,7 +622,9 @@ impl Database {
         let end_ns = self.trace_ingest(&point, commit_ns, modeled_ns, &trace);
         self.hub.publish(&point);
         let measurement = point.measurement.clone();
+        let ts = point.timestamp;
         self.storage.write().insert(point);
+        self.mark_rollup_write(&measurement, ts);
         self.bump_version(&measurement);
         Ok(end_ns)
     }
@@ -645,7 +714,9 @@ impl Database {
         let end_ns = self.trace_ingest(&point, commit_ns, modeled_ns, &trace);
         self.hub.publish(&point);
         let measurement = point.measurement.clone();
+        let ts = point.timestamp;
         self.storage.write().insert(point);
+        self.mark_rollup_write(&measurement, ts);
         self.bump_version(&measurement);
         Ok(end_ns)
     }
@@ -691,6 +762,237 @@ impl Database {
     pub fn write_line_protocol(&self, text: &str) -> Result<usize, TsdbError> {
         let points = crate::line_protocol::parse_batch(text)?;
         Ok(self.write_points(points))
+    }
+
+    /// Columnar batched write path. Admission (empty-field checks, limiter
+    /// windows keyed on point timestamps, `points_offered`/`points_rejected`
+    /// accounting) happens per point in arrival order, so a stream pushed
+    /// through this path is observationally identical to row-at-a-time
+    /// [`Database::write_point`] calls — same accepted set, same ledger,
+    /// same stored rows bit for bit. What changes is the cost model: the
+    /// admitted points are pivoted into per-series columns, framed into
+    /// **one** WAL record, group-committed once, and bulk-inserted per
+    /// shard. Crash mid-frame replays or drops the whole batch — never a
+    /// prefix (see `store::wal` framing).
+    ///
+    /// A WAL commit error fails the entire call before anything is counted
+    /// inserted or published; the caller may retry the same batch (last
+    /// write wins makes the retry idempotent).
+    pub fn write_batch(&self, points: Vec<Point>) -> Result<BatchOutcome, TsdbError> {
+        let total = points.len();
+        let mut results = Vec::with_capacity(total);
+        let mut admitted = Vec::with_capacity(total);
+        let mut rejected = 0usize;
+        {
+            // Stats and limiter move together so a concurrent row-at-a-time
+            // writer can't interleave between the offered tick and the
+            // admission decision.
+            let mut stats = self.stats.lock();
+            let mut limiter = self.limiter.lock();
+            for point in points {
+                stats.points_offered += 1;
+                if point.fields.is_empty() {
+                    results.push(Err(TsdbError::EmptyFields));
+                    continue;
+                }
+                let n = point.field_count() as u64;
+                match limiter.admit(point.timestamp, n) {
+                    Ok(()) => {
+                        results.push(Ok(()));
+                        admitted.push(point);
+                    }
+                    Err(e) => {
+                        stats.points_rejected += 1;
+                        rejected += 1;
+                        results.push(Err(e));
+                    }
+                }
+            }
+        }
+        if let Some(o) = &self.obs {
+            o.points_offered.add(total as u64);
+            o.points_rejected.add(rejected as u64);
+        }
+        if admitted.is_empty() {
+            if let Some(o) = &self.obs {
+                o.batch_batches.inc();
+                o.batch_rejected.add(rejected as u64);
+            }
+            return Ok(BatchOutcome {
+                results,
+                accepted: 0,
+                rejected,
+                series: 0,
+                shards: 0,
+                commit_ns: 0,
+            });
+        }
+        let per_point: Vec<(u64, u64)> = admitted
+            .iter()
+            .map(|p| {
+                (
+                    p.field_count() as u64,
+                    p.fields.values().filter(|v| v.is_zero()).count() as u64,
+                )
+            })
+            .collect();
+        let accepted = admitted.len();
+        let batch = ColumnarBatch::build(admitted);
+        // Durability barrier: the whole batch rides one WAL frame and one
+        // group commit; acknowledgement implies the batch is durable.
+        let mut commit_ns = 0u64;
+        if let Some(store) = &self.store {
+            let rows = batch.wal_rows();
+            let mut st = store.lock();
+            st.append_owned(rows);
+            let info = st.commit()?;
+            commit_ns = st.modeled_commit_ns(info.bytes).max(1);
+        }
+        let values: u64 = per_point.iter().map(|(n, _)| n).sum();
+        let zeros: u64 = per_point.iter().map(|(_, z)| z).sum();
+        {
+            let mut stats = self.stats.lock();
+            stats.points_inserted += accepted as u64;
+            stats.values_inserted += values;
+            stats.zero_values_inserted += zeros;
+        }
+        if let Some(o) = &self.obs {
+            o.points_inserted.add(accepted as u64);
+            o.values_inserted.add(values);
+            o.zero_values_inserted.add(zeros);
+            for (n, _) in &per_point {
+                o.ingest_ns
+                    .record(EngineObs::INGEST_BASE_NS + EngineObs::INGEST_PER_VALUE_NS * n);
+            }
+            o.batch_batches.inc();
+            o.batch_points.add(accepted as u64);
+            o.batch_rejected.add(rejected as u64);
+            if self.store.is_some() {
+                o.batch_wal_frames.inc();
+            }
+        }
+        // Subscribers observe points in arrival order, exactly as the
+        // row-at-a-time path publishes them. Reconstructing points clones
+        // tag/field maps, so skip it entirely when nobody is listening.
+        if !self.hub.is_empty() {
+            for p in batch.arrival_points() {
+                self.hub.publish(&p);
+            }
+        }
+        let series = batch.series_count();
+        let shards = batch.shard_spread();
+        let mark_rollups = self.rollups.read().is_some();
+        let rollup_marks: Vec<(String, Vec<i64>)> = if mark_rollups {
+            batch
+                .series()
+                .iter()
+                .map(|sc| (sc.key.measurement.clone(), sc.ts.clone()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let measurements: std::collections::BTreeSet<String> = batch
+            .series()
+            .iter()
+            .map(|sc| sc.key.measurement.clone())
+            .collect();
+        {
+            let mut storage = self.storage.write();
+            batch.apply(&mut storage);
+        }
+        if !rollup_marks.is_empty() {
+            let mut guard = self.rollups.write();
+            if let Some(rs) = guard.as_mut() {
+                for (measurement, stamps) in &rollup_marks {
+                    for ts in stamps {
+                        rs.note_write(measurement, *ts);
+                    }
+                }
+            }
+        }
+        for m in &measurements {
+            self.bump_version(m);
+        }
+        Ok(BatchOutcome {
+            results,
+            accepted,
+            rejected,
+            series,
+            shards,
+            commit_ns,
+        })
+    }
+
+    /// Enable continuous-query rollup tiers with the given configuration.
+    /// Every row already stored is marked dirty so the first
+    /// [`Database::rollup_tick`] materializes the existing history; rows
+    /// written afterwards mark their buckets incrementally.
+    pub fn enable_rollups(&self, cfg: RollupConfig) {
+        let mut rs = RollupStore::new(cfg);
+        {
+            let storage = self.storage.read();
+            mark_all_rows(&mut rs, &storage);
+        }
+        *self.rollups.write() = Some(rs);
+    }
+
+    /// True when rollup tiers are enabled.
+    pub fn rollups_enabled(&self) -> bool {
+        self.rollups.read().is_some()
+    }
+
+    /// Run one rollup materialization pass: every bucket marked dirty since
+    /// the last tick is re-folded from raw storage into each tier. Bumps
+    /// the write version of every measurement whose tiers changed so the
+    /// query cache can never serve pre-rollup routing decisions. Returns
+    /// `None` when rollups are not enabled.
+    pub fn rollup_tick(&self) -> Option<RollupTickReport> {
+        let (report, touched) = {
+            // Lock order: storage before rollups. Readers of `rollups`
+            // never wait on `storage` while holding it, so no cycle.
+            let storage = self.storage.read();
+            let mut guard = self.rollups.write();
+            let rs = guard.as_mut()?;
+            rs.tick(&storage)
+        };
+        for name in &touched {
+            self.bump_version(name);
+        }
+        if let Some(o) = &self.obs {
+            o.rollup_ticks.inc();
+            o.rollup_buckets_materialized
+                .add(report.buckets_materialized);
+            o.rollup_rows_folded.add(report.rows_folded);
+            o.rollup_cells_written.add(report.cells_written);
+        }
+        Some(report)
+    }
+
+    /// Conservation audit across the rollup path: every raw row must be
+    /// accounted for by each materialized tier (tiers may hold **more**
+    /// rows than raw after retention — tiers outlive raw deliberately —
+    /// but never fewer once dirty buckets are drained). `None` when
+    /// rollups are not enabled.
+    pub fn rollup_audit(&self) -> Option<RollupAudit> {
+        let storage = self.storage.read();
+        let raw = storage.total_rows() as u64;
+        self.rollups.read().as_ref().map(|rs| rs.audit(raw))
+    }
+
+    /// Materialized tier cells currently held across all measurements
+    /// and tiers (0 when rollups are disabled).
+    pub fn rollup_cell_count(&self) -> u64 {
+        self.rollups.read().as_ref().map_or(0, |rs| rs.cell_count())
+    }
+
+    /// Mark one accepted write's bucket dirty in every rollup tier.
+    /// Callers must NOT hold the `storage` lock (lock order: storage
+    /// before rollups; this takes only `rollups`).
+    fn mark_rollup_write(&self, measurement: &str, ts: i64) {
+        let mut guard = self.rollups.write();
+        if let Some(rs) = guard.as_mut() {
+            rs.note_write(measurement, ts);
+        }
     }
 
     /// Run a textual query.
@@ -775,8 +1077,10 @@ impl Database {
         };
 
         let run = {
+            // Lock order: storage before rollups, matching every writer.
             let storage = self.storage.read();
-            exec::run(&storage, q, mode)
+            let rollups = self.rollups.read();
+            exec::run_with_rollups(&storage, q, mode, rollups.as_ref())
         };
         if let Some(o) = &self.obs {
             o.query_executions.inc();
@@ -878,6 +1182,11 @@ impl Database {
             o.query_shards_scanned.add(stats.shards_scanned);
             o.query_rows_scanned.add(stats.rows_scanned);
             o.query_series_pruned.add(stats.series_pruned);
+            if stats.rollup_routed {
+                o.rollup_queries_routed.inc();
+            }
+            o.rollup_buckets_tier.add(stats.rollup_buckets_tier);
+            o.rollup_buckets_raw.add(stats.rollup_buckets_raw);
         }
     }
 

@@ -97,6 +97,12 @@ pub struct ExecStats {
     pub rows_scanned: u64,
     /// Series skipped by the planner's time-bounds pruning.
     pub series_pruned: u64,
+    /// Served (at least partly) from materialized rollup tiers.
+    pub rollup_routed: bool,
+    /// Query buckets answered from tier cells.
+    pub rollup_buckets_tier: u64,
+    /// Query buckets computed from raw rows (window edges, dirty tiers).
+    pub rollup_buckets_raw: u64,
 }
 
 /// Execute a query in the given mode.
@@ -104,6 +110,19 @@ pub fn run(
     storage: &Storage,
     q: &Query,
     mode: ExecMode,
+) -> Result<(QueryResult, ExecStats), TsdbError> {
+    run_with_rollups(storage, q, mode, None)
+}
+
+/// [`run`] with optional rollup tiers: eligible aggregate queries on the
+/// parallel path are routed to the coarsest covering tier (see
+/// [`crate::rollup`] for the exactness envelope). Sequential mode never
+/// uses tiers — it stays the pure oracle the differential harness trusts.
+pub fn run_with_rollups(
+    storage: &Storage,
+    q: &Query,
+    mode: ExecMode,
+    rollups: Option<&crate::rollup::RollupStore>,
 ) -> Result<(QueryResult, ExecStats), TsdbError> {
     match mode {
         ExecMode::Sequential => {
@@ -115,7 +134,7 @@ pub fn run(
             };
             Ok((result, stats))
         }
-        ExecMode::Parallel(n) => run_parallel(storage, q, n.max(1)),
+        ExecMode::Parallel(n) => run_parallel(storage, q, n.max(1), rollups),
     }
 }
 
@@ -123,6 +142,7 @@ fn run_parallel(
     storage: &Storage,
     q: &Query,
     threads: usize,
+    rollups: Option<&crate::rollup::RollupStore>,
 ) -> Result<(QueryResult, ExecStats), TsdbError> {
     let (plan, view) = query::plan(storage, q)?;
 
@@ -144,7 +164,35 @@ fn run_parallel(
         shards_scanned: jobs.len() as u64,
         rows_scanned: 0,
         series_pruned: plan.series_pruned as u64,
+        rollup_routed: false,
+        rollup_buckets_tier: 0,
+        rollup_buckets_raw: 0,
     };
+
+    // Routed aggregate queries are answered from materialized tier cells,
+    // with per-bucket raw fallback for window edges and dirty buckets.
+    if let Some(rs) = rollups {
+        if let Some((tier_idx, interval)) = rs.route(&q.measurement, &plan) {
+            stats.rollup_routed = true;
+            let rows = rs.serve(
+                &q.measurement,
+                tier_idx,
+                interval,
+                &plan,
+                view,
+                &mut stats.rows_scanned,
+                &mut stats.rollup_buckets_tier,
+                &mut stats.rollup_buckets_raw,
+            );
+            return Ok((
+                QueryResult {
+                    columns: plan.columns,
+                    rows,
+                },
+                stats,
+            ));
+        }
+    }
 
     let rows = if !plan.aggregated {
         scan_rows(&plan, view, &jobs, threads, &mut stats)

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod aggregate;
+pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod error;
@@ -48,6 +49,7 @@ pub mod point;
 pub mod query;
 pub mod repl;
 pub mod retention;
+pub mod rollup;
 pub mod self_export;
 pub mod series;
 pub mod snapshot;
@@ -60,6 +62,7 @@ pub mod value;
 /// direct `pmove-store` dependency).
 pub use pmove_store as store;
 
+pub use batch::{BatchConfig, BatchIngester, BatchOutcome, ColumnarBatch};
 pub use cache::{QueryCache, DEFAULT_CACHE_CAPACITY};
 pub use engine::{Database, IngestLimiter, IngestStats, GAP_MEASUREMENT};
 pub use error::TsdbError;
@@ -70,6 +73,7 @@ pub use repl::{
     IntegrityReport, MerkleSnapshot, RepairReport, ReplConfig, ReplicaSet, MERKLE_BUCKETS,
 };
 pub use retention::RetentionPolicy;
+pub use rollup::{RollupAudit, RollupConfig, RollupStore, RollupTickReport};
 pub use self_export::export_snapshot;
 pub use series::{SeriesId, SeriesKey};
 pub use storage::DEFAULT_SHARD_COUNT;

@@ -43,6 +43,33 @@ pub fn shard_of_key(canonical_key: &str, shard_count: usize) -> usize {
     (h % shard_count as u64) as usize
 }
 
+/// [`shard_of_key`] without materializing the canonical string: streams the
+/// exact byte sequence `SeriesKey::canonical` would render
+/// (`measurement,k=v,...`, tags in BTreeMap order) through the same FNV-1a
+/// state. The batch ingest queues route every incoming point through this,
+/// so placement stays identical to the row path at zero allocations.
+pub fn shard_of_series(
+    measurement: &str,
+    tags: &BTreeMap<String, String>,
+    shard_count: usize,
+) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    feed(measurement.as_bytes());
+    for (k, v) in tags {
+        feed(b",");
+        feed(k.as_bytes());
+        feed(b"=");
+        feed(v.as_bytes());
+    }
+    (h % shard_count as u64) as usize
+}
+
 /// One stored sample: timestamp plus the point's field set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Row {
@@ -219,19 +246,23 @@ impl Storage {
         self.shard_count
     }
 
-    /// Insert one point, creating measurement/series as needed.
-    pub fn insert(&mut self, point: Point) {
-        let meta = self.meta.entry(point.measurement.clone()).or_default();
-        let key = SeriesKey {
-            measurement: point.measurement.clone(),
-            tags: point.tags.clone(),
-        };
-        let (id, shard) = match meta.series_ids.get(&key) {
+    /// Resolve `key` to its id and shard, allocating both on first
+    /// appearance. `canonical` is the precomputed canonical key when the
+    /// caller already rendered it (the columnar batch path); `None`
+    /// renders on demand. Either way the shard is the FNV-1a placement
+    /// [`shard_of_key`] defines, so batched and row-at-a-time inserts
+    /// agree on layout.
+    fn resolve_series(&mut self, key: &SeriesKey, canonical: Option<&str>) -> (SeriesId, usize) {
+        let meta = self.meta.entry(key.measurement.clone()).or_default();
+        match meta.series_ids.get(key) {
             Some(id) => (*id, meta.placement[id]),
             None => {
                 let id = SeriesId(self.next_series);
                 self.next_series += 1;
-                let shard = shard_of_key(&key.canonical(), self.shard_count);
+                let shard = match canonical {
+                    Some(c) => shard_of_key(c, self.shard_count),
+                    None => shard_of_key(&key.canonical(), self.shard_count),
+                };
                 meta.series_ids.insert(key.clone(), id);
                 meta.placement.insert(id, shard);
                 for (k, v) in &key.tags {
@@ -239,7 +270,7 @@ impl Storage {
                 }
                 self.shards[shard]
                     .series
-                    .entry(point.measurement.clone())
+                    .entry(key.measurement.clone())
                     .or_default()
                     .insert(
                         id,
@@ -250,7 +281,20 @@ impl Storage {
                     );
                 (id, shard)
             }
+        }
+    }
+
+    /// Insert one point, creating measurement/series as needed.
+    pub fn insert(&mut self, point: Point) {
+        let key = SeriesKey {
+            measurement: point.measurement.clone(),
+            tags: point.tags.clone(),
         };
+        let (id, shard) = self.resolve_series(&key, None);
+        let meta = self
+            .meta
+            .get_mut(&point.measurement)
+            .expect("just resolved");
         for k in point.fields.keys() {
             meta.field_keys.insert(k.clone(), ());
         }
@@ -265,6 +309,44 @@ impl Storage {
             .get_mut(&id)
             .expect("series just ensured")
             .insert(row);
+    }
+
+    /// Bulk-append rows of one series: the series is resolved (or
+    /// created) exactly as [`Storage::insert`] would — same id-allocation
+    /// order, same canonical-key shard placement — but once per call
+    /// instead of once per point, and the shard map is walked once for
+    /// the whole row set. Rows are inserted in the given order, so
+    /// duplicate-timestamp last-write-wins merges resolve identically to
+    /// inserting the rows one at a time.
+    pub fn insert_series_rows(&mut self, key: &SeriesKey, rows: Vec<Row>) {
+        self.insert_series_rows_placed(key, None, rows);
+    }
+
+    /// [`Storage::insert_series_rows`] with an optional precomputed
+    /// canonical key, sparing the batch path a second render per new
+    /// series.
+    pub(crate) fn insert_series_rows_placed(
+        &mut self,
+        key: &SeriesKey,
+        canonical: Option<&str>,
+        rows: Vec<Row>,
+    ) {
+        let (id, shard) = self.resolve_series(key, canonical);
+        let meta = self.meta.get_mut(&key.measurement).expect("just resolved");
+        for row in &rows {
+            for k in row.fields.keys() {
+                meta.field_keys.insert(k.clone(), ());
+            }
+        }
+        let series = self.shards[shard]
+            .series
+            .get_mut(&key.measurement)
+            .expect("shard map just ensured")
+            .get_mut(&id)
+            .expect("series just ensured");
+        for row in rows {
+            series.insert(row);
+        }
     }
 
     /// Access a measurement.
@@ -339,6 +421,26 @@ mod tests {
             .tag("host", host)
             .field("value", v)
             .timestamp(ts)
+    }
+
+    #[test]
+    fn streamed_shard_hash_matches_canonical_render() {
+        let keys = [
+            SeriesKey::new("cpu", [("host", "skx"), ("core", "0")]),
+            SeriesKey::new("m", [] as [(&str, &str); 0]),
+            SeriesKey::new("od,d=", [("a,b", "c=d"), ("", "")]),
+            SeriesKey::new("ünïcode", [("tag", "välue")]),
+        ];
+        for key in keys {
+            for count in [1, 4, 16] {
+                assert_eq!(
+                    shard_of_series(&key.measurement, &key.tags, count),
+                    shard_of_key(&key.canonical(), count),
+                    "divergent placement for {:?}",
+                    key.canonical()
+                );
+            }
+        }
     }
 
     #[test]
