@@ -1,0 +1,64 @@
+//! Print (and capture) the backup & disaster-recovery table: snapshot
+//! restore vs full archive replay, archiver ingest overhead, and the
+//! scheduled bit-exact restore drill.
+
+use std::io::Write;
+
+fn main() {
+    let smoke = pmove_bench::backup::smoke();
+    let cell = pmove_bench::backup::run();
+    let table = pmove_bench::backup::format(&cell);
+    print!("{table}");
+    // Only full-scale runs pin the results table — a smoke run would
+    // overwrite it with a tenth-scale workload.
+    if !smoke {
+        if let Ok(mut f) = std::fs::File::create("docs/results/backup.txt") {
+            let _ = f.write_all(table.as_bytes());
+        }
+    }
+    // Hard gates: restoring from the newest snapshot must beat replaying
+    // the whole archive by >= 5x (wall time and records replayed), the
+    // archiver must cost < 5% ingest time, both restore paths must agree
+    // with the live store bit-for-bit with balanced ledgers, and the
+    // scheduled drill must report a bit-exact restore with zero errors.
+    // Smoke mode keeps the deterministic gates (record counts, bit
+    // identity, ledger, drill) but skips the wall-clock gates — a
+    // tenth-scale run is too short to time meaningfully under CI load.
+    let mut failed = false;
+    if !smoke && cell.speedup < 5.0 {
+        println!(
+            "snapshot restore only {:.1}x faster than full replay (gate: >= 5x)",
+            cell.speedup
+        );
+        failed = true;
+    }
+    if cell.snap_replayed * 5 > cell.full_replayed {
+        println!(
+            "snapshot path replayed {} of {} archived records (gate: <= 1/5)",
+            cell.snap_replayed, cell.full_replayed
+        );
+        failed = true;
+    }
+    if !smoke && cell.overhead_pct >= 5.0 {
+        println!(
+            "archiver ingest overhead {:.2}% (gate: < 5%)",
+            cell.overhead_pct
+        );
+        failed = true;
+    }
+    if !cell.bit_identical {
+        println!("restored stores diverge from the live store");
+        failed = true;
+    }
+    if !cell.conserved {
+        println!("restore conservation ledger VIOLATED");
+        failed = true;
+    }
+    if !cell.drill_ok {
+        println!("scheduled restore drill failed");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

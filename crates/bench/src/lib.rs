@@ -21,6 +21,7 @@
 //! | [`batch`]  | columnar batch ingest + rollup-tier query gates |
 
 pub mod ablation;
+pub mod backup;
 pub mod batch;
 pub mod chaos;
 pub mod fig4;

@@ -259,6 +259,40 @@ pub fn self_dashboard(kb: &KnowledgeBase, snap: &pmove_obs::Snapshot) -> Dashboa
         d = d.panel("integrity", scrub_targets);
     }
 
+    // Backup & disaster recovery: archiver/snapshot progress counters,
+    // the last-success heartbeat gauge the backup-staleness SLO watches,
+    // restore accounting, and the drill's bit-exact pass/fail gauge.
+    // Daemons without backups enabled register none of these names, so
+    // they grow no panel.
+    let mut backup_names: Vec<String> = snap
+        .counters
+        .iter()
+        .filter(|(key, value)| {
+            (key.name.starts_with("store.backup.")
+                || key.name.starts_with("tsdb.restore.")
+                || key.name.starts_with("daemon.drill."))
+                && *value > 0
+        })
+        .map(|(key, _)| key.name.clone())
+        .chain(
+            snap.gauges
+                .iter()
+                .filter(|(key, _)| {
+                    key.name.starts_with("store.backup.") || key.name.starts_with("daemon.drill.")
+                })
+                .map(|(key, _)| key.name.clone()),
+        )
+        .collect();
+    backup_names.sort();
+    backup_names.dedup();
+    let backup_targets: Vec<Target> = backup_names
+        .iter()
+        .map(|name| target(&format!("{SELF_PREFIX}{name}"), "value"))
+        .collect();
+    if !backup_targets.is_empty() {
+        d = d.panel("backup & DR", backup_targets);
+    }
+
     // Batch ingest & rollup tiers: columnar write-path throughput and the
     // continuous-query materialization counters, when the batched path or
     // the rollup engine has run. Row-at-a-time runs with rollups disabled

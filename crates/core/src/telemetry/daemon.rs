@@ -104,6 +104,19 @@ pub struct PMoveDaemon {
     /// Cadence the scrubber was enabled with; drives the staleness bound
     /// of the `scrub_staleness` SLO.
     pub scrub_cfg: Option<pmove_tsdb::store::ScrubConfig>,
+    /// Backup cadence in virtual seconds; `None` until
+    /// [`PMoveDaemon::enable_backups`]. Ticks piggy-back on the
+    /// monitoring loop like scrubbing and rollups.
+    pub backup_period_s: Option<f64>,
+    /// Virtual time of the last completed backup generation.
+    pub last_backup_s: f64,
+    /// Run an automated restore drill after every this many completed
+    /// backup generations (0 disables the drill loop).
+    pub drill_every_backups: u64,
+    /// Completed generations since the last restore drill.
+    backups_since_drill: u64,
+    /// Restore drills run so far; seeds each drill's scratch disk.
+    drills_run: u64,
 }
 
 /// Modeled boot-step durations (virtual ns, deterministic): reading the
@@ -123,6 +136,46 @@ const REPAIR_PER_CELL_NS: u64 = 700;
 /// Degradation reason prefix for replication-driven monitor-only mode;
 /// used to recognise (and lift) it when the quorum returns.
 const REPL_DEGRADED_REASON: &str = "replication write quorum unreachable";
+/// Modeled fixed cost of fencing + committing one backup generation.
+const BACKUP_BASE_NS: u64 = 80_000;
+/// Modeled per-byte cost of copying chunk bytes to the backup disk.
+const BACKUP_PER_BYTE_NS: u64 = 2;
+/// Modeled fixed cost of one restore drill (scratch restore + diff).
+const DRILL_BASE_NS: u64 = 250_000;
+
+/// Flatten a database's cell space into a diffable map: `(canonical
+/// series, timestamp, field) -> value fingerprint`, floats fingerprinted
+/// by `f64::to_bits` so the drill comparison is bit-exact (NaN payloads
+/// and signed zeros included). Gap-marker annotations are skipped — they
+/// are in-memory derivations, deliberately never persisted, so a restored
+/// store cannot be expected to reproduce them.
+fn drill_cell_map(
+    db: &pmove_tsdb::Database,
+) -> std::collections::BTreeMap<(String, i64, String), (u8, u64)> {
+    use pmove_tsdb::FieldValue as F;
+    let mut map = std::collections::BTreeMap::new();
+    db.for_each_cell(&mut |key, ts, field, value| {
+        let canonical = key.canonical();
+        if canonical.starts_with(pmove_tsdb::GAP_MEASUREMENT) {
+            return;
+        }
+        let fp = match value {
+            F::Float(x) => (0u8, x.to_bits()),
+            F::Int(x) => (1, *x as u64),
+            F::Bool(x) => (2, u64::from(*x)),
+            F::Str(s) => {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in s.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                (3, h)
+            }
+        };
+        map.insert((canonical, ts, field.to_string()), fp);
+    });
+    map
+}
 
 /// Steps ⓪–②: environment, probe, KB generation. Returns the KB and the
 /// boot-timeline position after step ②.
@@ -186,6 +239,11 @@ impl PMoveDaemon {
             degraded_reason: None,
             scrubber: None,
             scrub_cfg: None,
+            backup_period_s: None,
+            last_backup_s: 0.0,
+            drill_every_backups: 3,
+            backups_since_drill: 0,
+            drills_run: 0,
         })
     }
 
@@ -251,6 +309,11 @@ impl PMoveDaemon {
             degraded_reason: None,
             scrubber: None,
             scrub_cfg: None,
+            backup_period_s: None,
+            last_backup_s: 0.0,
+            drill_every_backups: 3,
+            backups_since_drill: 0,
+            drills_run: 0,
         })
     }
 
@@ -587,6 +650,130 @@ impl PMoveDaemon {
         true
     }
 
+    /// Enable scheduled backups of the durable time-series store:
+    /// committed WAL frames stream continuously into a generation-
+    /// addressed archive on a dedicated seeded backup disk, and every
+    /// `period_s` of monitored virtual time the monitor loop captures a
+    /// complete snapshot generation there ([`PMoveDaemon::backup_tick`]).
+    /// Every `drill_every_backups` generations an automated restore
+    /// drill restores the newest backup into a scratch store and diffs
+    /// it bit-exactly against the live database. Call before
+    /// [`PMoveDaemon::install_default_slos`] so the `backup_staleness`
+    /// objective (pages when the `store.backup.last_success` heartbeat
+    /// falls three periods behind) picks up this cadence. Returns
+    /// `false` (and enables nothing) on a memory-only daemon.
+    pub fn enable_backups(&mut self, period_s: f64) -> bool {
+        assert!(period_s > 0.0, "backup period must be positive");
+        if !self.ts.is_durable() {
+            return false;
+        }
+        let seed = Self::trace_seed(self.machine.key()) ^ 0xBACC_BACC_BACC_BACC;
+        let dest: Arc<dyn pmove_tsdb::store::Vfs> =
+            Arc::new(pmove_tsdb::store::MemDisk::new(seed | 1));
+        // Stamp the clock first so catch-up archival of any already-
+        // committed WAL tail carries the current time, not 0.
+        self.ts.note_time((self.now_s * 1e9).round() as i64);
+        if self.ts.enable_backup(dest).is_err() {
+            self.obs.counter("daemon.backup.errors", &[]).inc();
+            return false;
+        }
+        // Group archival: the commit fast path stages the payload and the
+        // destination write happens every 32 records (or at any flush or
+        // snapshot fence), keeping archiver ingest overhead negligible.
+        self.ts.set_archive_group(32);
+        self.backup_period_s = Some(period_s);
+        self.last_backup_s = self.now_s;
+        true
+    }
+
+    /// One backup-scheduler tick at the current virtual time: stamp the
+    /// store's virtual clock (archived records carry it; it is what
+    /// point-in-time restore targets), and when a full period has elapsed
+    /// capture a snapshot generation, stamped as a `daemon.backup` span.
+    /// Every `drill_every_backups` completed generations the tick also
+    /// runs [`PMoveDaemon::restore_drill`]. No-op until
+    /// [`PMoveDaemon::enable_backups`].
+    fn backup_tick(&mut self) {
+        let Some(period_s) = self.backup_period_s else {
+            return;
+        };
+        self.ts.note_time((self.now_s * 1e9).round() as i64);
+        if self.now_s - self.last_backup_s + 1e-9 < period_s {
+            return;
+        }
+        let start = s_to_ns(self.now_s);
+        match self.ts.backup_now() {
+            Ok(Some(report)) => {
+                self.last_backup_s = self.now_s;
+                let modeled = BACKUP_BASE_NS + report.bytes * BACKUP_PER_BYTE_NS;
+                self.obs
+                    .record_span("daemon.backup", start, start + modeled.max(1));
+                self.backups_since_drill += 1;
+                if self.drill_every_backups > 0
+                    && self.backups_since_drill >= self.drill_every_backups
+                {
+                    self.backups_since_drill = 0;
+                    self.restore_drill();
+                }
+            }
+            Ok(None) => {}
+            Err(_) => {
+                self.obs.counter("daemon.backup.errors", &[]).inc();
+            }
+        }
+    }
+
+    /// Disaster-recovery drill: restore the newest backup generation (plus
+    /// the archived WAL tail) into a scratch store and diff every restored
+    /// cell bit-exactly (`f64::to_bits`) against the live database.
+    /// Publishes `daemon.drill.*` metrics — `bit_exact` is the pass/fail
+    /// gauge an operator alerts on — and stamps a `daemon.restore_drill`
+    /// span. Returns `Some(true)` when the restored state matched,
+    /// `Some(false)` on any mismatch or restore refusal, `None` when
+    /// backups are not enabled.
+    pub fn restore_drill(&mut self) -> Option<bool> {
+        let src = self.ts.backup_dest()?;
+        let start = s_to_ns(self.now_s);
+        self.drills_run += 1;
+        self.obs.counter("daemon.drill.runs", &[]).inc();
+        let seed = Self::trace_seed(self.machine.key()) ^ 0xD1A1_0000_0000_0000 ^ self.drills_run;
+        let scratch: Arc<dyn pmove_tsdb::store::Vfs> =
+            Arc::new(pmove_tsdb::store::MemDisk::new(seed | 1));
+        let restored = pmove_tsdb::Database::restored_at_with_obs(
+            format!("{}-drill", self.ts.name()),
+            src.as_ref(),
+            scratch,
+            pmove_tsdb::store::StoreOptions::default(),
+            self.obs.clone(),
+            i64::MAX,
+        );
+        let ok = match restored {
+            Ok((scratch_db, report)) => {
+                let live = drill_cell_map(&self.ts);
+                let rest = drill_cell_map(&scratch_db);
+                let mismatches = live
+                    .iter()
+                    .filter(|(k, v)| rest.get(*k) != Some(*v))
+                    .count()
+                    + rest.iter().filter(|(k, _)| !live.contains_key(*k)).count();
+                let c = |name: &str, v: u64| self.obs.counter(name, &[]).add(v);
+                c("daemon.drill.cells_compared", live.len() as u64);
+                c("daemon.drill.mismatches", mismatches as u64);
+                mismatches == 0 && report.conserved()
+            }
+            Err(_) => {
+                self.obs.counter("daemon.drill.restore_errors", &[]).inc();
+                false
+            }
+        };
+        self.obs
+            .gauge("daemon.drill.bit_exact", &[])
+            .set(if ok { 1.0 } else { 0.0 });
+        self.obs
+            .record_span("daemon.restore_drill", start, start + DRILL_BASE_NS.max(1));
+        Some(ok)
+    }
+
     /// Enable continuous-query rollup tiers on the daemon's time-series
     /// store: subsequent monitoring windows each end with one rollup tick
     /// folding freshly written buckets into the configured tiers, so
@@ -652,6 +839,7 @@ impl PMoveDaemon {
             .record_span("daemon.monitor", s_to_ns(start_s), s_to_ns(self.now_s));
         self.scrub_tick();
         self.rollup_tick();
+        self.backup_tick();
         report
     }
 
@@ -693,6 +881,7 @@ impl PMoveDaemon {
             .record_span("daemon.monitor", s_to_ns(start_s), s_to_ns(self.now_s));
         self.scrub_tick();
         self.rollup_tick();
+        self.backup_tick();
         report
     }
 
@@ -914,6 +1103,13 @@ impl PMoveDaemon {
             .unwrap_or_else(|| pmove_tsdb::store::ScrubConfig::default().full_pass_period_s);
         self.slo
             .add(SloSpec::scrub_staleness((period_s * 3.0 * 1e9) as u64));
+        // Backup staleness: page when the newest complete generation's
+        // fence falls three backup periods behind. Daemons that never
+        // enable backups never publish the gauge and stay vacuously Ok.
+        let backup_period_s = self.backup_period_s.unwrap_or(60.0);
+        self.slo.add(SloSpec::backup_staleness(
+            (backup_period_s * 3.0 * 1e9) as u64,
+        ));
     }
 
     /// Evaluate every installed SLO against the current registry state at
@@ -1241,6 +1437,68 @@ mod tests {
     }
 
     #[test]
+    fn backup_daemon_archives_snapshots_and_drills_bit_exactly() {
+        use pmove_tsdb::store::{MemDisk, Vfs};
+        let disk = Arc::new(MemDisk::new(51));
+        let vfs: Arc<dyn Vfs> = disk;
+        let mut d = PMoveDaemon::for_preset_durable("icl", vfs).unwrap();
+        assert!(d.enable_backups(10.0));
+        d.drill_every_backups = 2;
+        d.install_default_slos();
+        // Memory-only daemons have nothing durable to back up.
+        let mut plain = PMoveDaemon::for_preset("icl").unwrap();
+        assert!(!plain.enable_backups(10.0));
+
+        // Each monitoring window ends with a backup tick; after 40 s of
+        // monitored time at a 10 s period several generations exist and
+        // the scheduled drill has run at least once.
+        for _ in 0..8 {
+            d.monitor(5.0, 2.0);
+        }
+        let stats = d.ts.backup_stats().expect("backups enabled");
+        assert!(
+            stats.generations_completed >= 3,
+            "40 s / 10 s period produced {} generations",
+            stats.generations_completed
+        );
+        assert!(stats.records_archived > 0, "archiver saw no commits");
+        assert_eq!(stats.backup_errors, 0);
+        let snap = d.obs.snapshot();
+        assert!(snap.span("daemon.backup").is_some());
+        assert!(snap.span("daemon.restore_drill").is_some());
+        assert_eq!(
+            snap.gauge("daemon.drill.bit_exact", &[]),
+            Some(1.0),
+            "scheduled drill restore diverged from the live store"
+        );
+        assert!(
+            snap.gauges
+                .iter()
+                .any(|(k, _)| k.name == "store.backup.last_success"),
+            "backup heartbeat gauge missing"
+        );
+        // An explicit drill also passes and counts its cells.
+        assert_eq!(d.restore_drill(), Some(true));
+        let snap = d.obs.snapshot();
+        assert!(
+            snap.counter("daemon.drill.cells_compared", &[])
+                .unwrap_or(0)
+                > 0
+        );
+        assert_eq!(snap.counter("daemon.drill.mismatches", &[]), Some(0));
+        // The heartbeat is fresh, so the staleness SLO stays quiet.
+        d.evaluate_slos();
+        assert_eq!(d.slo.state("backup_staleness"), Some(AlertState::Ok));
+        // The self-dashboard grew the backup & DR panel.
+        let dash = d.self_dashboard();
+        assert!(
+            dash.panels.iter().any(|p| p.title == "backup & DR"),
+            "dashboard panels: {:?}",
+            dash.panels.iter().map(|p| &p.title).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn supervised_boot_uses_full_stack_when_storage_is_healthy() {
         use pmove_tsdb::store::{MemDisk, Vfs};
         let disk = Arc::new(MemDisk::new(21));
@@ -1534,9 +1792,9 @@ mod tests {
     fn default_slos_stay_quiet_on_healthy_runs() {
         let mut d = PMoveDaemon::for_preset("icl").unwrap();
         d.install_default_slos();
-        assert_eq!(d.slo.len(), 6);
+        assert_eq!(d.slo.len(), 7);
         d.install_default_slos(); // idempotent
-        assert_eq!(d.slo.len(), 6);
+        assert_eq!(d.slo.len(), 7);
         d.monitor(5.0, 2.0);
         let fired = d.evaluate_slos();
         assert!(fired.is_empty(), "{fired:?}");
@@ -1544,6 +1802,8 @@ mod tests {
         assert_eq!(d.slo.state("conservation"), Some(AlertState::Ok));
         // No serving traffic yet: the serving SLO idles at Ok.
         assert_eq!(d.slo.state("serving_p99"), Some(AlertState::Ok));
+        // No backups configured: the staleness SLO is vacuously healthy.
+        assert_eq!(d.slo.state("backup_staleness"), Some(AlertState::Ok));
         // Meta-gauges are published under the pmove.slo.* namespace.
         let snap = d.obs.snapshot();
         assert!(snap.gauges.iter().any(|(k, _)| k.name == "pmove.slo.state"));

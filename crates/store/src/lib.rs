@@ -24,6 +24,7 @@
 //! - [`store`] — the engine tying them together ([`store::TsStore`])
 //! - [`scrub`] — background integrity verification over the engine
 
+pub mod backup;
 pub mod chunk;
 pub mod crc;
 pub mod encode;
@@ -35,6 +36,10 @@ pub mod store;
 pub mod vfs;
 pub mod wal;
 
+pub use backup::{
+    list_generations, restore_at, restore_replay_all, BackupAttach, BackupError, BackupReport,
+    BackupStats, Manifest, ManifestChunk, RestoreReport,
+};
 pub use chunk::{chunk_name, parse_chunk_name, probe_chunk, ChunkInfo, ChunkProbe};
 pub use error::{StoreError, StoreResult};
 pub use memdisk::{FaultMode, FaultPlan, MemDisk, RotEvent, RotRecord, RotSchedule};

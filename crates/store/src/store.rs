@@ -19,6 +19,7 @@
 //! wall clock — so the `pmove.self.wal.*` / `pmove.self.compaction.*`
 //! telemetry is bit-reproducible across runs and hosts.
 
+use crate::backup::{BackupAttach, BackupReport, BackupState, BackupStats};
 use crate::chunk::{
     chunk_name, parse_chunk_name, probe_chunk, read_chunk_bytes, write_chunk, ChunkInfo,
 };
@@ -96,6 +97,8 @@ pub enum DetectionSite {
     Compact,
     /// The background scrubber.
     Scrub,
+    /// A backup job verifying a chunk before copying it out.
+    Backup,
 }
 
 /// One chunk moved to the quarantine namespace. `rows` and `time_range`
@@ -212,6 +215,15 @@ pub struct StoreObs {
     scrub_wal_rewrites: Arc<Counter>,
     scrub_full_passes: Arc<Counter>,
     scrub_last_full_pass: Arc<Gauge>,
+    backup_generations: Arc<Counter>,
+    backup_chunks_copied: Arc<Counter>,
+    backup_bytes_copied: Arc<Counter>,
+    backup_chunks_skipped: Arc<Counter>,
+    backup_errors: Arc<Counter>,
+    backup_archive_records: Arc<Counter>,
+    backup_archive_bytes: Arc<Counter>,
+    backup_archive_errors: Arc<Counter>,
+    backup_last_success: Arc<Gauge>,
 }
 
 impl StoreObs {
@@ -249,6 +261,15 @@ impl StoreObs {
             scrub_wal_rewrites: registry.counter("store.scrub.wal_rewrites", l),
             scrub_full_passes: registry.counter("store.scrub.full_passes", l),
             scrub_last_full_pass: registry.gauge("store.scrub.last_full_pass", l),
+            backup_generations: registry.counter("store.backup.generations", l),
+            backup_chunks_copied: registry.counter("store.backup.chunks_copied", l),
+            backup_bytes_copied: registry.counter("store.backup.bytes_copied", l),
+            backup_chunks_skipped: registry.counter("store.backup.chunks_skipped", l),
+            backup_errors: registry.counter("store.backup.errors", l),
+            backup_archive_records: registry.counter("store.backup.archive_records", l),
+            backup_archive_bytes: registry.counter("store.backup.archive_bytes", l),
+            backup_archive_errors: registry.counter("store.backup.archive_errors", l),
+            backup_last_success: registry.gauge("store.backup.last_success", l),
         }
     }
 }
@@ -354,6 +375,14 @@ pub struct TsStore {
     chunk_meta: BTreeMap<u64, ChunkMeta>,
     /// Every chunk quarantined over this store's lifetime (boot included).
     quarantined: Vec<QuarantinedChunk>,
+    /// Archive + snapshot machinery, present when backups are enabled.
+    bk: Option<BackupState>,
+    /// Backup stats already mirrored into `obs` (delta tracking).
+    bk_synced: BackupStats,
+    /// Virtual-clock stamp from [`TsStore::note_time`]; kept on the store
+    /// (not just the backup state) so an archiver attached after a
+    /// restart resumes at the caller's clock, never at 0.
+    vts: i64,
     obs: Option<StoreObs>,
 }
 
@@ -461,6 +490,9 @@ impl TsStore {
                 next_seq,
                 chunk_meta,
                 quarantined,
+                bk: None,
+                bk_synced: BackupStats::default(),
+                vts: 0,
                 obs,
             },
             report,
@@ -473,7 +505,11 @@ impl TsStore {
         if rows.is_empty() {
             return;
         }
-        self.wal.append(&encode_row_batch(rows));
+        let payload = encode_row_batch(rows);
+        self.wal.append(&payload);
+        if let Some(bk) = &mut self.bk {
+            bk.stage(payload);
+        }
         self.staged.extend_from_slice(rows);
         if let Some(obs) = &self.obs {
             obs.wal_records_appended.add(rows.len() as u64);
@@ -488,7 +524,11 @@ impl TsStore {
         if rows.is_empty() {
             return;
         }
-        self.wal.append(&encode_row_batch(&rows));
+        let payload = encode_row_batch(&rows);
+        self.wal.append(&payload);
+        if let Some(bk) = &mut self.bk {
+            bk.stage(payload);
+        }
         let count = rows.len() as u64;
         self.staged.extend(rows);
         if let Some(obs) = &self.obs {
@@ -519,6 +559,13 @@ impl TsStore {
     pub fn commit(&mut self) -> StoreResult<CommitInfo> {
         let info = self.wal.commit()?;
         self.memtable.append(&mut self.staged);
+        if let Some(bk) = &mut self.bk {
+            // Archive only what the primary acknowledged; archival lag
+            // (a slow or crashed backup disk) never fails the commit.
+            // Below the group-archival threshold this is a no-op — the
+            // backlog drains on the next flush, snapshot, or full group.
+            bk.archive_maybe();
+        }
         if let Some(obs) = &self.obs {
             if info.records > 0 {
                 obs.wal_commits.inc();
@@ -526,6 +573,7 @@ impl TsStore {
                 obs.wal_commit_ns.record(self.modeled_commit_ns(info.bytes));
             }
         }
+        self.sync_backup_obs();
         if self.memtable.len() >= self.opts.flush_threshold_rows {
             self.flush()?;
         }
@@ -551,6 +599,9 @@ impl TsStore {
         self.memtable.clear();
         self.chunk_seqs.push(seq);
         self.next_seq += 1;
+        if let Some(bk) = &mut self.bk {
+            bk.on_flush();
+        }
         if let Some(obs) = &self.obs {
             obs.compaction_snapshots.inc();
             obs.wal_resets.inc();
@@ -621,8 +672,18 @@ impl TsStore {
         let seq = self.next_seq;
         let written = write_chunk(self.vfs.as_ref(), seq, &out_rows)?;
         // Only after the merged chunk is durable do the inputs go away.
-        for &old in &self.chunk_seqs {
-            self.vfs.remove(&chunk_name(old))?;
+        // Inputs pinned by an in-progress backup job outlive the merge:
+        // the snapshot fenced them, so their bytes must stay readable
+        // until the job's manifest lands (or the job aborts).
+        for &old in &self.chunk_seqs.clone() {
+            if self.bk.as_ref().is_some_and(|bk| bk.is_pinned(old)) {
+                self.bk
+                    .as_mut()
+                    .expect("pin implies backup state")
+                    .defer_delete(chunk_name(old));
+            } else {
+                self.vfs.remove(&chunk_name(old))?;
+            }
             self.chunk_meta.remove(&old);
         }
         self.chunk_seqs.clear();
@@ -807,6 +868,193 @@ impl TsStore {
             }
         }
         Ok(out)
+    }
+
+    // ------------------------------------------------------------ backup
+
+    /// Enable backups: attach the archiver to `dest` (its own [`Vfs`] —
+    /// a separate disk, so primary disasters never touch the backups)
+    /// and re-archive the live WAL contents so rows committed before
+    /// enablement, or recovered across a crash, are covered.
+    pub fn enable_backup(&mut self, dest: Arc<dyn Vfs>) -> StoreResult<BackupAttach> {
+        let vts = self.bk.as_ref().map_or(self.vts, |bk| bk.vts.max(self.vts));
+        let (payloads, _, _) = scan_frames(&self.wal.raw_bytes()?);
+        let (bk, attach) = BackupState::attach(dest, vts, &payloads)?;
+        self.bk = Some(bk);
+        self.sync_backup_obs();
+        Ok(attach)
+    }
+
+    /// Is the backup subsystem attached?
+    pub fn backup_enabled(&self) -> bool {
+        self.bk.is_some()
+    }
+
+    /// Set the archiver's group-archival threshold: commits stage their
+    /// payload and the archive write happens once `group` records are
+    /// pending (flushes and snapshot fences always drain). `group = 1`
+    /// (the default) archives on every commit; the daemon uses a larger
+    /// group so archival adds one `Vec` push to the commit fast path.
+    pub fn set_archive_group(&mut self, group: u64) {
+        if let Some(bk) = &mut self.bk {
+            bk.set_group(group);
+        }
+    }
+
+    /// The backup destination, when backups are enabled.
+    pub fn backup_dest(&self) -> Option<Arc<dyn Vfs>> {
+        self.bk.as_ref().map(|bk| bk.dest())
+    }
+
+    /// Running backup/archive totals, when backups are enabled.
+    pub fn backup_stats(&self) -> Option<BackupStats> {
+        self.bk.as_ref().map(|bk| bk.stats())
+    }
+
+    /// Advance the store's virtual clock (monotonic); archived records
+    /// and snapshot fences are stamped with this timestamp.
+    pub fn note_time(&mut self, vts: i64) {
+        self.vts = self.vts.max(vts);
+        if let Some(bk) = &mut self.bk {
+            bk.note_time(vts);
+        }
+    }
+
+    /// Begin an online snapshot generation: fence the archive at the
+    /// current sequence, pin the live chunk set against compaction, and
+    /// return the generation id. Writes continue concurrently.
+    pub fn backup_begin(&mut self) -> StoreResult<u64> {
+        let seqs = self.chunk_seqs.clone();
+        let bk = self
+            .bk
+            .as_mut()
+            .ok_or_else(|| StoreError::Io("backups not enabled".into()))?;
+        bk.begin_job(&seqs)
+    }
+
+    /// Copy up to `max_chunks` pending chunks of the active snapshot job
+    /// into its generation, verifying each chunk's CRC on the way out.
+    /// A chunk that fails verification is quarantined (the job skips it
+    /// and the loss is accounted like any other quarantine). Returns
+    /// `true` when every chunk has been processed.
+    pub fn backup_step(&mut self, max_chunks: usize) -> StoreResult<bool> {
+        for _ in 0..max_chunks {
+            let Some(seq) = self
+                .bk
+                .as_mut()
+                .ok_or_else(|| StoreError::Io("backups not enabled".into()))?
+                .job_todo_pop()
+            else {
+                return Ok(true);
+            };
+            let name = chunk_name(seq);
+            let data = match self.vfs.read(&name) {
+                Ok(d) => d,
+                Err(StoreError::DiskCrashed) => return Err(StoreError::DiskCrashed),
+                Err(_) => {
+                    // Quarantined (or otherwise gone) mid-job: the
+                    // generation proceeds without it.
+                    self.bk.as_mut().expect("checked above").job_skip_chunk();
+                    continue;
+                }
+            };
+            match read_chunk_bytes(&name, &data) {
+                Ok((_, rows)) => {
+                    let rows = rows.len() as u64;
+                    let res = self
+                        .bk
+                        .as_mut()
+                        .expect("checked above")
+                        .job_copy_chunk(seq, &data, rows);
+                    self.sync_backup_obs();
+                    res?;
+                }
+                Err(StoreError::DiskCrashed) => return Err(StoreError::DiskCrashed),
+                Err(_) => {
+                    // The live chunk itself is damaged: quarantine it
+                    // (if still live) and continue the generation over
+                    // the survivors.
+                    if self.chunk_seqs.contains(&seq) {
+                        self.quarantine(seq, &data, DetectionSite::Backup)?;
+                    }
+                    self.bk.as_mut().expect("checked above").job_skip_chunk();
+                }
+            }
+        }
+        Ok(self.bk.as_ref().is_some_and(|bk| bk.job_todo_is_empty()))
+    }
+
+    /// Write the active job's manifest — the commit point of the whole
+    /// generation — release the pins, and apply deferred deletions.
+    pub fn backup_finish(&mut self) -> StoreResult<BackupReport> {
+        let bk = self
+            .bk
+            .as_mut()
+            .ok_or_else(|| StoreError::Io("backups not enabled".into()))?;
+        let (report, deferred) = bk.finish_job()?;
+        if let Some(obs) = &self.obs {
+            obs.backup_generations.inc();
+            obs.backup_last_success.set(report.fence_vts as f64);
+        }
+        for name in deferred {
+            // Best-effort: these were compaction inputs the pin kept
+            // alive; failing to delete them costs bytes, not safety.
+            let _ = self.vfs.remove(&name);
+        }
+        self.sync_backup_obs();
+        Ok(report)
+    }
+
+    /// Abandon the active snapshot job (pins released, generation id
+    /// burned, torn files left without a manifest — invisible to
+    /// restore).
+    pub fn backup_abort(&mut self) {
+        let deferred = match &mut self.bk {
+            Some(bk) => bk.abort_job(),
+            None => Vec::new(),
+        };
+        for name in deferred {
+            let _ = self.vfs.remove(&name);
+        }
+        self.sync_backup_obs();
+    }
+
+    /// One-shot convenience: begin, copy every chunk, and finish a
+    /// snapshot generation. On any error the job is aborted — the torn
+    /// generation has no manifest and can never be restored from.
+    pub fn backup_now(&mut self) -> StoreResult<BackupReport> {
+        self.backup_begin()?;
+        let res = (|| -> StoreResult<BackupReport> {
+            while !self.backup_step(usize::MAX)? {}
+            self.backup_finish()
+        })();
+        if res.is_err() {
+            self.backup_abort();
+        }
+        res
+    }
+
+    /// Mirror backup stat deltas into the metric handles.
+    fn sync_backup_obs(&mut self) {
+        let (Some(bk), Some(obs)) = (&self.bk, &self.obs) else {
+            return;
+        };
+        let now = bk.stats();
+        let was = self.bk_synced;
+        obs.backup_chunks_copied
+            .add(now.chunks_copied - was.chunks_copied);
+        obs.backup_bytes_copied
+            .add(now.bytes_copied - was.bytes_copied);
+        obs.backup_chunks_skipped
+            .add(now.chunks_skipped - was.chunks_skipped);
+        obs.backup_errors.add(now.backup_errors - was.backup_errors);
+        obs.backup_archive_records
+            .add(now.records_archived - was.records_archived);
+        obs.backup_archive_bytes
+            .add(now.bytes_archived - was.bytes_archived);
+        obs.backup_archive_errors
+            .add(now.archive_errors - was.archive_errors);
+        self.bk_synced = now;
     }
 
     /// Record a completed full-store scrub pass at virtual time `now_s`

@@ -19,8 +19,9 @@ use crossbeam::channel::Receiver;
 use parking_lot::{Mutex, RwLock};
 use pmove_obs::{Counter, Histogram, Registry, TraceContext, Tracer};
 use pmove_store::{
-    ChunkInfo, ColumnValue, CompactionReport, QuarantinedChunk, RecoveryReport, RowRecord,
-    ScrubReport, Scrubber, StoreObs, StoreOptions, TsStore, Vfs,
+    BackupAttach, BackupReport, BackupStats, ChunkInfo, ColumnValue, CompactionReport,
+    QuarantinedChunk, RecoveryReport, RestoreReport, RowRecord, ScrubReport, Scrubber, StoreObs,
+    StoreOptions, TsStore, Vfs,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -206,6 +207,11 @@ struct EngineObs {
     rollup_queries_routed: Arc<Counter>,
     rollup_buckets_tier: Arc<Counter>,
     rollup_buckets_raw: Arc<Counter>,
+    // Point-in-time restore accounting.
+    restore_runs: Arc<Counter>,
+    restore_rows: Arc<Counter>,
+    restore_replayed_records: Arc<Counter>,
+    restore_dedup_rows: Arc<Counter>,
 }
 
 impl EngineObs {
@@ -251,6 +257,10 @@ impl EngineObs {
             rollup_queries_routed: c("tsdb.rollup.queries_routed"),
             rollup_buckets_tier: c("tsdb.rollup.buckets_tier"),
             rollup_buckets_raw: c("tsdb.rollup.buckets_raw"),
+            restore_runs: c("tsdb.restore.runs"),
+            restore_rows: c("tsdb.restore.rows_restored"),
+            restore_replayed_records: c("tsdb.restore.records_replayed"),
+            restore_dedup_rows: c("tsdb.restore.rows_deduped"),
             registry,
         }
     }
@@ -456,6 +466,137 @@ impl Database {
         }
         self.annotate_gaps(&quarantined);
         self.bump_version(GAP_MEASUREMENT);
+    }
+
+    /// Attach a backup destination to the durable store: every committed
+    /// WAL frame is continuously archived to `dest`, and
+    /// [`Database::backup_now`] captures consistent snapshot generations
+    /// there. `Ok(None)` for a memory-only database.
+    pub fn enable_backup(&self, dest: Arc<dyn Vfs>) -> Result<Option<BackupAttach>, TsdbError> {
+        match &self.store {
+            Some(store) => Ok(Some(store.lock().enable_backup(dest)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Set the archiver's group-archival threshold: the archive write to
+    /// the backup destination happens once this many committed records
+    /// are pending (flushes and snapshot fences always drain). No-op for
+    /// memory-only databases or when backups are not enabled.
+    pub fn set_archive_group(&self, group: u64) {
+        if let Some(store) = &self.store {
+            store.lock().set_archive_group(group);
+        }
+    }
+
+    /// True when a durable store with an attached backup destination is
+    /// present.
+    pub fn backup_enabled(&self) -> bool {
+        self.store
+            .as_ref()
+            .is_some_and(|s| s.lock().backup_enabled())
+    }
+
+    /// Stamp the store's virtual clock; archived records carry this
+    /// timestamp, which is what point-in-time restore targets. No-op for
+    /// memory-only databases.
+    pub fn note_time(&self, vts: i64) {
+        if let Some(store) = &self.store {
+            store.lock().note_time(vts);
+        }
+    }
+
+    /// Capture one complete snapshot generation on the backup destination:
+    /// fence the WAL, copy every live chunk (CRC-verified on the way out),
+    /// and commit the generation's manifest. `Ok(None)` when memory-only
+    /// or no backup destination is attached.
+    pub fn backup_now(&self) -> Result<Option<BackupReport>, TsdbError> {
+        let Some(store) = &self.store else {
+            return Ok(None);
+        };
+        let mut store = store.lock();
+        if !store.backup_enabled() {
+            return Ok(None);
+        }
+        Ok(Some(store.backup_now()?))
+    }
+
+    /// Cumulative archiver/snapshot counters, `None` when no backup
+    /// destination is attached.
+    pub fn backup_stats(&self) -> Option<BackupStats> {
+        self.store.as_ref().and_then(|s| s.lock().backup_stats())
+    }
+
+    /// The attached backup destination, if any.
+    pub fn backup_dest(&self) -> Option<Arc<dyn Vfs>> {
+        self.store.as_ref().and_then(|s| s.lock().backup_dest())
+    }
+
+    /// Point-in-time restore: rebuild this database from the backup at
+    /// `src`. The newest snapshot generation with `fence_vts <= t_vts` is
+    /// loaded into `target` and archived WAL records up to `t_vts` are
+    /// replayed on top, every CRC verified — a typed
+    /// [`TsdbError::Backup`] refusal on any gap or corruption, never a
+    /// silently-wrong restore. On success the attached store is replaced,
+    /// shards and rollup tiers are rebuilt from the restored bytes, and
+    /// every measurement's write version is bumped so the query cache can
+    /// never serve pre-restore rows.
+    pub fn restore_at(
+        &mut self,
+        src: &dyn Vfs,
+        target: Arc<dyn Vfs>,
+        opts: StoreOptions,
+        t_vts: i64,
+    ) -> Result<RestoreReport, TsdbError> {
+        let report = pmove_store::restore_at(src, Arc::clone(&target), t_vts)?;
+        // The restored store deliberately gets no per-store `store.*`
+        // metrics: registering a StoreObs would publish zero-valued
+        // `store.scrub.last_full_pass` / `store.backup.last_success`
+        // heartbeat gauges under this database's label, and the staleness
+        // SLOs alert on the *oldest* matching label set — a restore drill
+        // would page the very objectives it exists to protect. The
+        // restore itself is accounted by the `tsdb.restore.*` counters.
+        let store = TsStore::open(target, opts)?.0;
+        self.store = Some(Mutex::new(store));
+        self.rebuild_from_store()?;
+        if let Some(obs) = &self.obs {
+            obs.restore_runs.inc();
+            obs.restore_rows.add(report.restored_rows);
+            obs.restore_replayed_records.add(report.replayed_records);
+            obs.restore_dedup_rows.add(report.dedup_rows);
+        }
+        Ok(report)
+    }
+
+    /// Construct a fresh database restored from the backup at `src` —
+    /// the restore-drill and replica-bootstrap entry point. See
+    /// [`Database::restore_at`] for the PITR semantics.
+    pub fn restored_at(
+        name: impl Into<String>,
+        src: &dyn Vfs,
+        target: Arc<dyn Vfs>,
+        opts: StoreOptions,
+        t_vts: i64,
+    ) -> Result<(Database, RestoreReport), TsdbError> {
+        let mut db = Database::new(name);
+        let report = db.restore_at(src, target, opts, t_vts)?;
+        Ok((db, report))
+    }
+
+    /// [`Database::restored_at`] with observability: the restored
+    /// database's `tsdb.*` / store metrics land in `registry`, and the
+    /// `tsdb.restore.*` counters record the restore itself.
+    pub fn restored_at_with_obs(
+        name: impl Into<String>,
+        src: &dyn Vfs,
+        target: Arc<dyn Vfs>,
+        opts: StoreOptions,
+        registry: Arc<Registry>,
+        t_vts: i64,
+    ) -> Result<(Database, RestoreReport), TsdbError> {
+        let mut db = Database::with_obs(name.into(), registry);
+        let report = db.restore_at(src, target, opts, t_vts)?;
+        Ok((db, report))
     }
 
     /// Number of stored cells (series × timestamp × field triples) — the

@@ -34,7 +34,9 @@ use crate::query::{Query, QueryResult};
 use crate::storage::{shard_of_key, DEFAULT_SHARD_COUNT};
 use crate::value::FieldValue;
 use pmove_obs::{Counter, Registry};
-use pmove_store::{MemDisk, RecoveryReport, ScrubConfig, Scrubber, StoreOptions, Vfs};
+use pmove_store::{
+    MemDisk, RecoveryReport, RestoreReport, ScrubConfig, Scrubber, StoreOptions, Vfs,
+};
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
@@ -445,6 +447,42 @@ impl ReplicaSet {
         }
         total.converged = self.converged();
         Ok(total)
+    }
+
+    /// Replace replica `i` with a fresh node bootstrapped from the backup
+    /// at `src` (newest generation with fence ≤ `t_vts` plus archived WAL
+    /// replay), then converge the tail it missed via Merkle anti-entropy —
+    /// the replaced node streams only the divergent ranges from its
+    /// peers instead of a full re-sync. Durable sets only: the new node
+    /// gets a fresh seeded disk derived from `seed`.
+    pub fn bootstrap_from_backup(
+        &mut self,
+        i: usize,
+        src: &dyn Vfs,
+        opts: StoreOptions,
+        seed: u64,
+        t_vts: i64,
+        max_rounds: u64,
+    ) -> Result<(RestoreReport, RepairReport), TsdbError> {
+        if i >= self.disks.len() {
+            return Err(TsdbError::Replication(format!(
+                "bootstrap_from_backup: no durable replica {i} (set has {} durable replicas)",
+                self.disks.len()
+            )));
+        }
+        let disk = Arc::new(MemDisk::new(seed | 1));
+        let vfs: Arc<dyn Vfs> = disk.clone();
+        let (db, restore) =
+            Database::restored_at(format!("{}-r{i}", self.name), src, vfs, opts, t_vts)?;
+        self.replicas[i] = db;
+        self.disks[i] = disk;
+        let repair = self.repair_until_converged(max_rounds)?;
+        if let Some(obs) = &self.obs {
+            obs.merkle_rounds.add(repair.rounds);
+            obs.merkle_ranges_repaired.add(repair.ranges_repaired);
+            obs.merkle_cells_streamed.add(repair.cells_streamed);
+        }
+        Ok((restore, repair))
     }
 
     /// One background scrubber per replica, sharing one pacing config.

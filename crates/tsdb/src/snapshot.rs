@@ -11,8 +11,28 @@ use crate::error::TsdbError;
 use crate::point::Point;
 use serde_json::{json, Value};
 
+/// Encode one field value for export. JSON numbers cannot carry every
+/// `f64` bit pattern — `serde_json` serializes NaN as `null` and a
+/// re-parse of `-0.0` may collapse the sign — so values are exported as
+/// `{"bits": <u64>}` wrapping `f64::to_bits`, which round-trips every
+/// payload (NaNs and signed zeros included) exactly.
+fn encode_value(x: f64) -> Value {
+    json!({ "bits": x.to_bits() })
+}
+
+/// Decode a field value written by [`encode_value`]. Plain JSON numbers
+/// are still accepted so documents exported before the bit-exact encoding
+/// (or written by hand) keep importing.
+fn decode_value(v: &Value) -> Option<f64> {
+    if let Some(bits) = v.get("bits").and_then(Value::as_u64) {
+        return Some(f64::from_bits(bits));
+    }
+    v.as_f64()
+}
+
 /// Export every series of a measurement (optionally tag-filtered) as a
 /// JSON document: `{measurement, points: [{t, tags, fields}]}`.
+/// Field values are encoded bit-exactly; see [`encode_value`].
 pub fn export_measurement(
     db: &Database,
     measurement: &str,
@@ -34,7 +54,7 @@ pub fn export_measurement(
             let fields: serde_json::Map<String, Value> = row
                 .values
                 .iter()
-                .filter_map(|(k, v)| v.map(|x| (k.clone(), json!(x))))
+                .filter_map(|(k, v)| v.map(|x| (k.clone(), encode_value(x))))
                 .collect();
             json!({"t": row.timestamp, "fields": fields})
         })
@@ -64,7 +84,7 @@ pub fn import_measurement(db: &Database, doc: &Value) -> Result<usize, TsdbError
         }
         if let Some(fields) = p["fields"].as_object() {
             for (k, v) in fields {
-                if let Some(v) = v.as_f64() {
+                if let Some(v) = decode_value(v) {
                     point.fields.insert(k.clone(), v.into());
                 }
             }
@@ -163,6 +183,49 @@ mod tests {
             .unwrap();
         assert_eq!(r.rows.len(), 20);
         assert_eq!(r.rows[3].values["_cpu1"], Some(6.0));
+    }
+
+    #[test]
+    fn export_import_is_bit_exact_for_nan_and_signed_zero() {
+        // serde_json would turn NaN into null and may collapse -0.0 on a
+        // number round-trip; the bits encoding must preserve both.
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001); // NaN payload
+        let src = Database::new("t");
+        for (t, v) in [(0i64, f64::NAN), (1, -0.0), (2, 0.0), (3, weird)] {
+            src.write_point(
+                Point::new("m")
+                    .tag("tag", "o1")
+                    .field("_cpu0", v)
+                    .timestamp(t),
+            )
+            .unwrap();
+        }
+        let doc = export_measurement(&src, "m", Some(("tag", "o1"))).unwrap();
+        let dst = Database::new("ml");
+        assert_eq!(import_measurement(&dst, &doc).unwrap(), 4);
+        let want = src.query("SELECT \"_cpu0\" FROM \"m\"").unwrap();
+        let got = dst.query("SELECT \"_cpu0\" FROM \"m\"").unwrap();
+        assert_eq!(got.rows.len(), 4);
+        for (a, b) in want.rows.iter().zip(&got.rows) {
+            assert_eq!(a.timestamp, b.timestamp);
+            let (x, y) = (a.values["_cpu0"].unwrap(), b.values["_cpu0"].unwrap());
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "t={}: {x:?} vs {y:?} lost bits in the JSON round-trip",
+                a.timestamp
+            );
+        }
+        // The encoding itself is the tagged-bits object, not a number.
+        let p0 = &doc["points"][0]["fields"]["_cpu0"];
+        assert!(p0.get("bits").is_some(), "values export as bits: {p0:?}");
+        // Legacy plain-number documents still import.
+        let legacy = json!({
+            "measurement": "m", "tag": {"tag": "o1"},
+            "points": [{"t": 9, "fields": {"_cpu0": 2.5}}],
+        });
+        let dst2 = Database::new("legacy");
+        assert_eq!(import_measurement(&dst2, &legacy).unwrap(), 1);
     }
 
     #[test]
